@@ -1,0 +1,603 @@
+//! Drivers that regenerate every figure of the paper's evaluation.
+//!
+//! Each function returns a structured result with the same rows/series the
+//! paper plots, renderable as an ASCII table (`table()` / `Display`). The
+//! benches in `lumen-bench` and the `lumen` CLI call straight into these.
+
+use crate::{reference, reference_layer, AlbireoConfig, ScalingProfile, WeightReuse};
+use lumen_core::report::Table;
+use lumen_core::{EnergyBreakdown, NetworkOptions, SystemError};
+use lumen_workload::networks;
+use std::fmt;
+
+/// Sums breakdown labels into one of the paper's component buckets.
+fn bucket_pj(breakdown: &EnergyBreakdown, labels: &[&str]) -> f64 {
+    labels
+        .iter()
+        .map(|l| breakdown.by_label(l).picojoules())
+        .sum()
+}
+
+/// The Fig. 2 / Fig. 4 / Fig. 5 label groupings.
+mod buckets {
+    pub const MRR: &[&str] = &["mrr-tuning"];
+    pub const MZM: &[&str] = &["input-mzm"];
+    pub const LASER: &[&str] = &["laser"];
+    pub const AO_AE: &[&str] = &["output-pd"];
+    pub const DE_AE: &[&str] = &["weight-dac", "input-dac"];
+    pub const AE_DE: &[&str] = &["output-adc"];
+    pub const CACHE: &[&str] = &["glb"];
+    pub const DRAM: &[&str] = &["dram"];
+    pub const OTHER_AO: &[&str] = &["laser", "mrr-tuning", "star-coupler", "pe", "static"];
+    pub const WEIGHT_CONV: &[&str] = &["weight-dac"];
+    pub const INPUT_CONV: &[&str] = &["input-dac", "input-mzm"];
+    pub const OUTPUT_CONV: &[&str] = &["output-adc", "output-pd"];
+}
+
+// ---------------------------------------------------------------------
+// Fig. 2 — energy-breakdown validation
+// ---------------------------------------------------------------------
+
+/// One scaling corner of the Fig. 2 validation.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// The scaling corner.
+    pub scaling: ScalingProfile,
+    /// Modeled pJ/MAC per component, [`reference::FIG2_COMPONENTS`] order.
+    pub modeled: [f64; 7],
+    /// Reported pJ/MAC per component.
+    pub reported: [f64; 7],
+}
+
+impl Fig2Row {
+    /// Modeled total pJ/MAC.
+    pub fn modeled_total(&self) -> f64 {
+        self.modeled.iter().sum()
+    }
+
+    /// Reported total pJ/MAC.
+    pub fn reported_total(&self) -> f64 {
+        self.reported.iter().sum()
+    }
+
+    /// Relative error of the modeled total.
+    pub fn total_error(&self) -> f64 {
+        (self.modeled_total() - self.reported_total()).abs() / self.reported_total()
+    }
+}
+
+/// The Fig. 2 result: modeled vs reported best-case energy breakdowns.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// One row per scaling corner.
+    pub rows: Vec<Fig2Row>,
+}
+
+impl Fig2Result {
+    /// Average relative error of the per-corner totals (the paper reports
+    /// 0.4%).
+    pub fn average_error(&self) -> f64 {
+        self.rows.iter().map(Fig2Row::total_error).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Renders the figure as a table (one modeled + one reported line per
+    /// corner).
+    pub fn table(&self) -> Table {
+        let mut header = vec!["scaling".to_string(), "series".to_string()];
+        header.extend(reference::FIG2_COMPONENTS.iter().map(|c| c.to_string()));
+        header.push("total".into());
+        let mut t = Table::new(header);
+        for row in &self.rows {
+            for (series, values) in [("Model", &row.modeled), ("Reported", &row.reported)] {
+                let mut cells = vec![row.scaling.to_string(), series.to_string()];
+                cells.extend(values.iter().map(|v| format!("{v:.3}")));
+                cells.push(format!(
+                    "{:.3}",
+                    values.iter().sum::<f64>()
+                ));
+                t.row(cells);
+            }
+        }
+        t
+    }
+}
+
+impl fmt::Display for Fig2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 2 — best-case energy breakdown (pJ/MAC)")?;
+        write!(f, "{}", self.table().render())?;
+        writeln!(f, "average total error: {:.2}%", 100.0 * self.average_error())
+    }
+}
+
+/// Reproduces Fig. 2: the best-case per-MAC energy breakdown of Albireo
+/// under three scaling corners, modeled bottom-up and compared against the
+/// reported values.
+pub fn fig2_energy_breakdown() -> Result<Fig2Result, SystemError> {
+    let layer = reference_layer();
+    let mut rows = Vec::new();
+    for scaling in ScalingProfile::ALL {
+        let system = AlbireoConfig::new(scaling).build_system();
+        let eval = system.evaluate_layer(&layer)?;
+        let macs = eval.analysis.macs as f64;
+        let per_mac = |labels: &[&str]| bucket_pj(&eval.energy, labels) / macs;
+        let modeled = [
+            per_mac(buckets::MRR),
+            per_mac(buckets::MZM),
+            per_mac(buckets::LASER),
+            per_mac(buckets::AO_AE),
+            per_mac(buckets::DE_AE),
+            per_mac(buckets::AE_DE),
+            per_mac(buckets::CACHE),
+        ];
+        rows.push(Fig2Row {
+            scaling,
+            modeled,
+            reported: reference::reported_row(scaling),
+        });
+    }
+    Ok(Fig2Result { rows })
+}
+
+// ---------------------------------------------------------------------
+// Fig. 3 — throughput
+// ---------------------------------------------------------------------
+
+/// One network of the Fig. 3 throughput comparison.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Workload name.
+    pub network: String,
+    /// Peak MACs/cycle (100% utilization).
+    pub ideal: f64,
+    /// The throughput reported by the Albireo paper.
+    pub reported: f64,
+    /// Lumen's modeled throughput (captures under-utilization).
+    pub modeled: f64,
+}
+
+/// The Fig. 3 result.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// One row per workload.
+    pub rows: Vec<Fig3Row>,
+}
+
+impl Fig3Result {
+    /// Renders the figure as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "network".into(),
+            "ideal".into(),
+            "reported".into(),
+            "modeled".into(),
+            "modeled/ideal".into(),
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.network.clone(),
+                format!("{:.0}", row.ideal),
+                format!("{:.0}", row.reported),
+                format!("{:.0}", row.modeled),
+                format!("{:.1}%", 100.0 * row.modeled / row.ideal),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for Fig3Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 3 — throughput (MACs/cycle)")?;
+        write!(f, "{}", self.table().render())
+    }
+}
+
+/// Reproduces Fig. 3: ideal vs reported vs modeled throughput for VGG16
+/// and AlexNet on conservative Albireo. The model captures the
+/// under-utilization from strided convolutions and fully-connected layers
+/// that the reported numbers gloss over.
+pub fn fig3_throughput() -> Result<Fig3Result, SystemError> {
+    let system = AlbireoConfig::new(ScalingProfile::Conservative).build_system();
+    let ideal = system.arch().peak_parallelism() as f64;
+    let mut rows = Vec::new();
+    for (name, reported) in reference::REPORTED_FIG3 {
+        let net = networks::by_name(name).expect("reference networks exist");
+        let eval = system.evaluate_network(&net, &NetworkOptions::baseline())?;
+        rows.push(Fig3Row {
+            network: name.to_string(),
+            ideal,
+            reported,
+            modeled: eval.throughput_macs_per_cycle(),
+        });
+    }
+    Ok(Fig3Result { rows })
+}
+
+// ---------------------------------------------------------------------
+// Fig. 4 — full-system (accelerator + DRAM) memory exploration
+// ---------------------------------------------------------------------
+
+/// The Fig. 4 / Fig. 5 energy segments, in display order.
+pub const MEMORY_SEGMENTS: [&str; 6] = [
+    "Other AO",
+    "Weight DE/AE, AE/AO",
+    "Input DE/AE, AE/AO",
+    "Output AO/AE, AE/DE",
+    "On-Chip Buffer",
+    "DRAM",
+];
+
+/// One bar of the Fig. 4 exploration.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// The scaling corner.
+    pub scaling: ScalingProfile,
+    /// Whether inputs/outputs are batched (batch 16).
+    pub batched: bool,
+    /// Whether inter-layer activations are fused into the global buffer.
+    pub fused: bool,
+    /// Per-inference energy per segment in millijoules,
+    /// [`MEMORY_SEGMENTS`] order.
+    pub segments_mj: [f64; 6],
+    /// Total normalized to the same corner's non-batched, non-fused bar.
+    pub normalized_total: f64,
+}
+
+impl Fig4Row {
+    /// Per-inference total in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.segments_mj.iter().sum()
+    }
+
+    /// DRAM's share of this bar (0..=1).
+    pub fn dram_share(&self) -> f64 {
+        self.segments_mj[5] / self.total_mj()
+    }
+}
+
+/// The Fig. 4 result.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// Eight bars: two corners × batched × fused.
+    pub rows: Vec<Fig4Row>,
+}
+
+impl Fig4Result {
+    /// The bar for a given configuration.
+    pub fn row(&self, scaling: ScalingProfile, batched: bool, fused: bool) -> &Fig4Row {
+        self.rows
+            .iter()
+            .find(|r| r.scaling == scaling && r.batched == batched && r.fused == fused)
+            .expect("all eight configurations evaluated")
+    }
+
+    /// Energy reduction of batching + fusion at a corner (the paper: 67%
+    /// for aggressive scaling, a 3× improvement).
+    pub fn combined_reduction(&self, scaling: ScalingProfile) -> f64 {
+        let base = self.row(scaling, false, false).total_mj();
+        let best = self.row(scaling, true, true).total_mj();
+        1.0 - best / base
+    }
+
+    /// Renders the figure as a table.
+    pub fn table(&self) -> Table {
+        let mut header = vec!["config".to_string()];
+        header.extend(MEMORY_SEGMENTS.iter().map(|s| s.to_string()));
+        header.extend(["total (mJ)".to_string(), "normalized".to_string()]);
+        let mut t = Table::new(header);
+        for row in &self.rows {
+            let name = format!(
+                "{} {} {}",
+                row.scaling,
+                if row.fused { "fused" } else { "not-fused" },
+                if row.batched { "batched" } else { "non-batched" },
+            );
+            let mut cells = vec![name];
+            cells.extend(row.segments_mj.iter().map(|v| format!("{v:.3}")));
+            cells.push(format!("{:.3}", row.total_mj()));
+            cells.push(format!("{:.3}", row.normalized_total));
+            t.row(cells);
+        }
+        t
+    }
+}
+
+impl fmt::Display for Fig4Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 4 — ResNet18 full-system energy (per inference, normalized per scaling)"
+        )?;
+        write!(f, "{}", self.table().render())?;
+        for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
+            writeln!(
+                f,
+                "{scaling}: baseline DRAM share {:.0}%, batching+fusion reduce energy {:.0}%",
+                100.0 * self.row(scaling, false, false).dram_share(),
+                100.0 * self.combined_reduction(scaling),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn memory_segments(energy: &EnergyBreakdown) -> [f64; 6] {
+    let mj = |labels: &[&str]| bucket_pj(energy, labels) / 1e9;
+    [
+        mj(buckets::OTHER_AO),
+        mj(buckets::WEIGHT_CONV),
+        mj(buckets::INPUT_CONV),
+        mj(buckets::OUTPUT_CONV),
+        mj(buckets::CACHE),
+        mj(buckets::DRAM),
+    ]
+}
+
+/// Reproduces Fig. 4: connecting Albireo to DRAM and exploring batching
+/// (batch 16) and fused-layer dataflows (activations pinned in an enlarged
+/// global buffer) on ResNet18, for the conservative and aggressive
+/// corners.
+pub fn fig4_memory_exploration() -> Result<Fig4Result, SystemError> {
+    let net = networks::resnet18();
+    let mut rows = Vec::new();
+    for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
+        let mut baseline_total = None;
+        for fused in [false, true] {
+            for batched in [false, true] {
+                // Fusion needs a buffer large enough for inter-layer
+                // activations; the paper notes this costs buffer energy.
+                let glb_mib = if fused { 16 } else { 4 };
+                let system = AlbireoConfig::new(scaling)
+                    .with_glb_mebibytes(glb_mib)
+                    .build_system();
+                let mut options = NetworkOptions::baseline();
+                if batched {
+                    options = options.with_batch(16);
+                }
+                if fused {
+                    options = options.with_fusion("dram", "glb");
+                }
+                let eval = system.evaluate_network(&net, &options)?;
+                let segments_mj = memory_segments(&eval.energy);
+                let total: f64 = segments_mj.iter().sum();
+                let base = *baseline_total.get_or_insert(total);
+                rows.push(Fig4Row {
+                    scaling,
+                    batched,
+                    fused,
+                    segments_mj,
+                    normalized_total: total / base,
+                });
+            }
+        }
+    }
+    Ok(Fig4Result { rows })
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5 — architecture exploration of analog/optical reuse
+// ---------------------------------------------------------------------
+
+/// One configuration of the Fig. 5 reuse sweep.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Weight-sharing variant.
+    pub weight_reuse: WeightReuse,
+    /// OR: analog output accumulation factor.
+    pub output_reuse: usize,
+    /// IR: optical input broadcast factor.
+    pub input_reuse: usize,
+    /// Accelerator-only energy per MAC in picojoules per segment
+    /// (`MEMORY_SEGMENTS[..5]` order — no DRAM).
+    pub segments_pj_per_mac: [f64; 5],
+}
+
+impl Fig5Row {
+    /// Accelerator energy per MAC (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.segments_pj_per_mac.iter().sum()
+    }
+
+    /// Data-converter energy per MAC (weight + input + output
+    /// conversions).
+    pub fn converter_pj(&self) -> f64 {
+        self.segments_pj_per_mac[1] + self.segments_pj_per_mac[2] + self.segments_pj_per_mac[3]
+    }
+}
+
+/// The Fig. 5 result.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// 18 rows: 2 weight variants × OR ∈ {3,9,15} × IR ∈ {9,27,45}.
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5Result {
+    /// The published Albireo configuration's row.
+    pub fn original(&self) -> &Fig5Row {
+        self.rows
+            .iter()
+            .find(|r| {
+                r.weight_reuse == WeightReuse::Original
+                    && r.output_reuse == 3
+                    && r.input_reuse == 9
+            })
+            .expect("original configuration is part of the sweep")
+    }
+
+    /// The lowest-energy configuration.
+    pub fn best(&self) -> &Fig5Row {
+        self.rows
+            .iter()
+            .min_by(|a, b| a.total_pj().total_cmp(&b.total_pj()))
+            .expect("sweep is nonempty")
+    }
+
+    /// Converter-energy reduction of the best configuration vs the
+    /// original (the paper: 42%).
+    pub fn converter_reduction(&self) -> f64 {
+        1.0 - self.best().converter_pj() / self.original().converter_pj()
+    }
+
+    /// Accelerator-energy reduction of the best configuration vs the
+    /// original (the paper: 31%).
+    pub fn accelerator_reduction(&self) -> f64 {
+        1.0 - self.best().total_pj() / self.original().total_pj()
+    }
+
+    /// Renders the figure as a table.
+    pub fn table(&self) -> Table {
+        let mut header = vec!["config".to_string()];
+        header.extend(MEMORY_SEGMENTS[..5].iter().map(|s| s.to_string()));
+        header.push("total pJ/MAC".into());
+        let mut t = Table::new(header);
+        for row in &self.rows {
+            let name = format!(
+                "{} OR={} IR={}",
+                match row.weight_reuse {
+                    WeightReuse::Original => "Original",
+                    WeightReuse::More => "MoreWR",
+                },
+                row.output_reuse,
+                row.input_reuse
+            );
+            let mut cells = vec![name];
+            cells.extend(row.segments_pj_per_mac.iter().map(|v| format!("{v:.4}")));
+            cells.push(format!("{:.4}", row.total_pj()));
+            t.row(cells);
+        }
+        t
+    }
+}
+
+impl fmt::Display for Fig5Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 5 — ResNet18 accelerator energy vs analog/optical reuse (aggressive scaling)"
+        )?;
+        write!(f, "{}", self.table().render())?;
+        writeln!(
+            f,
+            "best config cuts converter energy {:.0}% and accelerator energy {:.0}% vs original",
+            100.0 * self.converter_reduction(),
+            100.0 * self.accelerator_reduction(),
+        )
+    }
+}
+
+/// Reproduces Fig. 5: sweeping the aggressive Albireo's spatial-reuse
+/// factors (OR ∈ {3,9,15}, IR ∈ {9,27,45}, original vs more weight reuse)
+/// on ResNet18 and reporting accelerator-only energy per MAC.
+pub fn fig5_reuse_exploration() -> Result<Fig5Result, SystemError> {
+    let net = networks::resnet18();
+    let mut rows = Vec::new();
+    for weight_reuse in [WeightReuse::Original, WeightReuse::More] {
+        for output_reuse in [3usize, 9, 15] {
+            for input_reuse in [9usize, 27, 45] {
+                let system = AlbireoConfig::new(ScalingProfile::Aggressive)
+                    .with_weight_reuse(weight_reuse)
+                    .with_output_reuse(output_reuse)
+                    .with_input_reuse(input_reuse)
+                    .build_system();
+                let eval = system.evaluate_network(&net, &NetworkOptions::baseline())?;
+                let segments = memory_segments(&eval.energy);
+                let macs = eval.macs as f64;
+                // Accelerator-only: drop DRAM, convert mJ to pJ/MAC.
+                let mut per_mac = [0.0; 5];
+                for (i, seg) in segments[..5].iter().enumerate() {
+                    per_mac[i] = seg * 1e9 / macs;
+                }
+                rows.push(Fig5Row {
+                    weight_reuse,
+                    output_reuse,
+                    input_reuse,
+                    segments_pj_per_mac: per_mac,
+                });
+            }
+        }
+    }
+    Ok(Fig5Result { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_validation_error_is_small() {
+        let result = fig2_energy_breakdown().unwrap();
+        assert_eq!(result.rows.len(), 3);
+        assert!(
+            result.average_error() < 0.015,
+            "average error {:.3}% exceeds 1.5%",
+            100.0 * result.average_error()
+        );
+        // Totals descend with scaling.
+        assert!(result.rows[0].modeled_total() > result.rows[1].modeled_total());
+        assert!(result.rows[1].modeled_total() > result.rows[2].modeled_total());
+    }
+
+    #[test]
+    fn fig3_shapes_hold() {
+        let result = fig3_throughput().unwrap();
+        let vgg = &result.rows[0];
+        let alex = &result.rows[1];
+        assert!(vgg.modeled >= 0.85 * vgg.ideal, "VGG16 near ideal: {}", vgg.modeled);
+        assert!(
+            alex.modeled <= 0.45 * alex.ideal,
+            "AlexNet far from ideal: {}",
+            alex.modeled
+        );
+        assert!(alex.reported >= 0.9 * alex.ideal, "reported is near-ideal");
+    }
+
+    #[test]
+    fn fig4_shapes_hold() {
+        let result = fig4_memory_exploration().unwrap();
+        assert_eq!(result.rows.len(), 8);
+        // Aggressive baseline dominated by DRAM; conservative is not.
+        let aggr = result.row(ScalingProfile::Aggressive, false, false);
+        let cons = result.row(ScalingProfile::Conservative, false, false);
+        assert!(aggr.dram_share() >= 0.60, "aggressive DRAM {:.2}", aggr.dram_share());
+        assert!(cons.dram_share() <= 0.30, "conservative DRAM {:.2}", cons.dram_share());
+        // Batching + fusion buy >= 55% at the aggressive corner (paper: 67%).
+        let reduction = result.combined_reduction(ScalingProfile::Aggressive);
+        assert!(reduction >= 0.55, "reduction {reduction:.2}");
+        // Normalization anchors the baselines at 1.0.
+        assert!((aggr.normalized_total - 1.0).abs() < 1e-12);
+        assert!((cons.normalized_total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig5_shapes_hold() {
+        let result = fig5_reuse_exploration().unwrap();
+        assert_eq!(result.rows.len(), 18);
+        assert!(
+            result.converter_reduction() >= 0.35,
+            "converter reduction {:.2}",
+            result.converter_reduction()
+        );
+        assert!(
+            result.accelerator_reduction() >= 0.25,
+            "accelerator reduction {:.2}",
+            result.accelerator_reduction()
+        );
+        // More input reuse monotonically cuts input-conversion energy.
+        let input_pj = |ir: usize| {
+            result
+                .rows
+                .iter()
+                .find(|r| {
+                    r.weight_reuse == WeightReuse::Original
+                        && r.output_reuse == 3
+                        && r.input_reuse == ir
+                })
+                .unwrap()
+                .segments_pj_per_mac[2]
+        };
+        assert!(input_pj(9) > input_pj(27));
+        assert!(input_pj(27) > input_pj(45));
+    }
+}

@@ -1,0 +1,265 @@
+//! The validated architecture and its derived quantities.
+
+use crate::{ArchError, Level, LevelKind};
+use lumen_units::{Area, Energy, Frequency, Power};
+use lumen_workload::{TensorKind, TensorMap};
+use std::fmt;
+
+/// An energy charged on every active cycle, independent of data movement —
+/// lasers and microring thermal tuning are the photonic examples.
+///
+/// If `gateable`, the cost scales with spatial utilization (idle lanes can
+/// be powered down); otherwise it is charged in full whenever the
+/// accelerator runs, so underutilized layers pay it across more cycles per
+/// MAC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerCycleCost {
+    /// Display name (e.g. `"laser"`).
+    pub name: String,
+    /// Energy charged per cycle (whole accelerator).
+    pub energy_per_cycle: Energy,
+    /// Whether idle lanes can avoid this cost.
+    pub gateable: bool,
+}
+
+/// A validated accelerator hierarchy.
+///
+/// Construct with [`crate::ArchBuilder`]. Levels are ordered outermost
+/// (index 0, the backing store) to innermost (the compute level).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Architecture {
+    pub(crate) name: String,
+    pub(crate) clock: Frequency,
+    pub(crate) levels: Vec<Level>,
+    pub(crate) per_cycle: Vec<PerCycleCost>,
+    pub(crate) word_bits: TensorMap<u32>,
+}
+
+impl Architecture {
+    pub(crate) fn validate(&self) -> Result<(), ArchError> {
+        if self.levels.len() < 2 {
+            return Err(ArchError::TooFewLevels);
+        }
+        let first = &self.levels[0];
+        if !first.kind().is_storage() || first.keep() != lumen_workload::TensorSet::all() {
+            return Err(ArchError::BadOutermost);
+        }
+        let last = self.levels.last().expect("checked nonempty");
+        if !last.kind().is_compute() {
+            return Err(ArchError::BadCompute(last.name().to_string()));
+        }
+        for level in &self.levels[..self.levels.len() - 1] {
+            if level.kind().is_compute() {
+                return Err(ArchError::BadCompute(level.name().to_string()));
+            }
+        }
+        for (i, level) in self.levels.iter().enumerate() {
+            if level.name().is_empty() {
+                return Err(ArchError::EmptyName);
+            }
+            if level.kind().is_converter() && (i == 0 || i == self.levels.len() - 1) {
+                return Err(ArchError::MisplacedConverter(level.name().to_string()));
+            }
+            if !level.kind().is_compute() && level.keep().is_empty() {
+                return Err(ArchError::NothingKept(level.name().to_string()));
+            }
+            if level.fanout().size() > 1 && level.fanout().allowed().is_empty() {
+                return Err(ArchError::UselessFanout(level.name().to_string()));
+            }
+        }
+        let mut names: Vec<&str> = self.levels.iter().map(Level::name).collect();
+        names.sort_unstable();
+        for pair in names.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(ArchError::DuplicateName(pair[0].to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The architecture's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The accelerator clock (symbol rate for photonic stages).
+    pub fn clock(&self) -> Frequency {
+        self.clock
+    }
+
+    /// All levels, outermost first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// The level with the given name.
+    pub fn level_named(&self, name: &str) -> Option<&Level> {
+        self.levels.iter().find(|l| l.name() == name)
+    }
+
+    /// Index of the level with the given name.
+    pub fn level_index(&self, name: &str) -> Option<usize> {
+        self.levels.iter().position(|l| l.name() == name)
+    }
+
+    /// The compute level (always the last).
+    pub fn compute_level(&self) -> &Level {
+        self.levels.last().expect("validated: has compute level")
+    }
+
+    /// Per-cycle (data-independent) energy costs.
+    pub fn per_cycle_costs(&self) -> &[PerCycleCost] {
+        &self.per_cycle
+    }
+
+    /// Element width in bits for each tensor.
+    pub fn word_bits(&self) -> TensorMap<u32> {
+        self.word_bits
+    }
+
+    /// Element width of one tensor.
+    pub fn word_bits_of(&self, tensor: TensorKind) -> u32 {
+        self.word_bits[tensor]
+    }
+
+    /// Number of hardware instances of level `index` (product of fan-outs
+    /// above it).
+    pub fn instances_of(&self, index: usize) -> u64 {
+        self.levels[..index]
+            .iter()
+            .map(|l| l.fanout().size() as u64)
+            .product()
+    }
+
+    /// Peak spatial parallelism: MACs per cycle with every lane busy.
+    pub fn peak_parallelism(&self) -> u64 {
+        self.instances_of(self.levels.len() - 1)
+    }
+
+    /// Total die area (all levels × instances).
+    pub fn total_area(&self) -> Area {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| l.area() * self.instances_of(i) as f64)
+            .sum()
+    }
+
+    /// Total static power (all levels × instances).
+    pub fn total_static_power(&self) -> Power {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| l.static_power() * self.instances_of(i) as f64)
+            .sum()
+    }
+
+    /// Indices of levels that take part in mapping (storage + compute);
+    /// converters transduce traffic but hold no loops.
+    pub fn mapping_levels(&self) -> Vec<usize> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.kind().is_converter())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of converter levels.
+    pub fn converter_levels(&self) -> Vec<usize> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.kind().is_converter())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-MAC compute energy of the innermost stage.
+    pub fn mac_energy(&self) -> Energy {
+        match self.compute_level().kind() {
+            LevelKind::Compute { energy_per_mac } => *energy_per_mac,
+            _ => unreachable!("validated: last level is compute"),
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "architecture {} @ {} (peak {} MACs/cycle)",
+            self.name,
+            self.clock,
+            self.peak_parallelism()
+        )?;
+        for level in &self.levels {
+            writeln!(f, "  {level}")?;
+        }
+        for cost in &self.per_cycle {
+            writeln!(
+                f,
+                "  per-cycle: {} = {}{}",
+                cost.name,
+                cost.energy_per_cycle,
+                if cost.gateable { " (gateable)" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ArchBuilder, Domain, Fanout};
+    use lumen_units::{Energy, Frequency};
+    use lumen_workload::{Dim, DimSet, TensorSet};
+
+    fn toy() -> crate::Architecture {
+        ArchBuilder::new("toy", Frequency::from_gigahertz(2.0))
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .read_energy(Energy::from_picojoules(50.0))
+            .write_energy(Energy::from_picojoules(50.0))
+            .done()
+            .storage("glb", Domain::DigitalElectrical, TensorSet::all())
+            .read_energy(Energy::from_picojoules(2.0))
+            .write_energy(Energy::from_picojoules(2.2))
+            .capacity_bits(1 << 20)
+            .fanout(Fanout::new(8).allow(DimSet::from_dims(&[Dim::M])))
+            .done()
+            .compute("pe", Domain::DigitalElectrical, Energy::from_picojoules(0.2))
+            .build()
+            .expect("valid toy architecture")
+    }
+
+    #[test]
+    fn instances_multiply_down_the_hierarchy() {
+        let arch = toy();
+        assert_eq!(arch.instances_of(0), 1);
+        assert_eq!(arch.instances_of(1), 1);
+        assert_eq!(arch.instances_of(2), 8);
+        assert_eq!(arch.peak_parallelism(), 8);
+    }
+
+    #[test]
+    fn lookups() {
+        let arch = toy();
+        assert_eq!(arch.level_index("glb"), Some(1));
+        assert!(arch.level_named("nope").is_none());
+        assert_eq!(arch.compute_level().name(), "pe");
+        assert_eq!(arch.mac_energy(), Energy::from_picojoules(0.2));
+    }
+
+    #[test]
+    fn mapping_levels_exclude_converters() {
+        let arch = toy();
+        assert_eq!(arch.mapping_levels(), vec![0, 1, 2]);
+        assert!(arch.converter_levels().is_empty());
+    }
+
+    #[test]
+    fn display_lists_levels() {
+        let shown = format!("{}", toy());
+        assert!(shown.contains("dram") && shown.contains("peak 8 MACs/cycle"));
+    }
+}

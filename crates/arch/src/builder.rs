@@ -1,0 +1,350 @@
+//! Fluent construction of validated architectures.
+
+use crate::{ArchError, Architecture, Domain, Fanout, Level, LevelKind, PerCycleCost};
+use lumen_units::{Area, Energy, Frequency, Power};
+use lumen_workload::{TensorMap, TensorSet};
+
+/// Builds an [`Architecture`] level by level, outermost first.
+///
+/// Storage and converter levels open a nested [`LevelBuilder`] for their
+/// per-level knobs; `compute(...)` closes the hierarchy and `build()`
+/// validates it.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct ArchBuilder {
+    name: String,
+    clock: Frequency,
+    levels: Vec<Level>,
+    per_cycle: Vec<PerCycleCost>,
+    word_bits: TensorMap<u32>,
+}
+
+impl ArchBuilder {
+    /// Starts a new architecture with the given name and clock.
+    pub fn new(name: impl Into<String>, clock: Frequency) -> ArchBuilder {
+        ArchBuilder {
+            name: name.into(),
+            clock,
+            levels: Vec::new(),
+            per_cycle: Vec::new(),
+            word_bits: TensorMap::filled(8),
+        }
+    }
+
+    /// Sets the element width (bits) for all tensors.
+    #[must_use]
+    pub fn word_bits(mut self, bits: u32) -> ArchBuilder {
+        self.word_bits = TensorMap::filled(bits);
+        self
+    }
+
+    /// Sets per-tensor element widths.
+    #[must_use]
+    pub fn word_bits_per_tensor(mut self, bits: TensorMap<u32>) -> ArchBuilder {
+        self.word_bits = bits;
+        self
+    }
+
+    /// Opens a storage level keeping `keep`.
+    pub fn storage(self, name: impl Into<String>, domain: Domain, keep: TensorSet) -> LevelBuilder {
+        LevelBuilder {
+            arch: self,
+            name: name.into(),
+            domain,
+            keep,
+            kind_is_converter: false,
+            capacity_bits: None,
+            read_energy: Energy::ZERO,
+            write_energy: Energy::ZERO,
+            convert_energy: Energy::ZERO,
+            fanout: Fanout::none(),
+            static_power: Power::ZERO,
+            area: Area::ZERO,
+        }
+    }
+
+    /// Opens a converter level transducing `keep`.
+    pub fn converter(
+        self,
+        name: impl Into<String>,
+        domain: Domain,
+        keep: TensorSet,
+    ) -> LevelBuilder {
+        LevelBuilder {
+            arch: self,
+            name: name.into(),
+            domain,
+            keep,
+            kind_is_converter: true,
+            capacity_bits: None,
+            read_energy: Energy::ZERO,
+            write_energy: Energy::ZERO,
+            convert_energy: Energy::ZERO,
+            fanout: Fanout::none(),
+            static_power: Power::ZERO,
+            area: Area::ZERO,
+        }
+    }
+
+    /// Adds a per-cycle cost (laser, thermal tuning) charged independently
+    /// of data movement.
+    #[must_use]
+    pub fn per_cycle(
+        mut self,
+        name: impl Into<String>,
+        energy_per_cycle: Energy,
+        gateable: bool,
+    ) -> ArchBuilder {
+        self.per_cycle.push(PerCycleCost {
+            name: name.into(),
+            energy_per_cycle,
+            gateable,
+        });
+        self
+    }
+
+    /// Closes the hierarchy with the compute level and finalizes.
+    pub fn compute(
+        mut self,
+        name: impl Into<String>,
+        domain: Domain,
+        energy_per_mac: Energy,
+    ) -> FinishedArch {
+        self.levels.push(Level {
+            name: name.into(),
+            domain,
+            kind: LevelKind::Compute { energy_per_mac },
+            keep: TensorSet::all(),
+            fanout: Fanout::none(),
+            static_power: Power::ZERO,
+            area: Area::ZERO,
+        });
+        FinishedArch { arch: self }
+    }
+}
+
+/// Configures one storage / converter level; call
+/// [`LevelBuilder::done`] to return to the [`ArchBuilder`].
+#[derive(Debug)]
+pub struct LevelBuilder {
+    arch: ArchBuilder,
+    name: String,
+    domain: Domain,
+    keep: TensorSet,
+    kind_is_converter: bool,
+    capacity_bits: Option<u64>,
+    read_energy: Energy,
+    write_energy: Energy,
+    convert_energy: Energy,
+    fanout: Fanout,
+    static_power: Power,
+    area: Area,
+}
+
+impl LevelBuilder {
+    /// Sets the per-element read energy (storage levels).
+    #[must_use]
+    pub fn read_energy(mut self, energy: Energy) -> LevelBuilder {
+        self.read_energy = energy;
+        self
+    }
+
+    /// Sets the per-element write energy (storage levels).
+    #[must_use]
+    pub fn write_energy(mut self, energy: Energy) -> LevelBuilder {
+        self.write_energy = energy;
+        self
+    }
+
+    /// Sets the per-element conversion energy (converter levels).
+    #[must_use]
+    pub fn convert_energy(mut self, energy: Energy) -> LevelBuilder {
+        self.convert_energy = energy;
+        self
+    }
+
+    /// Bounds the storage capacity in bits.
+    #[must_use]
+    pub fn capacity_bits(mut self, bits: u64) -> LevelBuilder {
+        self.capacity_bits = Some(bits);
+        self
+    }
+
+    /// Sets the spatial fan-out below this level.
+    #[must_use]
+    pub fn fanout(mut self, fanout: Fanout) -> LevelBuilder {
+        self.fanout = fanout;
+        self
+    }
+
+    /// Sets the static power of one instance.
+    #[must_use]
+    pub fn static_power(mut self, power: Power) -> LevelBuilder {
+        self.static_power = power;
+        self
+    }
+
+    /// Sets the area of one instance.
+    #[must_use]
+    pub fn area(mut self, area: Area) -> LevelBuilder {
+        self.area = area;
+        self
+    }
+
+    /// Closes this level and returns to the architecture builder.
+    pub fn done(self) -> ArchBuilder {
+        let kind = if self.kind_is_converter {
+            LevelKind::Converter {
+                convert_energy: self.convert_energy,
+            }
+        } else {
+            LevelKind::Storage {
+                capacity_bits: self.capacity_bits,
+                read_energy: self.read_energy,
+                write_energy: self.write_energy,
+            }
+        };
+        let mut arch = self.arch;
+        arch.levels.push(Level {
+            name: self.name,
+            domain: self.domain,
+            kind,
+            keep: self.keep,
+            fanout: self.fanout,
+            static_power: self.static_power,
+            area: self.area,
+        });
+        arch
+    }
+}
+
+/// The terminal state after [`ArchBuilder::compute`]; only `build()`
+/// remains.
+#[derive(Debug)]
+pub struct FinishedArch {
+    arch: ArchBuilder,
+}
+
+impl FinishedArch {
+    /// Validates and returns the architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArchError`] describing the first structural problem
+    /// found (see [`Architecture`] validation rules).
+    pub fn build(self) -> Result<Architecture, ArchError> {
+        let arch = Architecture {
+            name: self.arch.name,
+            clock: self.arch.clock,
+            levels: self.arch.levels,
+            per_cycle: self.arch.per_cycle,
+            word_bits: self.arch.word_bits,
+        };
+        arch.validate()?;
+        Ok(arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_workload::{Dim, DimSet};
+
+    fn base() -> ArchBuilder {
+        ArchBuilder::new("t", Frequency::from_gigahertz(1.0))
+    }
+
+    #[test]
+    fn minimal_valid_architecture() {
+        let arch = base()
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .done()
+            .compute("mac", Domain::DigitalElectrical, Energy::from_picojoules(1.0))
+            .build()
+            .unwrap();
+        assert_eq!(arch.levels().len(), 2);
+    }
+
+    #[test]
+    fn outermost_must_keep_all() {
+        let err = base()
+            .storage(
+                "dram",
+                Domain::DigitalElectrical,
+                TensorSet::only(lumen_workload::TensorKind::Weight),
+            )
+            .done()
+            .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArchError::BadOutermost);
+    }
+
+    #[test]
+    fn converter_cannot_be_outermost() {
+        let err = base()
+            .converter("dac", Domain::DigitalElectrical, TensorSet::all())
+            .done()
+            .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+            .build()
+            .unwrap_err();
+        // Outermost check fires first (converter is not storage).
+        assert_eq!(err, ArchError::BadOutermost);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = base()
+            .storage("x", Domain::DigitalElectrical, TensorSet::all())
+            .done()
+            .storage("x", Domain::DigitalElectrical, TensorSet::all())
+            .done()
+            .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArchError::DuplicateName("x".into()));
+    }
+
+    #[test]
+    fn useless_fanout_rejected() {
+        let err = base()
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .fanout(Fanout::new(4).allow(DimSet::EMPTY))
+            .done()
+            .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArchError::UselessFanout("dram".into()));
+    }
+
+    #[test]
+    fn converter_between_levels_is_fine() {
+        let arch = base()
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .done()
+            .converter("dac", Domain::AnalogElectrical, TensorSet::all())
+            .convert_energy(Energy::from_picojoules(0.5))
+            .done()
+            .compute("mac", Domain::AnalogOptical, Energy::ZERO)
+            .build()
+            .unwrap();
+        assert_eq!(arch.converter_levels(), vec![1]);
+        assert_eq!(arch.mapping_levels(), vec![0, 2]);
+    }
+
+    #[test]
+    fn fanout_dims_restrict() {
+        let arch = base()
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .fanout(Fanout::new(4).allow(DimSet::from_dims(&[Dim::M, Dim::Q])))
+            .done()
+            .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+            .build()
+            .unwrap();
+        assert_eq!(arch.peak_parallelism(), 4);
+        assert!(arch.levels()[0].fanout().allowed().contains(Dim::Q));
+    }
+}

@@ -1,0 +1,96 @@
+//! Signal domains: the digital/analog × electrical/optical quadrants.
+
+use std::fmt;
+
+/// The signal domain a component operates in.
+///
+/// The paper's framing: data moves between four domains, each with its own
+/// movement / reuse / compute cost structure, and every crossing pays a
+/// converter (DAC, ADC, modulator, photodetector). Where to cross is *the*
+/// key photonic-system design decision.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_arch::Domain;
+/// assert!(Domain::AnalogOptical.is_analog());
+/// assert!(Domain::AnalogOptical.is_optical());
+/// assert!(!Domain::DigitalElectrical.is_optical());
+/// assert_eq!(format!("{}", Domain::AnalogElectrical), "AE");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Domain {
+    /// Digital electrical (`DE`): conventional logic, SRAM, DRAM.
+    DigitalElectrical,
+    /// Analog electrical (`AE`): charge/current-domain computation.
+    AnalogElectrical,
+    /// Analog optical (`AO`): light-intensity/phase-domain computation.
+    AnalogOptical,
+    /// Digital optical (`DO`): optical on-off-keyed interconnect.
+    DigitalOptical,
+}
+
+impl Domain {
+    /// All four domains.
+    pub const ALL: [Domain; 4] = [
+        Domain::DigitalElectrical,
+        Domain::AnalogElectrical,
+        Domain::AnalogOptical,
+        Domain::DigitalOptical,
+    ];
+
+    /// `true` for analog domains.
+    pub const fn is_analog(self) -> bool {
+        matches!(self, Domain::AnalogElectrical | Domain::AnalogOptical)
+    }
+
+    /// `true` for optical domains.
+    pub const fn is_optical(self) -> bool {
+        matches!(self, Domain::AnalogOptical | Domain::DigitalOptical)
+    }
+
+    /// The conventional `X/Y` converter notation for a crossing from
+    /// `self` to `to` (e.g. `"DE/AE"` is a DAC).
+    pub fn crossing_label(self, to: Domain) -> String {
+        format!("{self}/{to}")
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Domain::DigitalElectrical => "DE",
+            Domain::AnalogElectrical => "AE",
+            Domain::AnalogOptical => "AO",
+            Domain::DigitalOptical => "DO",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadrant_flags() {
+        assert!(!Domain::DigitalElectrical.is_analog());
+        assert!(!Domain::DigitalElectrical.is_optical());
+        assert!(Domain::AnalogElectrical.is_analog());
+        assert!(!Domain::AnalogElectrical.is_optical());
+        assert!(Domain::DigitalOptical.is_optical());
+        assert!(!Domain::DigitalOptical.is_analog());
+    }
+
+    #[test]
+    fn crossing_labels_match_paper_notation() {
+        assert_eq!(
+            Domain::DigitalElectrical.crossing_label(Domain::AnalogElectrical),
+            "DE/AE"
+        );
+        assert_eq!(
+            Domain::AnalogOptical.crossing_label(Domain::AnalogElectrical),
+            "AO/AE"
+        );
+    }
+}

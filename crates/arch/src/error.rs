@@ -1,0 +1,80 @@
+//! Architecture validation errors.
+
+use std::fmt;
+
+/// An invalid architecture specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// The hierarchy has fewer than two levels.
+    TooFewLevels,
+    /// The outermost level must be storage keeping all three tensors.
+    BadOutermost,
+    /// The hierarchy must end in exactly one compute level.
+    BadCompute(String),
+    /// A converter level may not be first or last.
+    MisplacedConverter(String),
+    /// Two levels share a name.
+    DuplicateName(String),
+    /// A level name is empty.
+    EmptyName,
+    /// A converter or storage level keeps no tensors.
+    NothingKept(String),
+    /// A fan-out larger than one allows no dimensions.
+    UselessFanout(String),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::TooFewLevels => {
+                write!(f, "architecture needs at least a backing store and a compute level")
+            }
+            ArchError::BadOutermost => write!(
+                f,
+                "the outermost level must be a storage level keeping all tensors"
+            ),
+            ArchError::BadCompute(name) => write!(
+                f,
+                "the hierarchy must end in exactly one compute level (offending level: {name})"
+            ),
+            ArchError::MisplacedConverter(name) => {
+                write!(f, "converter `{name}` may not be the first or last level")
+            }
+            ArchError::DuplicateName(name) => write!(f, "duplicate level name `{name}`"),
+            ArchError::EmptyName => write!(f, "level names must be nonempty"),
+            ArchError::NothingKept(name) => {
+                write!(f, "level `{name}` keeps no tensors and would be dead")
+            }
+            ArchError::UselessFanout(name) => write!(
+                f,
+                "level `{name}` has a fan-out larger than one but allows no dimensions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let samples: Vec<ArchError> = vec![
+            ArchError::TooFewLevels,
+            ArchError::BadOutermost,
+            ArchError::BadCompute("x".into()),
+            ArchError::MisplacedConverter("dac".into()),
+            ArchError::DuplicateName("glb".into()),
+            ArchError::EmptyName,
+            ArchError::NothingKept("buf".into()),
+            ArchError::UselessFanout("pe".into()),
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

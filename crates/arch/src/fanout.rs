@@ -1,0 +1,160 @@
+//! Spatial fan-out between adjacent hierarchy levels.
+
+use lumen_workload::{DimSet, Layer};
+use std::fmt;
+
+/// The spatial fan-out from one level to `size` instances of the next
+/// level down.
+///
+/// `allowed` restricts which problem dimensions may be parallelized across
+/// this fan-out (hardware wiring is dimension-specific: a star coupler that
+/// broadcasts an input across filter positions parallelizes `R`/`S`, not
+/// `M`). `unit_stride_dims` marks dimensions that additionally require the
+/// layer to have stride 1 — the Albireo-style optical sliding-window
+/// structures share input samples between adjacent output columns, which
+/// only exists when windows overlap.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_arch::Fanout;
+/// use lumen_workload::{Dim, DimSet, Layer};
+///
+/// let f = Fanout::new(3)
+///     .allow(DimSet::from_dims(&[Dim::Q]))
+///     .require_unit_stride(DimSet::from_dims(&[Dim::Q]));
+///
+/// let stride1 = Layer::conv2d("a", 1, 8, 8, 16, 16, 3, 3);
+/// let stride2 = stride1.clone().with_stride(2, 2);
+/// assert!(f.usable_dims(&stride1).contains(Dim::Q));
+/// assert!(f.usable_dims(&stride2).is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fanout {
+    size: usize,
+    allowed: DimSet,
+    unit_stride_dims: DimSet,
+}
+
+impl Fanout {
+    /// A degenerate fan-out of one (no parallelism).
+    pub fn none() -> Fanout {
+        Fanout::new(1)
+    }
+
+    /// Builds a fan-out of `size` instances allowing all dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Fanout {
+        assert!(size > 0, "fanout must be at least 1");
+        Fanout {
+            size,
+            allowed: DimSet::all(),
+            unit_stride_dims: DimSet::EMPTY,
+        }
+    }
+
+    /// Restricts the dimensions that may map to this fan-out
+    /// (builder style).
+    #[must_use]
+    pub fn allow(mut self, dims: DimSet) -> Fanout {
+        self.allowed = dims;
+        self
+    }
+
+    /// Marks `dims` as usable only for unit-stride layers (builder style).
+    #[must_use]
+    pub fn require_unit_stride(mut self, dims: DimSet) -> Fanout {
+        self.unit_stride_dims = dims;
+        self
+    }
+
+    /// Number of child instances.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Dimensions allowed to map here (before stride checks).
+    pub fn allowed(&self) -> DimSet {
+        self.allowed
+    }
+
+    /// Dimensions that demand a unit-stride layer.
+    pub fn unit_stride_dims(&self) -> DimSet {
+        self.unit_stride_dims
+    }
+
+    /// The dimensions a given layer may actually parallelize across this
+    /// fan-out (stride requirements applied).
+    pub fn usable_dims(&self, layer: &Layer) -> DimSet {
+        if layer.is_unit_stride() {
+            self.allowed
+        } else {
+            // Strided layers lose the window-sharing dims.
+            self.allowed
+                .iter()
+                .filter(|d| !self.unit_stride_dims.contains(*d))
+                .collect()
+        }
+    }
+}
+
+impl Default for Fanout {
+    fn default() -> Self {
+        Fanout::none()
+    }
+}
+
+impl fmt::Display for Fanout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{} over {}", self.size, self.allowed)?;
+        if !self.unit_stride_dims.is_empty() {
+            write!(f, " (stride-1 only: {})", self.unit_stride_dims)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_workload::Dim;
+
+    #[test]
+    fn default_allows_everything() {
+        let f = Fanout::new(8);
+        let layer = Layer::conv2d("l", 1, 4, 4, 4, 4, 3, 3);
+        assert_eq!(f.usable_dims(&layer), DimSet::all());
+    }
+
+    #[test]
+    fn stride_requirement_gates_dims() {
+        let f = Fanout::new(3)
+            .allow(DimSet::from_dims(&[Dim::Q, Dim::M]))
+            .require_unit_stride(DimSet::from_dims(&[Dim::Q]));
+        let strided = Layer::conv2d("l", 1, 4, 4, 4, 4, 3, 3).with_stride(2, 2);
+        let usable = f.usable_dims(&strided);
+        assert!(usable.contains(Dim::M), "M unaffected by stride");
+        assert!(!usable.contains(Dim::Q), "Q gated by stride");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_fanout_panics() {
+        let _ = Fanout::new(0);
+    }
+
+    #[test]
+    fn none_is_size_one() {
+        assert_eq!(Fanout::none().size(), 1);
+        assert_eq!(Fanout::default(), Fanout::none());
+    }
+
+    #[test]
+    fn display() {
+        let f = Fanout::new(4).allow(DimSet::from_dims(&[Dim::M]));
+        assert_eq!(format!("{f}"), "x4 over {M}");
+    }
+}

@@ -1,0 +1,185 @@
+//! One level of the accelerator hierarchy.
+
+use crate::{Domain, Fanout};
+use lumen_units::{Area, Energy, Power};
+use lumen_workload::TensorSet;
+use std::fmt;
+
+/// What a [`Level`] does with the data that reaches it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LevelKind {
+    /// A buffer that stores tiles of its kept tensors.
+    Storage {
+        /// Capacity in bits, if bounded (mappings must fit); `None` models
+        /// an unbounded backing store such as DRAM.
+        capacity_bits: Option<u64>,
+        /// Energy to read one element.
+        read_energy: Energy,
+        /// Energy to write one element.
+        write_energy: Energy,
+    },
+    /// A cross-domain converter transducing every kept-tensor element that
+    /// crosses its position in the hierarchy.
+    Converter {
+        /// Energy per converted element.
+        convert_energy: Energy,
+    },
+    /// The innermost multiply-accumulate stage.
+    Compute {
+        /// Energy per multiply-accumulate.
+        energy_per_mac: Energy,
+    },
+}
+
+impl LevelKind {
+    /// `true` for storage levels.
+    pub fn is_storage(&self) -> bool {
+        matches!(self, LevelKind::Storage { .. })
+    }
+
+    /// `true` for converter levels.
+    pub fn is_converter(&self) -> bool {
+        matches!(self, LevelKind::Converter { .. })
+    }
+
+    /// `true` for the compute level.
+    pub fn is_compute(&self) -> bool {
+        matches!(self, LevelKind::Compute { .. })
+    }
+}
+
+/// One level of the hierarchy: a storage buffer, converter or compute
+/// stage, with its signal domain, kept tensors, spatial fan-out and costs.
+///
+/// Levels are constructed through [`crate::ArchBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Level {
+    pub(crate) name: String,
+    pub(crate) domain: Domain,
+    pub(crate) kind: LevelKind,
+    pub(crate) keep: TensorSet,
+    pub(crate) fanout: Fanout,
+    pub(crate) static_power: Power,
+    pub(crate) area: Area,
+}
+
+impl Level {
+    /// The level's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The level's signal domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// What the level does.
+    pub fn kind(&self) -> &LevelKind {
+        &self.kind
+    }
+
+    /// The tensors this level stores (storage) or transduces (converter).
+    pub fn keep(&self) -> TensorSet {
+        self.keep
+    }
+
+    /// Spatial fan-out to the next level down.
+    pub fn fanout(&self) -> &Fanout {
+        &self.fanout
+    }
+
+    /// Static power of one instance.
+    pub fn static_power(&self) -> Power {
+        self.static_power
+    }
+
+    /// Area of one instance.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Read energy per element (storage levels; zero otherwise).
+    pub fn read_energy(&self) -> Energy {
+        match &self.kind {
+            LevelKind::Storage { read_energy, .. } => *read_energy,
+            _ => Energy::ZERO,
+        }
+    }
+
+    /// Write energy per element (storage levels; zero otherwise).
+    pub fn write_energy(&self) -> Energy {
+        match &self.kind {
+            LevelKind::Storage { write_energy, .. } => *write_energy,
+            _ => Energy::ZERO,
+        }
+    }
+
+    /// Conversion energy per element (converter levels; zero otherwise).
+    pub fn convert_energy(&self) -> Energy {
+        match &self.kind {
+            LevelKind::Converter { convert_energy } => *convert_energy,
+            _ => Energy::ZERO,
+        }
+    }
+
+    /// Capacity in bits, if this is a bounded storage level.
+    pub fn capacity_bits(&self) -> Option<u64> {
+        match &self.kind {
+            LevelKind::Storage { capacity_bits, .. } => *capacity_bits,
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &self.kind {
+            LevelKind::Storage { .. } => "storage",
+            LevelKind::Converter { .. } => "converter",
+            LevelKind::Compute { .. } => "compute",
+        };
+        write!(
+            f,
+            "{:<16} [{}] {:<9} keep={} fanout={}",
+            self.name, self.domain, kind, self.keep, self.fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storage_level() -> Level {
+        Level {
+            name: "glb".into(),
+            domain: Domain::DigitalElectrical,
+            kind: LevelKind::Storage {
+                capacity_bits: Some(1024),
+                read_energy: Energy::from_picojoules(1.0),
+                write_energy: Energy::from_picojoules(1.2),
+            },
+            keep: TensorSet::all(),
+            fanout: Fanout::new(4),
+            static_power: Power::ZERO,
+            area: Area::ZERO,
+        }
+    }
+
+    #[test]
+    fn accessors_dispatch_on_kind() {
+        let level = storage_level();
+        assert_eq!(level.read_energy(), Energy::from_picojoules(1.0));
+        assert_eq!(level.convert_energy(), Energy::ZERO);
+        assert_eq!(level.capacity_bits(), Some(1024));
+        assert!(level.kind().is_storage());
+        assert!(!level.kind().is_compute());
+    }
+
+    #[test]
+    fn display_mentions_name_and_domain() {
+        let shown = format!("{}", storage_level());
+        assert!(shown.contains("glb") && shown.contains("[DE]"));
+    }
+}

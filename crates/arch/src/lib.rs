@@ -1,0 +1,61 @@
+//! # lumen-arch
+//!
+//! Hierarchical architecture specifications for electro-photonic DNN
+//! accelerators.
+//!
+//! An [`Architecture`] is an ordered list of [`Level`]s from the outermost
+//! backing store (DRAM) down to the innermost compute units. Each level:
+//!
+//! * lives in a signal [`Domain`] (digital/analog × electrical/optical);
+//! * is a storage buffer, a cross-domain converter, or the compute stage
+//!   ([`LevelKind`]);
+//! * *keeps* a subset of the three operand tensors (others bypass);
+//! * fans out spatially to the next level ([`Fanout`]), optionally
+//!   restricted to a set of problem dimensions and to unit-stride layers
+//!   (photonic sliding-window broadcast structures only work for stride-1
+//!   convolutions);
+//! * carries per-action energies, static power and area, typically derived
+//!   from `lumen-components` models.
+//!
+//! Architectures are built with [`ArchBuilder`], which validates the
+//! hierarchy (outermost level must keep all tensors, exactly one compute
+//! level at the bottom, converters strictly between levels, ...).
+//!
+//! # Examples
+//!
+//! ```
+//! use lumen_arch::{ArchBuilder, Domain, Fanout};
+//! use lumen_units::{Energy, Frequency};
+//! use lumen_workload::{Dim, DimSet, TensorSet};
+//!
+//! let arch = ArchBuilder::new("toy", Frequency::from_gigahertz(1.0))
+//!     .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+//!     .read_energy(Energy::from_picojoules(100.0))
+//!     .write_energy(Energy::from_picojoules(100.0))
+//!     .done()
+//!     .storage("buffer", Domain::DigitalElectrical, TensorSet::all())
+//!     .read_energy(Energy::from_picojoules(1.0))
+//!     .write_energy(Energy::from_picojoules(1.0))
+//!     .fanout(Fanout::new(16).allow(DimSet::from_dims(&[Dim::M, Dim::C])))
+//!     .done()
+//!     .compute("mac", Domain::DigitalElectrical, Energy::from_picojoules(0.1))
+//!     .build()
+//!     .unwrap();
+//!
+//! assert_eq!(arch.peak_parallelism(), 16);
+//! assert!(arch.level_named("buffer").is_some());
+//! ```
+
+mod arch;
+mod builder;
+mod domain;
+mod error;
+mod fanout;
+mod level;
+
+pub use arch::{Architecture, PerCycleCost};
+pub use builder::{ArchBuilder, LevelBuilder};
+pub use domain::Domain;
+pub use error::ArchError;
+pub use fanout::Fanout;
+pub use level::{Level, LevelKind};

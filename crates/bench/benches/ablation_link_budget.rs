@@ -1,0 +1,68 @@
+//! Ablation: how much of the Fig. 5 tradeoff comes from the optical link
+//! budget?
+//!
+//! DESIGN.md calls out the link-budget model (laser power grows with
+//! star-coupler splitting) as the physical mechanism that penalizes large
+//! input-reuse factors. This ablation recomputes the Fig. 5 IR sweep's
+//! laser term with and without splitting losses and prints both series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_albireo::{AlbireoConfig, ScalingProfile};
+use lumen_bench::print_once;
+use lumen_components::{LinkBudget, StarCoupler};
+use lumen_units::{Decibel, Frequency, Power};
+use std::hint::black_box;
+
+fn laser_pj_per_symbol(ir: usize, with_splitting: bool) -> f64 {
+    let splits = ir * 9;
+    let mut budget = LinkBudget::new(Power::from_dbm(-14.1))
+        .with_loss(Decibel::new(1.2)) // modulator insertion
+        .with_loss(Decibel::new(2.0)) // waveguide
+        .with_loss(Decibel::new(0.5)) // ring through-path
+        .with_loss(Decibel::new(2.0)) // coupling
+        .with_margin(Decibel::new(3.0))
+        .with_wall_plug_efficiency(0.25);
+    if with_splitting {
+        budget = budget.with_loss(StarCoupler::new(splits).total_loss());
+    }
+    budget
+        .energy_per_symbol(Frequency::from_gigahertz(5.0))
+        .picojoules()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    print_once("Ablation — laser link budget vs input-reuse factor", || {
+        println!("IR   splits  laser pJ/symbol (with budget)  (ideal optics)");
+        println!("-----------------------------------------------------------");
+        for ir in [9usize, 27, 45] {
+            println!(
+                "{ir:<4} {:<7} {:>18.3} {:>22.3}",
+                ir * 9,
+                laser_pj_per_symbol(ir, true),
+                laser_pj_per_symbol(ir, false),
+            );
+        }
+        println!();
+        println!("Without the budget, growing IR looks free; with it, the 10*log10(N)");
+        println!("splitting loss makes the laser pay linearly for optical fan-out.");
+    });
+
+    let mut group = c.benchmark_group("ablation_link_budget");
+    group.bench_function("link_budget_eval", |b| {
+        b.iter(|| black_box(laser_pj_per_symbol(black_box(45), true)))
+    });
+    group.bench_function("arch_rebuild_per_ir", |b| {
+        b.iter(|| {
+            for ir in [9usize, 27, 45] {
+                let arch = AlbireoConfig::new(ScalingProfile::Aggressive)
+                    .with_input_reuse(ir)
+                    .build_arch();
+                black_box(arch.peak_parallelism());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Extension: photonic vs digital-electronic full-system comparison.
+//!
+//! Prints energy-per-MAC and throughput for a peak-matched DE-only MAC
+//! array against Albireo at the conservative and aggressive corners —
+//! quantifying the paper's motivation that photonic benefits only
+//! materialize once conversions and DRAM are managed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_albireo::{compare_with_digital, DigitalBaseline, ScalingProfile};
+use lumen_bench::print_once;
+use lumen_core::NetworkOptions;
+use lumen_workload::networks;
+use std::hint::black_box;
+
+fn bench_digital_baseline(c: &mut Criterion) {
+    print_once("Extension — photonic vs digital baseline (full system)", || {
+        for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
+            let rows = compare_with_digital(scaling).expect("comparison evaluates");
+            println!("scaling corner: {scaling}");
+            println!("network      digital pJ/MAC  photonic pJ/MAC  energy adv.  throughput adv.");
+            println!("--------------------------------------------------------------------------");
+            for row in rows {
+                println!(
+                    "{:<12} {:>14.3} {:>16.3} {:>11.2}x {:>15.2}x",
+                    row.network,
+                    row.digital_pj_per_mac,
+                    row.photonic_pj_per_mac,
+                    row.energy_advantage(),
+                    row.throughput_advantage()
+                );
+            }
+            println!();
+        }
+    });
+
+    let system = DigitalBaseline::new().build_system();
+    let net = networks::resnet18();
+    let mut group = c.benchmark_group("digital_baseline");
+    group.bench_function("resnet18_on_digital", |b| {
+        b.iter(|| {
+            let eval = system
+                .evaluate_network(black_box(&net), &NetworkOptions::baseline())
+                .unwrap();
+            black_box(eval.energy.total())
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("full_comparison", |b| {
+        b.iter(|| black_box(compare_with_digital(ScalingProfile::Aggressive).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_digital_baseline);
+criterion_main!(benches);

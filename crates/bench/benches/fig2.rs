@@ -1,0 +1,34 @@
+//! Fig. 2 — energy-breakdown validation bench.
+//!
+//! Prints the modeled-vs-reported best-case energy breakdown for the
+//! three optical scaling corners, then times one full bottom-up
+//! evaluation (map → nest analysis → energy) of the reference layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_albireo::{experiments, reference_layer, AlbireoConfig, ScalingProfile};
+use lumen_bench::print_once;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    print_once("Fig. 2 — best-case energy breakdown validation", || {
+        let result = experiments::fig2_energy_breakdown().expect("fig2 evaluates");
+        println!("{result}");
+    });
+
+    let system = AlbireoConfig::new(ScalingProfile::Conservative).build_system();
+    let layer = reference_layer();
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("evaluate_reference_layer", |b| {
+        b.iter(|| {
+            let eval = system.evaluate_layer(black_box(&layer)).unwrap();
+            black_box(eval.energy.total())
+        })
+    });
+    group.bench_function("full_three_corner_validation", |b| {
+        b.iter(|| black_box(experiments::fig2_energy_breakdown().unwrap().average_error()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 3 — throughput bench.
+//!
+//! Prints ideal vs reported vs modeled MACs/cycle for VGG16 and AlexNet,
+//! then times whole-network throughput evaluation (the model must stay
+//! fast enough for workload sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_albireo::{experiments, AlbireoConfig, ScalingProfile};
+use lumen_bench::print_once;
+use lumen_core::NetworkOptions;
+use lumen_workload::networks;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    print_once("Fig. 3 — throughput for two DNN workloads", || {
+        let result = experiments::fig3_throughput().expect("fig3 evaluates");
+        println!("{result}");
+    });
+
+    let system = AlbireoConfig::new(ScalingProfile::Conservative).build_system();
+    let vgg = networks::vgg16();
+    let alexnet = networks::alexnet();
+    let options = NetworkOptions::baseline();
+
+    let mut group = c.benchmark_group("fig3");
+    group.bench_function("evaluate_vgg16", |b| {
+        b.iter(|| {
+            let eval = system.evaluate_network(black_box(&vgg), &options).unwrap();
+            black_box(eval.throughput_macs_per_cycle())
+        })
+    });
+    group.bench_function("evaluate_alexnet", |b| {
+        b.iter(|| {
+            let eval = system.evaluate_network(black_box(&alexnet), &options).unwrap();
+            black_box(eval.throughput_macs_per_cycle())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 4 — full-system (accelerator + DRAM) memory exploration bench.
+//!
+//! Prints the eight ResNet18 bars (two scaling corners × batching ×
+//! fusion) with their six energy segments, then times the exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_albireo::{experiments, AlbireoConfig, ScalingProfile};
+use lumen_bench::print_once;
+use lumen_core::NetworkOptions;
+use lumen_workload::networks;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    print_once("Fig. 4 — memory exploration (batching, fusion, DRAM)", || {
+        let result = experiments::fig4_memory_exploration().expect("fig4 evaluates");
+        println!("{result}");
+    });
+
+    let net = networks::resnet18();
+    let system = AlbireoConfig::new(ScalingProfile::Aggressive).build_system();
+    let fused_system = AlbireoConfig::new(ScalingProfile::Aggressive)
+        .with_glb_mebibytes(16)
+        .build_system();
+
+    let mut group = c.benchmark_group("fig4");
+    group.bench_function("resnet18_baseline", |b| {
+        b.iter(|| {
+            let eval = system
+                .evaluate_network(black_box(&net), &NetworkOptions::baseline())
+                .unwrap();
+            black_box(eval.energy.total())
+        })
+    });
+    group.bench_function("resnet18_batched_fused", |b| {
+        let options = NetworkOptions::baseline()
+            .with_batch(16)
+            .with_fusion("dram", "glb");
+        b.iter(|| {
+            let eval = fused_system
+                .evaluate_network(black_box(&net), &options)
+                .unwrap();
+            black_box(eval.energy.total())
+        })
+    });
+    group.bench_function("all_eight_bars", |b| {
+        b.iter(|| {
+            black_box(
+                experiments::fig4_memory_exploration()
+                    .unwrap()
+                    .combined_reduction(ScalingProfile::Aggressive),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

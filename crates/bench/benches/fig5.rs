@@ -1,0 +1,43 @@
+//! Fig. 5 — architecture exploration of analog/optical reuse bench.
+//!
+//! Prints all 18 reuse configurations (weight-reuse variant × OR × IR)
+//! with per-segment accelerator energy, then times the sweep — this is
+//! the paper's "rapid design space exploration" workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_albireo::{experiments, AlbireoConfig, ScalingProfile, WeightReuse};
+use lumen_bench::print_once;
+use lumen_core::NetworkOptions;
+use lumen_workload::networks;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    print_once("Fig. 5 — analog/optical reuse exploration", || {
+        let result = experiments::fig5_reuse_exploration().expect("fig5 evaluates");
+        println!("{result}");
+    });
+
+    let net = networks::resnet18();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("one_design_point", |b| {
+        let system = AlbireoConfig::new(ScalingProfile::Aggressive)
+            .with_weight_reuse(WeightReuse::More)
+            .with_output_reuse(15)
+            .with_input_reuse(45)
+            .build_system();
+        b.iter(|| {
+            let eval = system
+                .evaluate_network(black_box(&net), &NetworkOptions::baseline())
+                .unwrap();
+            black_box(eval.energy.total())
+        })
+    });
+    group.bench_function("full_18_point_sweep", |b| {
+        b.iter(|| black_box(experiments::fig5_reuse_exploration().unwrap().accelerator_reduction()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

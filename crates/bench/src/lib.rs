@@ -1,0 +1,33 @@
+//! # lumen-bench
+//!
+//! Criterion benchmark harnesses that regenerate the paper's evaluation
+//! artifacts. Each bench prints the corresponding figure's rows/series
+//! before timing the model itself — the timing demonstrates the "fast
+//! design space exploration" claim (full-network evaluations complete in
+//! milliseconds), while the printed tables are the reproduction output.
+//!
+//! | bench target | paper artifact |
+//! |---|---|
+//! | `fig2` | Fig. 2 energy-breakdown validation |
+//! | `fig3` | Fig. 3 throughput (ideal / reported / modeled) |
+//! | `fig4` | Fig. 4 full-system memory exploration |
+//! | `fig5` | Fig. 5 analog/optical reuse exploration |
+//! | `mapper_search` | ablation: greedy vs random vs exhaustive mapper |
+//! | `ablation_link_budget` | ablation: laser link budget on/off (Fig. 5 sensitivity) |
+//!
+//! Run with `cargo bench -p lumen-bench` (add `--bench fig2` to select a
+//! single figure).
+
+use std::sync::Once;
+
+/// Prints a banner once per process so each bench's figure output is
+/// clearly delimited in `cargo bench` logs.
+pub fn print_once(banner: &str, body: impl FnOnce()) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        println!("\n================================================================");
+        println!("{banner}");
+        println!("================================================================");
+        body();
+    });
+}

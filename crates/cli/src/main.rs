@@ -1,0 +1,264 @@
+//! `lumen` — command-line driver for the photonic-accelerator model.
+//!
+//! Regenerates every figure of the paper, inspects architectures and
+//! workloads, and runs per-layer utilization reports:
+//!
+//! ```text
+//! lumen fig2                 # energy-breakdown validation
+//! lumen fig3                 # throughput (ideal / reported / modeled)
+//! lumen fig4                 # full-system memory exploration
+//! lumen fig5                 # analog/optical reuse exploration
+//! lumen all                  # everything above
+//! lumen arch --scaling aggressive
+//! lumen layers --network alexnet
+//! lumen networks             # workload inventory
+//! lumen components           # component library report
+//! ```
+
+use lumen_albireo::{compare_with_digital, experiments, AlbireoConfig, ScalingProfile};
+use lumen_components::NoiseBudget;
+use lumen_units::{Frequency, Power};
+use lumen_components::{
+    Adc, ComponentCatalog, Dac, DigitalMac, Dram, DramKind, MachZehnder, Microring,
+    NocLink, Photodiode, RegisterFile, SampleAndHold, Sram, StarCoupler, Waveguide,
+};
+use lumen_core::report::{network_table, Table};
+use lumen_core::NetworkOptions;
+use lumen_workload::networks;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let result = match command {
+        "fig2" => fig2(),
+        "fig3" => fig3(),
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        "all" => fig2().and_then(|()| fig3()).and_then(|()| fig4()).and_then(|()| fig5()),
+        "arch" => arch(&args),
+        "layers" => layers(&args),
+        "networks" => networks_cmd(),
+        "components" => components_cmd(),
+        "baseline" => baseline(&args),
+        "precision" => precision(&args),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `lumen help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!("lumen — architecture-level modeling of photonic DNN accelerators");
+    println!();
+    println!("USAGE: lumen <COMMAND> [OPTIONS]");
+    println!();
+    println!("COMMANDS:");
+    println!("  fig2        Fig. 2: best-case energy-breakdown validation");
+    println!("  fig3        Fig. 3: throughput for VGG16 and AlexNet");
+    println!("  fig4        Fig. 4: full-system memory exploration (batching, fusion)");
+    println!("  fig5        Fig. 5: analog/optical reuse exploration");
+    println!("  all         run all four figures");
+    println!("  arch        print the Albireo hierarchy  [--scaling <corner>]");
+    println!("  layers      per-layer utilization report [--network <name>] [--scaling <corner>]");
+    println!("  networks    list the built-in DNN workloads");
+    println!("  components  print the component library report");
+    println!("  baseline    photonic vs digital-electronic comparison [--scaling <corner>]");
+    println!("  precision   noise-limited analog resolution vs received optical power");
+    println!("  help        show this message");
+    println!();
+    println!("Corners: conservative | moderate | aggressive");
+    println!("Networks: {}", networks::NAMES.join(" | "));
+}
+
+fn option_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_scaling(args: &[String]) -> Result<ScalingProfile, String> {
+    match option_value(args, "--scaling") {
+        None => Ok(ScalingProfile::Conservative),
+        Some("conservative") => Ok(ScalingProfile::Conservative),
+        Some("moderate") => Ok(ScalingProfile::Moderate),
+        Some("aggressive") => Ok(ScalingProfile::Aggressive),
+        Some(other) => Err(format!("unknown scaling corner `{other}`")),
+    }
+}
+
+fn fig2() -> Result<(), String> {
+    let result = experiments::fig2_energy_breakdown().map_err(|e| e.to_string())?;
+    println!("{result}");
+    Ok(())
+}
+
+fn fig3() -> Result<(), String> {
+    let result = experiments::fig3_throughput().map_err(|e| e.to_string())?;
+    println!("{result}");
+    Ok(())
+}
+
+fn fig4() -> Result<(), String> {
+    let result = experiments::fig4_memory_exploration().map_err(|e| e.to_string())?;
+    println!("{result}");
+    Ok(())
+}
+
+fn fig5() -> Result<(), String> {
+    let result = experiments::fig5_reuse_exploration().map_err(|e| e.to_string())?;
+    println!("{result}");
+    Ok(())
+}
+
+fn arch(args: &[String]) -> Result<(), String> {
+    let scaling = parse_scaling(args)?;
+    let config = AlbireoConfig::new(scaling);
+    let arch = config.build_arch();
+    println!("{arch}");
+    println!("total area: {}", arch.total_area());
+    println!(
+        "link budget: launch {} / wall {}",
+        config.link_budget().required_launch_power(),
+        config.link_budget().required_wall_power()
+    );
+    Ok(())
+}
+
+fn layers(args: &[String]) -> Result<(), String> {
+    let scaling = parse_scaling(args)?;
+    let name = option_value(args, "--network").unwrap_or("resnet18");
+    let net = networks::by_name(name)
+        .ok_or_else(|| format!("unknown network `{name}` (try: {})", networks::NAMES.join(", ")))?;
+    let system = AlbireoConfig::new(scaling).build_system();
+    let eval = system
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .map_err(|e| e.to_string())?;
+    println!("{name} on albireo-{scaling}:");
+    print!("{}", network_table(&eval).render());
+    println!(
+        "throughput {:.0} MACs/cycle ({:.1}% of the {} peak)",
+        eval.throughput_macs_per_cycle(),
+        100.0 * eval.throughput_macs_per_cycle() / system.arch().peak_parallelism() as f64,
+        system.arch().peak_parallelism()
+    );
+    Ok(())
+}
+
+fn networks_cmd() -> Result<(), String> {
+    let mut table = Table::new(vec![
+        "network".into(),
+        "layers".into(),
+        "GMACs".into(),
+        "Mweights".into(),
+        "strided".into(),
+        "fc".into(),
+    ]);
+    for name in networks::NAMES {
+        let net = networks::by_name(name).expect("built-in networks resolve");
+        let stats = net.stats();
+        let strided = net.layers().iter().filter(|l| !l.is_unit_stride()).count();
+        let fc = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == lumen_workload::LayerKind::FullyConnected)
+            .count();
+        table.row(vec![
+            name.to_string(),
+            stats.layers.to_string(),
+            format!("{:.2}", stats.total_macs as f64 / 1e9),
+            format!("{:.1}", stats.total_weights as f64 / 1e6),
+            strided.to_string(),
+            fc.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn components_cmd() -> Result<(), String> {
+    let mut catalog = ComponentCatalog::new();
+    catalog.insert("sram-glb-4MiB", Sram::new(4 * 1024 * 1024 * 8, 256).with_banks(32));
+    catalog.insert("dram-lpddr4", Dram::new(DramKind::Lpddr4, 8));
+    catalog.insert("dram-ddr4", Dram::new(DramKind::Ddr4, 8));
+    catalog.insert("regfile-16x8", RegisterFile::new(16, 8));
+    catalog.insert("adc-8b", Adc::new(8));
+    catalog.insert("dac-8b", Dac::new(8));
+    catalog.insert("sample-and-hold", SampleAndHold::new());
+    catalog.insert("digital-mac-8b", DigitalMac::new(8));
+    catalog.insert("noc-link-8b-1mm", NocLink::new(8, 1.0));
+    catalog.insert("microring", Microring::new());
+    catalog.insert("mach-zehnder", MachZehnder::new());
+    catalog.insert("photodiode", Photodiode::new());
+    catalog.insert("star-coupler-1x8", StarCoupler::new(8));
+    catalog.insert("waveguide-10mm", Waveguide::new(10.0));
+    print!("{catalog}");
+    let sc = StarCoupler::new(8);
+    println!(
+        "star-coupler-1x8 optical loss: {} ({} splitting + {} excess)",
+        sc.total_loss(),
+        sc.splitting_loss(),
+        sc.excess_loss()
+    );
+    Ok(())
+}
+
+fn baseline(args: &[String]) -> Result<(), String> {
+    let scaling = parse_scaling(args)?;
+    let rows = compare_with_digital(scaling).map_err(|e| e.to_string())?;
+    let mut table = Table::new(vec![
+        "network".into(),
+        "digital pJ/MAC".into(),
+        format!("photonic pJ/MAC ({scaling})"),
+        "energy advantage".into(),
+        "throughput advantage".into(),
+    ]);
+    for row in &rows {
+        table.row(vec![
+            row.network.clone(),
+            format!("{:.3}", row.digital_pj_per_mac),
+            format!("{:.3}", row.photonic_pj_per_mac),
+            format!("{:.2}x", row.energy_advantage()),
+            format!("{:.2}x", row.throughput_advantage()),
+        ]);
+    }
+    println!("photonic (Albireo) vs digital baseline, full system incl. DRAM:");
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn precision(_args: &[String]) -> Result<(), String> {
+    let budget = NoiseBudget::new(Frequency::from_gigahertz(5.0));
+    let mut table = Table::new(vec![
+        "received power".into(),
+        "SNR (dB)".into(),
+        "achievable bits".into(),
+    ]);
+    for dbm in [-40.0, -35.0, -30.0, -25.0, -20.0, -15.0, -10.0, -5.0, 0.0] {
+        let p = Power::from_dbm(dbm);
+        table.row(vec![
+            format!("{dbm:.0} dBm"),
+            format!("{:.1}", budget.snr_db(p)),
+            format!("{:.2}", budget.achievable_bits(p)),
+        ]);
+    }
+    println!("direct-detection precision budget at 5 GS/s (1 A/W, NEP 2 pW/\u{221a}Hz, RIN -150 dB/Hz):");
+    print!("{}", table.render());
+    for bits in [4.0, 6.0, 8.0] {
+        match budget.required_power(bits) {
+            Some(p) => println!("{bits:.0}-bit detection needs >= {p}"),
+            None => println!("{bits:.0}-bit detection is RIN-limited (unreachable)"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! The action vocabulary shared by all components.
+
+use std::fmt;
+
+/// A class of event a component can be charged energy for.
+///
+/// Components expose precise inherent accessors (e.g.
+/// [`crate::Sram::read_energy`]); `ActionKind` is the uniform vocabulary
+/// used by [`crate::Component::action_energies`] for catalogs and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ActionKind {
+    /// Read one word / element.
+    Read,
+    /// Write one word / element.
+    Write,
+    /// Convert one element across a signal-domain boundary.
+    Convert,
+    /// One arithmetic operation (MAC, add, multiply).
+    Compute,
+    /// Move one element across an interconnect.
+    Transmit,
+    /// Hold state for one clock cycle (static / tuning power, prorated).
+    IdleCycle,
+}
+
+impl ActionKind {
+    /// All actions, in canonical order.
+    pub const ALL: [ActionKind; 6] = [
+        ActionKind::Read,
+        ActionKind::Write,
+        ActionKind::Convert,
+        ActionKind::Compute,
+        ActionKind::Transmit,
+        ActionKind::IdleCycle,
+    ];
+}
+
+impl fmt::Display for ActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ActionKind::Read => "read",
+            ActionKind::Write => "write",
+            ActionKind::Convert => "convert",
+            ActionKind::Compute => "compute",
+            ActionKind::Transmit => "transmit",
+            ActionKind::IdleCycle => "idle-cycle",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_are_unique() {
+        let mut names: Vec<String> = ActionKind::ALL.iter().map(|a| a.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ActionKind::ALL.len());
+    }
+}

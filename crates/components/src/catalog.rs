@@ -1,0 +1,127 @@
+//! A named registry of component models.
+
+use crate::{Component, ComponentReport};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named collection of component models — the "component library" an
+/// architecture references.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::{Adc, ComponentCatalog, Dac};
+///
+/// let mut catalog = ComponentCatalog::new();
+/// catalog.insert("output-adc", Adc::new(8));
+/// catalog.insert("input-dac", Dac::new(8));
+/// assert_eq!(catalog.len(), 2);
+/// assert!(catalog.report("output-adc").is_some());
+/// ```
+#[derive(Default)]
+pub struct ComponentCatalog {
+    entries: BTreeMap<String, Box<dyn Component + Send + Sync>>,
+}
+
+impl ComponentCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> ComponentCatalog {
+        ComponentCatalog {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a component under `name`, replacing any previous entry
+    /// with the same name. Returns `true` if an entry was replaced.
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        component: impl Component + Send + Sync + 'static,
+    ) -> bool {
+        self.entries
+            .insert(name.into(), Box::new(component))
+            .is_some()
+    }
+
+    /// The component registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&(dyn Component + Send + Sync)> {
+        self.entries.get(name).map(|b| b.as_ref())
+    }
+
+    /// A report for the component registered under `name`.
+    pub fn report(&self, name: &str) -> Option<ComponentReport> {
+        self.get(name).map(|c| c.report())
+    }
+
+    /// Reports for every component, sorted by name.
+    pub fn reports(&self) -> Vec<ComponentReport> {
+        self.entries.values().map(|c| c.report()).collect()
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no components are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, component)` pairs sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &(dyn Component + Send + Sync))> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_ref()))
+    }
+}
+
+impl fmt::Debug for ComponentCatalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ComponentCatalog")
+            .field("entries", &self.entries.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl fmt::Display for ComponentCatalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for report in self.reports() {
+            writeln!(f, "{report}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adc, Dac, Sram};
+
+    #[test]
+    fn insert_get_replace() {
+        let mut cat = ComponentCatalog::new();
+        assert!(!cat.insert("adc", Adc::new(8)));
+        assert!(cat.insert("adc", Adc::new(10)), "replacement reported");
+        assert!(cat.get("adc").is_some());
+        assert!(cat.get("missing").is_none());
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn reports_sorted_by_name() {
+        let mut cat = ComponentCatalog::new();
+        cat.insert("z-sram", Sram::new(8192, 64));
+        cat.insert("a-dac", Dac::new(8));
+        let names: Vec<String> = cat.reports().into_iter().map(|r| r.name).collect();
+        assert_eq!(names.len(), 2);
+        // Catalog iterates in key order; reports follow.
+        let keys: Vec<&str> = cat.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a-dac", "z-sram"]);
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let mut cat = ComponentCatalog::new();
+        cat.insert("adc", Adc::new(8));
+        assert!(format!("{cat}").contains("adc-8b"));
+    }
+}

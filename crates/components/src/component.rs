@@ -1,0 +1,115 @@
+//! The common component interface.
+
+use crate::ActionKind;
+use lumen_units::{Area, Energy, Power};
+use std::fmt;
+
+/// Uniform interface over every modeled hardware component.
+///
+/// Concrete types also expose precise inherent accessors (preferred inside
+/// the evaluator); this trait powers catalogs, reports and documentation
+/// tables.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::{Adc, Component};
+/// let adc = Adc::new(8);
+/// let report = adc.report();
+/// assert_eq!(report.name, adc.name());
+/// assert!(!report.actions.is_empty());
+/// ```
+pub trait Component: fmt::Debug {
+    /// A short, human-readable component name (e.g. `"sram-64KiB"`).
+    fn name(&self) -> String;
+
+    /// Die area of one instance.
+    fn area(&self) -> Area;
+
+    /// Static power of one instance (leakage, thermal tuning, bias).
+    fn static_power(&self) -> Power {
+        Power::ZERO
+    }
+
+    /// The dynamic actions this component supports with their per-event
+    /// energies.
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)>;
+
+    /// A self-describing report (name, area, static power, actions).
+    fn report(&self) -> ComponentReport {
+        ComponentReport {
+            name: self.name(),
+            area: self.area(),
+            static_power: self.static_power(),
+            actions: self.action_energies(),
+        }
+    }
+}
+
+/// A snapshot of a component's modeled characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentReport {
+    /// Component name.
+    pub name: String,
+    /// Die area of one instance.
+    pub area: Area,
+    /// Static power of one instance.
+    pub static_power: Power,
+    /// Supported actions and per-event energies.
+    pub actions: Vec<(ActionKind, Energy)>,
+}
+
+impl ComponentReport {
+    /// The energy of `action`, if the component supports it.
+    pub fn energy(&self, action: ActionKind) -> Option<Energy> {
+        self.actions
+            .iter()
+            .find(|(a, _)| *a == action)
+            .map(|(_, e)| *e)
+    }
+}
+
+impl fmt::Display for ComponentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<24} area={:<12} static={:<12}",
+            self.name,
+            format!("{}", self.area),
+            format!("{}", self.static_power)
+        )?;
+        for (action, energy) in &self.actions {
+            write!(f, " {action}={energy}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_units::{Area, Energy};
+
+    #[derive(Debug)]
+    struct Stub;
+
+    impl Component for Stub {
+        fn name(&self) -> String {
+            "stub".into()
+        }
+        fn area(&self) -> Area {
+            Area::from_square_micrometers(1.0)
+        }
+        fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+            vec![(ActionKind::Read, Energy::from_picojoules(2.0))]
+        }
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let r = Stub.report();
+        assert_eq!(r.energy(ActionKind::Read), Some(Energy::from_picojoules(2.0)));
+        assert_eq!(r.energy(ActionKind::Write), None);
+        assert!(format!("{r}").contains("stub"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Cross-domain data converters: ADC (AE/DE), DAC (DE/AE), sample-and-hold.
+//!
+//! Converter energy is the central cost the paper's mapper tries to
+//! amortize: converting once and reusing the converted value in-domain
+//! divides these energies by the reuse factor.
+
+use crate::{ActionKind, Component};
+use lumen_units::{Area, Energy};
+
+/// An analog-to-digital converter (the `AE/DE` crossing).
+///
+/// Energy model follows the survey-style fit used by "Modeling
+/// analog-digital-converter energy and area for compute-in-memory
+/// accelerator design" (Andrulis et al., 2024): a linear term for the
+/// comparator/logic plus an exponential term for the capacitive DAC /
+/// noise floor:
+///
+/// `E = k1·bits + k2·4^bits`
+///
+/// Defaults give ≈1 pJ for an 8-bit conversion (a competitive SAR ADC).
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::Adc;
+/// let adc8 = Adc::new(8);
+/// let adc10 = Adc::new(10);
+/// assert!(adc10.conversion_energy() > 4.0 * adc8.conversion_energy());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adc {
+    bits: u32,
+    k1_fj: f64,
+    k2_fj: f64,
+    scale: f64,
+}
+
+impl Adc {
+    /// Builds an ADC of `bits` resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn new(bits: u32) -> Adc {
+        assert!(bits > 0, "ADC resolution must be nonzero");
+        Adc {
+            bits,
+            k1_fj: 30.0,
+            k2_fj: 0.012,
+            scale: 1.0,
+        }
+    }
+
+    /// Overrides the fit coefficients (fJ linear term, fJ exponential term).
+    #[must_use]
+    pub fn with_coefficients(mut self, k1_fj: f64, k2_fj: f64) -> Adc {
+        self.k1_fj = k1_fj;
+        self.k2_fj = k2_fj;
+        self
+    }
+
+    /// Scales the total conversion energy (technology-projection hook).
+    #[must_use]
+    pub fn with_energy_scale(mut self, scale: f64) -> Adc {
+        self.scale = scale;
+        self
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Energy of one conversion.
+    pub fn conversion_energy(&self) -> Energy {
+        let e = self.k1_fj * self.bits as f64 + self.k2_fj * 4f64.powi(self.bits as i32);
+        Energy::from_femtojoules(e * self.scale)
+    }
+}
+
+impl Component for Adc {
+    fn name(&self) -> String {
+        format!("adc-{}b", self.bits)
+    }
+
+    fn area(&self) -> Area {
+        // Comparator + capacitor array; grows with 2^bits.
+        Area::from_square_micrometers(60.0 + 2.0 * 2f64.powi(self.bits as i32))
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        vec![(ActionKind::Convert, self.conversion_energy())]
+    }
+}
+
+/// A digital-to-analog converter (the `DE/AE` crossing).
+///
+/// Capacitive-array model: `E = k·2^bits·C_unit·V² + k_logic·bits`; an
+/// 8-bit conversion defaults to ≈0.5 pJ.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::{Adc, Dac};
+/// // DACs are cheaper than ADCs at equal resolution.
+/// assert!(Dac::new(8).conversion_energy() < Adc::new(8).conversion_energy());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dac {
+    bits: u32,
+    array_fj: f64,
+    logic_fj_per_bit: f64,
+    scale: f64,
+}
+
+impl Dac {
+    /// Builds a DAC of `bits` resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn new(bits: u32) -> Dac {
+        assert!(bits > 0, "DAC resolution must be nonzero");
+        Dac {
+            bits,
+            array_fj: 1.6,
+            logic_fj_per_bit: 10.0,
+            scale: 1.0,
+        }
+    }
+
+    /// Overrides the fit coefficients.
+    #[must_use]
+    pub fn with_coefficients(mut self, array_fj: f64, logic_fj_per_bit: f64) -> Dac {
+        self.array_fj = array_fj;
+        self.logic_fj_per_bit = logic_fj_per_bit;
+        self
+    }
+
+    /// Scales the total conversion energy (technology-projection hook).
+    #[must_use]
+    pub fn with_energy_scale(mut self, scale: f64) -> Dac {
+        self.scale = scale;
+        self
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Energy of one conversion.
+    pub fn conversion_energy(&self) -> Energy {
+        let e = self.array_fj * 2f64.powi(self.bits as i32)
+            + self.logic_fj_per_bit * self.bits as f64;
+        Energy::from_femtojoules(e * self.scale)
+    }
+}
+
+impl Component for Dac {
+    fn name(&self) -> String {
+        format!("dac-{}b", self.bits)
+    }
+
+    fn area(&self) -> Area {
+        Area::from_square_micrometers(30.0 + 0.8 * 2f64.powi(self.bits as i32))
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        vec![(ActionKind::Convert, self.conversion_energy())]
+    }
+}
+
+/// A sample-and-hold stage that keeps an analog value alive so it can be
+/// reused without reconversion (the analog-domain register).
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::SampleAndHold;
+/// let sh = SampleAndHold::new();
+/// assert!(sh.sample_energy().femtojoules() < 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleAndHold {
+    sample_fj: f64,
+}
+
+impl SampleAndHold {
+    /// Builds a sample-and-hold with the default ~10 fJ sampling energy.
+    pub fn new() -> SampleAndHold {
+        SampleAndHold { sample_fj: 10.0 }
+    }
+
+    /// Overrides the per-sample energy in femtojoules.
+    #[must_use]
+    pub fn with_sample_energy_fj(mut self, fj: f64) -> SampleAndHold {
+        self.sample_fj = fj;
+        self
+    }
+
+    /// Energy to capture one analog sample.
+    pub fn sample_energy(&self) -> Energy {
+        Energy::from_femtojoules(self.sample_fj)
+    }
+}
+
+impl Default for SampleAndHold {
+    fn default() -> Self {
+        SampleAndHold::new()
+    }
+}
+
+impl Component for SampleAndHold {
+    fn name(&self) -> String {
+        "sample-and-hold".into()
+    }
+
+    fn area(&self) -> Area {
+        Area::from_square_micrometers(25.0)
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        vec![(ActionKind::Write, self.sample_energy())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_8bit_is_pj_scale() {
+        let e = Adc::new(8).conversion_energy();
+        assert!(e.picojoules() > 0.3 && e.picojoules() < 3.0, "got {e}");
+    }
+
+    #[test]
+    fn adc_energy_explodes_with_resolution() {
+        // Each extra bit should roughly 4x the exponential term; by 12 bits
+        // the exponential dominates.
+        let e8 = Adc::new(8).conversion_energy();
+        let e12 = Adc::new(12).conversion_energy();
+        assert!(e12 > e8 * 20.0);
+    }
+
+    #[test]
+    fn adc_scale_hook() {
+        let base = Adc::new(8).conversion_energy();
+        let scaled = Adc::new(8).with_energy_scale(0.1).conversion_energy();
+        assert!((scaled / base - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dac_cheaper_than_adc() {
+        for bits in [4, 6, 8, 10] {
+            assert!(
+                Dac::new(bits).conversion_energy() < Adc::new(bits).conversion_energy(),
+                "at {bits} bits"
+            );
+        }
+    }
+
+    #[test]
+    fn dac_8bit_is_sub_pj() {
+        let e = Dac::new(8).conversion_energy();
+        assert!(e.picojoules() > 0.1 && e.picojoules() < 1.5, "got {e}");
+    }
+
+    #[test]
+    fn sample_and_hold_is_cheap() {
+        assert!(
+            SampleAndHold::new().sample_energy() * 10.0 < Dac::new(8).conversion_energy(),
+            "reusing an analog value must beat reconverting it"
+        );
+    }
+
+    #[test]
+    fn reports() {
+        assert!(Adc::new(8).report().energy(ActionKind::Convert).is_some());
+        assert!(Dac::new(8).report().energy(ActionKind::Convert).is_some());
+        assert!(SampleAndHold::new().report().energy(ActionKind::Write).is_some());
+    }
+}

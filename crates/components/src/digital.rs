@@ -1,0 +1,365 @@
+//! Digital-electrical storage: SRAM, DRAM and register files.
+
+use crate::{ActionKind, Component};
+use lumen_units::{Area, Energy, Power};
+
+/// An on-chip SRAM buffer with a CACTI-like analytic energy model.
+///
+/// The per-bit access energy grows with the square root of the per-bank
+/// capacity (bitline/wordline length scaling):
+///
+/// `E_bit = e_base + e_slope · √(capacity_bits / banks)`
+///
+/// Defaults are calibrated to a ~22 nm node: a 64 KiB scratchpad costs
+/// roughly 9 pJ per 64-bit read and a multi-MiB global buffer a few tens of
+/// pJ, consistent with CACTI-class estimates.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::Sram;
+/// let small = Sram::new(64 * 1024 * 8, 64);
+/// let big = Sram::new(4 * 1024 * 1024 * 8, 64);
+/// assert!(big.read_energy() > small.read_energy());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sram {
+    capacity_bits: u64,
+    word_bits: u32,
+    banks: u32,
+    base_fj_per_bit: f64,
+    slope_fj_per_bit: f64,
+    write_factor: f64,
+    leak_nw_per_kib: f64,
+    area_um2_per_bit: f64,
+}
+
+impl Sram {
+    /// Builds an SRAM with `capacity_bits` total bits and `word_bits` wide
+    /// access ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bits` or `word_bits` is zero.
+    pub fn new(capacity_bits: u64, word_bits: u32) -> Sram {
+        assert!(capacity_bits > 0, "SRAM capacity must be nonzero");
+        assert!(word_bits > 0, "SRAM word width must be nonzero");
+        Sram {
+            capacity_bits,
+            word_bits,
+            banks: 1,
+            base_fj_per_bit: 8.0,
+            slope_fj_per_bit: 0.18,
+            write_factor: 1.1,
+            leak_nw_per_kib: 15.0,
+            area_um2_per_bit: 0.3,
+        }
+    }
+
+    /// Splits the array into `banks` independently accessed banks
+    /// (builder style). More banks shorten bitlines and cut access energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    #[must_use]
+    pub fn with_banks(mut self, banks: u32) -> Sram {
+        assert!(banks > 0, "bank count must be nonzero");
+        self.banks = banks;
+        self
+    }
+
+    /// Overrides the analytic energy coefficients (fJ/bit base and
+    /// fJ/bit-per-√bit slope); used for calibration.
+    #[must_use]
+    pub fn with_energy_coefficients(mut self, base_fj: f64, slope_fj: f64) -> Sram {
+        self.base_fj_per_bit = base_fj;
+        self.slope_fj_per_bit = slope_fj;
+        self
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.capacity_bits
+    }
+
+    /// Access-port width in bits.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Energy of one full-word read.
+    pub fn read_energy(&self) -> Energy {
+        let per_bank = self.capacity_bits as f64 / self.banks as f64;
+        let per_bit = self.base_fj_per_bit + self.slope_fj_per_bit * per_bank.sqrt();
+        Energy::from_femtojoules(per_bit * self.word_bits as f64)
+    }
+
+    /// Energy of one full-word write (slightly above read).
+    pub fn write_energy(&self) -> Energy {
+        self.read_energy() * self.write_factor
+    }
+
+    /// Energy to read a single element of `bits` width (prorated).
+    pub fn read_energy_per_bit(&self) -> Energy {
+        self.read_energy() / self.word_bits as f64
+    }
+
+    /// Energy to write a single bit (prorated).
+    pub fn write_energy_per_bit(&self) -> Energy {
+        self.write_energy() / self.word_bits as f64
+    }
+}
+
+impl Component for Sram {
+    fn name(&self) -> String {
+        format!("sram-{}KiB", self.capacity_bits / 8 / 1024)
+    }
+
+    fn area(&self) -> Area {
+        Area::from_square_micrometers(self.area_um2_per_bit * self.capacity_bits as f64)
+    }
+
+    fn static_power(&self) -> Power {
+        Power::from_nanowatts(self.leak_nw_per_kib * self.capacity_bits as f64 / 8.0 / 1024.0)
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        vec![
+            (ActionKind::Read, self.read_energy()),
+            (ActionKind::Write, self.write_energy()),
+        ]
+    }
+}
+
+/// The modeled off-chip DRAM technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramKind {
+    /// Mobile-class LPDDR4; the paper-level "12 pJ/bit" system energy.
+    Lpddr4,
+    /// Server-class DDR4 (higher IO energy).
+    Ddr4,
+    /// High-bandwidth memory (2.5-D integration, lowest energy/bit).
+    Hbm2,
+}
+
+impl DramKind {
+    /// Modeled end-to-end (device + IO + controller) energy per bit.
+    pub fn energy_per_bit(self) -> Energy {
+        match self {
+            DramKind::Lpddr4 => Energy::from_picojoules(12.0),
+            DramKind::Ddr4 => Energy::from_picojoules(20.0),
+            DramKind::Hbm2 => Energy::from_picojoules(7.0),
+        }
+    }
+}
+
+/// Off-chip DRAM with an end-to-end energy-per-bit model.
+///
+/// Architecture-level models (this paper included) charge DRAM a flat
+/// system energy per bit moved; row-buffer effects are folded into the
+/// constant.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::{Dram, DramKind};
+/// let dram = Dram::new(DramKind::Lpddr4, 8);
+/// assert_eq!(dram.access_energy().picojoules(), 96.0); // 8-bit element
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dram {
+    kind: DramKind,
+    element_bits: u32,
+    scale: f64,
+}
+
+impl Dram {
+    /// Builds a DRAM channel moving `element_bits`-wide elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element_bits` is zero.
+    pub fn new(kind: DramKind, element_bits: u32) -> Dram {
+        assert!(element_bits > 0, "element width must be nonzero");
+        Dram {
+            kind,
+            element_bits,
+            scale: 1.0,
+        }
+    }
+
+    /// Scales the energy-per-bit constant (calibration hook).
+    #[must_use]
+    pub fn with_energy_scale(mut self, scale: f64) -> Dram {
+        self.scale = scale;
+        self
+    }
+
+    /// The modeled technology.
+    pub fn kind(&self) -> DramKind {
+        self.kind
+    }
+
+    /// Energy to move one element (read or write — symmetric at this
+    /// abstraction level).
+    pub fn access_energy(&self) -> Energy {
+        self.kind.energy_per_bit() * self.element_bits as f64 * self.scale
+    }
+
+    /// Energy to move one bit.
+    pub fn energy_per_bit(&self) -> Energy {
+        self.kind.energy_per_bit() * self.scale
+    }
+}
+
+impl Component for Dram {
+    fn name(&self) -> String {
+        format!("dram-{:?}", self.kind).to_lowercase()
+    }
+
+    fn area(&self) -> Area {
+        Area::ZERO // off-chip
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        vec![
+            (ActionKind::Read, self.access_energy()),
+            (ActionKind::Write, self.access_energy()),
+        ]
+    }
+}
+
+/// A small multi-ported register file (fixed energy per access).
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::RegisterFile;
+/// let rf = RegisterFile::new(16, 8);
+/// assert!(rf.read_energy().femtojoules() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterFile {
+    words: u32,
+    word_bits: u32,
+}
+
+impl RegisterFile {
+    /// Builds a register file of `words` entries of `word_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(words: u32, word_bits: u32) -> RegisterFile {
+        assert!(words > 0 && word_bits > 0, "register file must be nonempty");
+        RegisterFile { words, word_bits }
+    }
+
+    /// Energy of one word read (≈ 1.2 fJ/bit plus decode overhead that
+    /// grows logarithmically with the word count).
+    pub fn read_energy(&self) -> Energy {
+        let decode = 0.4 * (self.words as f64).log2().max(1.0);
+        Energy::from_femtojoules((1.2 + decode) * self.word_bits as f64)
+    }
+
+    /// Energy of one word write.
+    pub fn write_energy(&self) -> Energy {
+        self.read_energy() * 1.15
+    }
+}
+
+impl Component for RegisterFile {
+    fn name(&self) -> String {
+        format!("regfile-{}x{}b", self.words, self.word_bits)
+    }
+
+    fn area(&self) -> Area {
+        Area::from_square_micrometers(0.9 * (self.words * self.word_bits) as f64)
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        vec![
+            (ActionKind::Read, self.read_energy()),
+            (ActionKind::Write, self.write_energy()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_energy_grows_with_capacity() {
+        let sizes = [64u64, 256, 1024, 4096]; // KiB
+        let mut last = Energy::ZERO;
+        for kib in sizes {
+            let e = Sram::new(kib * 1024 * 8, 64).read_energy();
+            assert!(e > last, "energy must grow with capacity");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn sram_banking_reduces_energy() {
+        let flat = Sram::new(1024 * 1024 * 8, 64);
+        let banked = flat.clone().with_banks(16);
+        assert!(banked.read_energy() < flat.read_energy());
+    }
+
+    #[test]
+    fn sram_64kib_is_pj_scale() {
+        let e = Sram::new(64 * 1024 * 8, 64).read_energy();
+        assert!(
+            e.picojoules() > 2.0 && e.picojoules() < 30.0,
+            "64KiB/64b read should be a few pJ, got {e}"
+        );
+    }
+
+    #[test]
+    fn sram_write_above_read() {
+        let s = Sram::new(1024 * 8, 32);
+        assert!(s.write_energy() > s.read_energy());
+    }
+
+    #[test]
+    fn sram_per_bit_prorates() {
+        let s = Sram::new(64 * 1024 * 8, 64);
+        let per_bit = s.read_energy_per_bit();
+        assert!((per_bit * 64.0 - s.read_energy()).picojoules().abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_kinds_ordered() {
+        assert!(DramKind::Hbm2.energy_per_bit() < DramKind::Lpddr4.energy_per_bit());
+        assert!(DramKind::Lpddr4.energy_per_bit() < DramKind::Ddr4.energy_per_bit());
+    }
+
+    #[test]
+    fn dram_scales_with_element_width() {
+        let d8 = Dram::new(DramKind::Lpddr4, 8);
+        let d16 = Dram::new(DramKind::Lpddr4, 16);
+        assert!((d16.access_energy() / d8.access_energy() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_has_no_area() {
+        assert_eq!(Dram::new(DramKind::Hbm2, 8).area(), Area::ZERO);
+    }
+
+    #[test]
+    fn regfile_much_cheaper_than_sram() {
+        let rf = RegisterFile::new(16, 8);
+        let sram = Sram::new(64 * 1024 * 8, 8);
+        assert!(rf.read_energy() * 10.0 < sram.read_energy());
+    }
+
+    #[test]
+    fn component_reports() {
+        let r = Sram::new(64 * 1024 * 8, 64).report();
+        assert!(r.name.contains("64KiB"));
+        assert!(r.energy(ActionKind::Read).is_some());
+        assert!(r.static_power.watts() > 0.0);
+    }
+}

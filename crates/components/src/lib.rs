@@ -1,0 +1,54 @@
+//! # lumen-components
+//!
+//! Accelergy-style energy / area / timing models for the hardware
+//! components of electro-photonic DNN accelerators.
+//!
+//! The library spans all four signal domains the paper discusses:
+//!
+//! * **Digital-electrical (DE)** — [`Sram`], [`Dram`], [`RegisterFile`],
+//!   [`Adder`], [`Multiplier`], [`DigitalMac`], [`NocLink`]
+//! * **Converters** — [`Adc`] (AE/DE), [`Dac`] (DE/AE), [`SampleAndHold`]
+//! * **Analog-optical (AO)** — [`Microring`], [`MachZehnder`],
+//!   [`Photodiode`], [`StarCoupler`], [`Waveguide`], [`Laser`],
+//!   [`CombSource`]
+//! * **Link budgets** — [`LinkBudget`] turns optical losses plus detector
+//!   sensitivity into a required laser power and energy per symbol.
+//!
+//! Each component is a plain value type with inherent accessors for its
+//! per-action energies, plus a common [`Component`] trait for catalogs and
+//! reports. Device-level parameters default to published, literature-
+//! plausible values and every constructor exposes `with_*` overrides so a
+//! case study (e.g. Albireo, ISCA 2021) can calibrate against reported
+//! numbers.
+//!
+//! # Examples
+//!
+//! ```
+//! use lumen_components::{Adc, Sram};
+//!
+//! let glb = Sram::new(8 * 1024 * 1024 * 8, 256); // 8 MiB, 256-bit words
+//! let adc = Adc::new(8);
+//! assert!(glb.read_energy() > adc.conversion_energy());
+//! ```
+
+mod action;
+mod catalog;
+mod component;
+mod converter;
+mod digital;
+mod logic;
+mod noise;
+mod optics;
+mod photonic;
+mod scaling;
+
+pub use action::ActionKind;
+pub use noise::NoiseBudget;
+pub use catalog::ComponentCatalog;
+pub use component::{Component, ComponentReport};
+pub use converter::{Adc, Dac, SampleAndHold};
+pub use digital::{Dram, DramKind, RegisterFile, Sram};
+pub use logic::{Adder, DigitalMac, Multiplier, NocLink};
+pub use optics::LinkBudget;
+pub use photonic::{CombSource, Laser, MachZehnder, Microring, Photodiode, StarCoupler, Waveguide};
+pub use scaling::{ScalingFactors, ScalingProfile};

@@ -1,0 +1,257 @@
+//! Digital arithmetic and on-chip interconnect.
+
+use crate::{ActionKind, Component};
+use lumen_units::{Area, Energy};
+
+/// A ripple/prefix adder: energy linear in operand width.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::Adder;
+/// let a8 = Adder::new(8);
+/// let a16 = Adder::new(16);
+/// assert!(a16.add_energy() > a8.add_energy());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adder {
+    bits: u32,
+}
+
+impl Adder {
+    /// Builds an adder over `bits`-wide operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn new(bits: u32) -> Adder {
+        assert!(bits > 0, "adder width must be nonzero");
+        Adder { bits }
+    }
+
+    /// Energy of one addition (~2.5 fJ/bit at ~22 nm).
+    pub fn add_energy(&self) -> Energy {
+        Energy::from_femtojoules(2.5 * self.bits as f64)
+    }
+}
+
+impl Component for Adder {
+    fn name(&self) -> String {
+        format!("adder-{}b", self.bits)
+    }
+
+    fn area(&self) -> Area {
+        Area::from_square_micrometers(2.0 * self.bits as f64)
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        vec![(ActionKind::Compute, self.add_energy())]
+    }
+}
+
+/// An array multiplier: energy quadratic in operand width.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::Multiplier;
+/// let m = Multiplier::new(8);
+/// assert!(m.multiply_energy().femtojoules() > 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Multiplier {
+    bits: u32,
+}
+
+impl Multiplier {
+    /// Builds a multiplier over `bits`-wide operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn new(bits: u32) -> Multiplier {
+        assert!(bits > 0, "multiplier width must be nonzero");
+        Multiplier { bits }
+    }
+
+    /// Energy of one multiplication (~1.5 fJ per bit² at ~22 nm; an 8-bit
+    /// multiply costs ~0.1 pJ, matching published digital-MAC surveys).
+    pub fn multiply_energy(&self) -> Energy {
+        Energy::from_femtojoules(1.5 * (self.bits as f64).powi(2))
+    }
+}
+
+impl Component for Multiplier {
+    fn name(&self) -> String {
+        format!("multiplier-{}b", self.bits)
+    }
+
+    fn area(&self) -> Area {
+        Area::from_square_micrometers(1.2 * (self.bits as f64).powi(2))
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        vec![(ActionKind::Compute, self.multiply_energy())]
+    }
+}
+
+/// A digital multiply-accumulate unit (multiplier + accumulator add),
+/// the electrical baseline a photonic MAC competes against.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::{Adder, DigitalMac, Multiplier};
+/// let mac = DigitalMac::new(8);
+/// let sum = Multiplier::new(8).multiply_energy() + Adder::new(2 * 8).add_energy();
+/// assert_eq!(mac.mac_energy(), sum);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigitalMac {
+    bits: u32,
+}
+
+impl DigitalMac {
+    /// Builds a MAC over `bits`-wide operands (accumulator is `2·bits`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn new(bits: u32) -> DigitalMac {
+        assert!(bits > 0, "MAC width must be nonzero");
+        DigitalMac { bits }
+    }
+
+    /// Energy of one multiply-accumulate.
+    pub fn mac_energy(&self) -> Energy {
+        Multiplier::new(self.bits).multiply_energy() + Adder::new(2 * self.bits).add_energy()
+    }
+}
+
+impl Component for DigitalMac {
+    fn name(&self) -> String {
+        format!("digital-mac-{}b", self.bits)
+    }
+
+    fn area(&self) -> Area {
+        Multiplier::new(self.bits).area() + Adder::new(2 * self.bits).area()
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        vec![(ActionKind::Compute, self.mac_energy())]
+    }
+}
+
+/// An on-chip electrical link: energy proportional to bits × distance.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::NocLink;
+/// let short = NocLink::new(8, 0.5);
+/// let long = NocLink::new(8, 5.0);
+/// assert!(long.transmit_energy() > short.transmit_energy());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NocLink {
+    width_bits: u32,
+    length_mm: f64,
+    fj_per_bit_mm: f64,
+}
+
+impl NocLink {
+    /// Builds a link of `width_bits` wires spanning `length_mm` millimeters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is zero or `length_mm` is not positive.
+    pub fn new(width_bits: u32, length_mm: f64) -> NocLink {
+        assert!(width_bits > 0, "link width must be nonzero");
+        assert!(length_mm > 0.0, "link length must be positive");
+        NocLink {
+            width_bits,
+            length_mm,
+            fj_per_bit_mm: 60.0, // ~0.06 pJ/bit/mm repeated wire
+        }
+    }
+
+    /// Overrides the wire energy coefficient (fJ per bit per mm).
+    #[must_use]
+    pub fn with_wire_energy(mut self, fj_per_bit_mm: f64) -> NocLink {
+        self.fj_per_bit_mm = fj_per_bit_mm;
+        self
+    }
+
+    /// Energy to move one flit (all `width_bits` wires toggling).
+    pub fn transmit_energy(&self) -> Energy {
+        Energy::from_femtojoules(self.fj_per_bit_mm * self.width_bits as f64 * self.length_mm)
+    }
+
+    /// Energy to move a single bit across the link.
+    pub fn transmit_energy_per_bit(&self) -> Energy {
+        Energy::from_femtojoules(self.fj_per_bit_mm * self.length_mm)
+    }
+}
+
+impl Component for NocLink {
+    fn name(&self) -> String {
+        format!("noc-link-{}b-{:.1}mm", self.width_bits, self.length_mm)
+    }
+
+    fn area(&self) -> Area {
+        // Wire tracks: ~0.2 µm pitch per wire.
+        Area::from_square_micrometers(0.2 * self.width_bits as f64 * self.length_mm * 1000.0)
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        vec![(ActionKind::Transmit, self.transmit_energy())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_linear_in_bits() {
+        let r = Adder::new(32).add_energy() / Adder::new(8).add_energy();
+        assert!((r - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplier_quadratic_in_bits() {
+        let r = Multiplier::new(16).multiply_energy() / Multiplier::new(8).multiply_energy();
+        assert!((r - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mac_decomposes() {
+        let mac = DigitalMac::new(8).mac_energy();
+        assert!(mac > Multiplier::new(8).multiply_energy());
+        // An 8-bit digital MAC is ~0.1-0.2 pJ at this node.
+        assert!(mac.picojoules() > 0.05 && mac.picojoules() < 0.5, "got {mac}");
+    }
+
+    #[test]
+    fn link_energy_proportional_to_length() {
+        let r = NocLink::new(8, 4.0).transmit_energy() / NocLink::new(8, 1.0).transmit_energy();
+        assert!((r - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_per_bit_prorates() {
+        let l = NocLink::new(16, 2.0);
+        assert!(
+            (l.transmit_energy_per_bit() * 16.0 - l.transmit_energy())
+                .picojoules()
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn reports_expose_compute_actions() {
+        assert!(DigitalMac::new(8).report().energy(ActionKind::Compute).is_some());
+        assert!(NocLink::new(8, 1.0).report().energy(ActionKind::Transmit).is_some());
+    }
+}

@@ -1,0 +1,209 @@
+//! Analog-optical precision: noise-limited bit budgets.
+//!
+//! Analog photonic MACs carry values as light intensity; the received
+//! signal competes with shot noise, thermal (receiver) noise and relative
+//! intensity noise (RIN). The achievable resolution at the detector bounds
+//! the useful ADC resolution — and since ADC energy grows exponentially
+//! with bits ([`crate::Adc`]), the noise floor is an energy-accuracy
+//! co-design knob, exactly the cross-domain tradeoff the paper's modeling
+//! methodology targets.
+//!
+//! The model below is the standard direct-detection budget:
+//!
+//! * shot noise: `σ²_shot = 2 q R P Δf`
+//! * thermal noise: `σ²_th = (NEP · R)² Δf` (folded via detector NEP)
+//! * RIN: `σ²_rin = RIN · (R P)² Δf`
+//!
+//! SNR = `(R P)² / (σ²_shot + σ²_th + σ²_rin)` and the effective number of
+//! bits follows the ADC convention `ENOB = (SNR_dB − 1.76) / 6.02`.
+
+use lumen_units::{Frequency, Power};
+
+/// Electron charge in coulombs.
+const ELECTRON_CHARGE: f64 = 1.602_176_634e-19;
+
+/// A direct-detection noise budget at one photodetector.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::NoiseBudget;
+/// use lumen_units::{Frequency, Power};
+///
+/// let budget = NoiseBudget::new(Frequency::from_gigahertz(5.0));
+/// let dim = budget.achievable_bits(Power::from_dbm(-30.0));
+/// let bright = budget.achievable_bits(Power::from_dbm(-10.0));
+/// assert!(bright > dim, "more optical power buys more bits");
+/// assert!(bright < 16.0, "but the budget saturates");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseBudget {
+    bandwidth: Frequency,
+    responsivity_a_per_w: f64,
+    nep_w_per_sqrt_hz: f64,
+    rin_per_hz: f64,
+}
+
+impl NoiseBudget {
+    /// Builds a budget for the given detection bandwidth with typical
+    /// silicon-photonic receiver parameters: responsivity 1 A/W, NEP
+    /// 2 pW/√Hz, RIN −150 dB/Hz.
+    pub fn new(bandwidth: Frequency) -> NoiseBudget {
+        NoiseBudget {
+            bandwidth,
+            responsivity_a_per_w: 1.0,
+            nep_w_per_sqrt_hz: 2e-12,
+            rin_per_hz: 10f64.powf(-150.0 / 10.0),
+        }
+    }
+
+    /// Overrides the detector responsivity (A/W).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a_per_w` is not positive.
+    #[must_use]
+    pub fn with_responsivity(mut self, a_per_w: f64) -> NoiseBudget {
+        assert!(a_per_w > 0.0, "responsivity must be positive");
+        self.responsivity_a_per_w = a_per_w;
+        self
+    }
+
+    /// Overrides the receiver noise-equivalent power (W/√Hz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_per_sqrt_hz` is negative.
+    #[must_use]
+    pub fn with_nep(mut self, w_per_sqrt_hz: f64) -> NoiseBudget {
+        assert!(w_per_sqrt_hz >= 0.0, "NEP cannot be negative");
+        self.nep_w_per_sqrt_hz = w_per_sqrt_hz;
+        self
+    }
+
+    /// Overrides the laser relative intensity noise (dB/Hz, negative).
+    #[must_use]
+    pub fn with_rin_db_per_hz(mut self, db_per_hz: f64) -> NoiseBudget {
+        self.rin_per_hz = 10f64.powf(db_per_hz / 10.0);
+        self
+    }
+
+    /// Signal-to-noise ratio (linear) at the given received optical power.
+    pub fn snr(&self, received: Power) -> f64 {
+        let r = self.responsivity_a_per_w;
+        let p = received.watts();
+        let df = self.bandwidth.hertz();
+        let signal = (r * p).powi(2);
+        let shot = 2.0 * ELECTRON_CHARGE * r * p * df;
+        let thermal = (self.nep_w_per_sqrt_hz * r).powi(2) * df;
+        let rin = self.rin_per_hz * (r * p).powi(2) * df;
+        signal / (shot + thermal + rin)
+    }
+
+    /// SNR in decibels.
+    pub fn snr_db(&self, received: Power) -> f64 {
+        10.0 * self.snr(received).log10()
+    }
+
+    /// Effective number of bits resolvable at the detector
+    /// (`(SNR_dB − 1.76) / 6.02`, clamped at zero).
+    pub fn achievable_bits(&self, received: Power) -> f64 {
+        ((self.snr_db(received) - 1.76) / 6.02).max(0.0)
+    }
+
+    /// Minimum received power for `bits` of resolution, found by bisection
+    /// over [1 pW, 1 W].
+    ///
+    /// Returns `None` if even 1 W cannot reach the target (RIN-limited).
+    pub fn required_power(&self, bits: f64) -> Option<Power> {
+        let target = bits * 6.02 + 1.76;
+        let mut lo = 1e-12f64;
+        let mut hi = 1.0f64;
+        if 10.0 * self.snr(Power::from_watts(hi)).log10() < target {
+            return None;
+        }
+        for _ in 0..200 {
+            let mid = (lo * hi).sqrt();
+            if 10.0 * self.snr(Power::from_watts(mid)).log10() < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(Power::from_watts(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget() -> NoiseBudget {
+        NoiseBudget::new(Frequency::from_gigahertz(5.0))
+    }
+
+    #[test]
+    fn snr_increases_with_power() {
+        let b = budget();
+        let mut last = 0.0;
+        for dbm in [-40.0, -30.0, -20.0, -10.0, 0.0] {
+            let snr = b.snr(Power::from_dbm(dbm));
+            assert!(snr > last, "SNR must rise with power");
+            last = snr;
+        }
+    }
+
+    #[test]
+    fn rin_caps_the_budget() {
+        let b = budget();
+        // At high power, shot and thermal vanish relative to signal but
+        // RIN scales with signal²: SNR saturates at 1/(RIN·Δf).
+        let ceiling = 1.0 / (10f64.powf(-15.0) * 5e9);
+        let high = b.snr(Power::from_watts(0.5));
+        assert!(high < ceiling * 1.01);
+        assert!(high > ceiling * 0.5, "should approach the RIN ceiling");
+    }
+
+    #[test]
+    fn eight_bits_needs_tens_of_microwatts() {
+        let b = budget();
+        let p = b.required_power(8.0).expect("8 bits reachable");
+        assert!(
+            p.microwatts() > 1.0 && p.microwatts() < 1000.0,
+            "8-bit direct detection at 5 GHz needs µW-class power, got {p}"
+        );
+        // And the result is self-consistent.
+        assert!(b.achievable_bits(p) >= 8.0 - 1e-6);
+    }
+
+    #[test]
+    fn unreachable_precision_returns_none() {
+        let b = budget(); // RIN −150 dB/Hz at 5 GHz caps SNR at ~43 dB ≈ 6.9 bits...
+        // 14 bits needs ~86 dB SNR — beyond the RIN ceiling.
+        assert!(b.required_power(14.0).is_none());
+    }
+
+    #[test]
+    fn quieter_laser_buys_bits() {
+        let noisy = budget().with_rin_db_per_hz(-140.0);
+        let quiet = budget().with_rin_db_per_hz(-160.0);
+        let p = Power::from_dbm(-5.0);
+        assert!(quiet.achievable_bits(p) > noisy.achievable_bits(p));
+    }
+
+    #[test]
+    fn better_nep_helps_at_low_power() {
+        let coarse = budget().with_nep(1e-11);
+        let fine = budget().with_nep(1e-13);
+        let p = Power::from_dbm(-30.0);
+        assert!(fine.achievable_bits(p) > coarse.achievable_bits(p));
+    }
+
+    #[test]
+    fn bandwidth_costs_resolution() {
+        let slow = NoiseBudget::new(Frequency::from_gigahertz(1.0));
+        let fast = NoiseBudget::new(Frequency::from_gigahertz(10.0));
+        let p = Power::from_dbm(-20.0);
+        assert!(slow.achievable_bits(p) > fast.achievable_bits(p));
+    }
+}

@@ -1,0 +1,141 @@
+//! Optical link budgets: from losses and detector sensitivity to required
+//! laser power.
+
+use lumen_units::{Decibel, Energy, Frequency, Power};
+
+/// An end-to-end optical link budget.
+///
+/// The budget answers: *how much laser power must be launched so that,
+/// after every loss on the path, the detector still receives its minimum
+/// sensitivity?* In a WDM broadcast system the answer scales the laser
+/// (and therefore per-MAC) energy — this is the physical mechanism behind
+/// the Fig. 5 tension between optical fan-out (reuse) and laser energy.
+///
+/// `P_launch = sensitivity × 10^((losses + margin)/10)`
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::LinkBudget;
+/// use lumen_units::{Decibel, Frequency, Power};
+///
+/// let link = LinkBudget::new(Power::from_dbm(-20.0))
+///     .with_loss(Decibel::new(10.0))
+///     .with_margin(Decibel::new(3.0))
+///     .with_wall_plug_efficiency(0.2);
+///
+/// // -20 dBm + 13 dB = -7 dBm launch power ≈ 0.2 mW optical, 1 mW wall.
+/// assert!((link.required_launch_power().dbm() + 7.0).abs() < 1e-9);
+/// let e = link.energy_per_symbol(Frequency::from_gigahertz(5.0));
+/// assert!(e.picojoules() > 0.15 && e.picojoules() < 0.25);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkBudget {
+    sensitivity: Power,
+    losses: Decibel,
+    margin: Decibel,
+    wall_plug_efficiency: f64,
+}
+
+impl LinkBudget {
+    /// Builds a budget for a detector of the given minimum sensitivity,
+    /// with no losses, no margin and an ideal laser.
+    pub fn new(sensitivity: Power) -> LinkBudget {
+        LinkBudget {
+            sensitivity,
+            losses: Decibel::ZERO,
+            margin: Decibel::ZERO,
+            wall_plug_efficiency: 1.0,
+        }
+    }
+
+    /// Adds path loss (builder style, cumulative).
+    #[must_use]
+    pub fn with_loss(mut self, loss: Decibel) -> LinkBudget {
+        self.losses += loss;
+        self
+    }
+
+    /// Sets the safety margin.
+    #[must_use]
+    pub fn with_margin(mut self, margin: Decibel) -> LinkBudget {
+        self.margin = margin;
+        self
+    }
+
+    /// Sets the laser wall-plug efficiency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eff` is not in (0, 1].
+    #[must_use]
+    pub fn with_wall_plug_efficiency(mut self, eff: f64) -> LinkBudget {
+        assert!(eff > 0.0 && eff <= 1.0, "efficiency must be in (0, 1]");
+        self.wall_plug_efficiency = eff;
+        self
+    }
+
+    /// Total path loss accumulated so far.
+    pub fn losses(&self) -> Decibel {
+        self.losses
+    }
+
+    /// Minimum optical power to launch.
+    pub fn required_launch_power(&self) -> Power {
+        self.sensitivity * (self.losses + self.margin).linear()
+    }
+
+    /// Electrical (wall) power of the laser driving this link.
+    pub fn required_wall_power(&self) -> Power {
+        self.required_launch_power() / self.wall_plug_efficiency
+    }
+
+    /// Electrical energy per symbol slot at the given symbol rate.
+    pub fn energy_per_symbol(&self, clock: Frequency) -> Energy {
+        self.required_wall_power() * clock.period()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_loss_budget_launches_sensitivity() {
+        let link = LinkBudget::new(Power::from_dbm(-20.0));
+        assert!((link.required_launch_power().dbm() + 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn losses_accumulate() {
+        let link = LinkBudget::new(Power::from_dbm(-20.0))
+            .with_loss(Decibel::new(3.0))
+            .with_loss(Decibel::new(4.0));
+        assert!((link.losses().db() - 7.0).abs() < 1e-12);
+        assert!((link.required_launch_power().dbm() + 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_divides_wall_power() {
+        let ideal = LinkBudget::new(Power::from_dbm(-10.0));
+        let lossy = ideal.clone().with_wall_plug_efficiency(0.1);
+        assert!((lossy.required_wall_power() / ideal.required_wall_power() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_inverse_with_clock() {
+        let link = LinkBudget::new(Power::from_dbm(-15.0)).with_loss(Decibel::new(6.0));
+        let slow = link.energy_per_symbol(Frequency::from_gigahertz(1.0));
+        let fast = link.energy_per_symbol(Frequency::from_gigahertz(4.0));
+        assert!((slow / fast - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doubling_fanout_roughly_doubles_power() {
+        // Adding a 3.01 dB split doubles the required launch power.
+        let base = LinkBudget::new(Power::from_dbm(-20.0)).with_loss(Decibel::new(5.0));
+        let split = base.clone().with_loss(Decibel::from_linear(2.0));
+        let ratio = split.required_launch_power() / base.required_launch_power();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+}

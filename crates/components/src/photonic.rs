@@ -1,0 +1,620 @@
+//! Analog-optical components: modulators, resonators, detectors, couplers,
+//! waveguides and light sources.
+//!
+//! Parameter defaults describe near-term silicon photonics (the paper's
+//! "conservative" corner); the aggressive corners are reached through the
+//! `with_*` calibration hooks or [`crate::ScalingProfile`] factors.
+
+use crate::{ActionKind, Component};
+use lumen_units::{Area, Decibel, Energy, Frequency, Power};
+
+/// A microring resonator (MRR) weight element.
+///
+/// MRRs impose weights on optical carriers. Their dominant cost is
+/// *thermal tuning*: static heater power that keeps the ring on resonance,
+/// charged per clock cycle. Reprogramming the weight costs additional
+/// dynamic energy per update.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::Microring;
+/// use lumen_units::Frequency;
+/// let mrr = Microring::new();
+/// let per_cycle = mrr.hold_energy(Frequency::from_gigahertz(5.0));
+/// assert!(per_cycle.femtojoules() > 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Microring {
+    tuning_power: Power,
+    update_energy: Energy,
+    insertion_loss: Decibel,
+}
+
+impl Microring {
+    /// Builds an MRR with ~0.8 mW thermal tuning and ~50 fJ weight updates.
+    pub fn new() -> Microring {
+        Microring {
+            tuning_power: Power::from_milliwatts(0.8),
+            update_energy: Energy::from_femtojoules(50.0),
+            insertion_loss: Decibel::new(0.5),
+        }
+    }
+
+    /// Overrides the resonance-tuning power.
+    #[must_use]
+    pub fn with_tuning_power(mut self, power: Power) -> Microring {
+        self.tuning_power = power;
+        self
+    }
+
+    /// Overrides the per-update (weight reprogram) energy.
+    #[must_use]
+    pub fn with_update_energy(mut self, energy: Energy) -> Microring {
+        self.update_energy = energy;
+        self
+    }
+
+    /// Overrides the through-path insertion loss.
+    #[must_use]
+    pub fn with_insertion_loss(mut self, loss: Decibel) -> Microring {
+        self.insertion_loss = loss;
+        self
+    }
+
+    /// Tuning energy charged for one clock cycle of operation.
+    pub fn hold_energy(&self, clock: Frequency) -> Energy {
+        self.tuning_power * clock.period()
+    }
+
+    /// Energy to reprogram the ring to a new weight.
+    pub fn update_energy(&self) -> Energy {
+        self.update_energy
+    }
+
+    /// Optical insertion loss of the through path.
+    pub fn insertion_loss(&self) -> Decibel {
+        self.insertion_loss
+    }
+}
+
+impl Default for Microring {
+    fn default() -> Self {
+        Microring::new()
+    }
+}
+
+impl Component for Microring {
+    fn name(&self) -> String {
+        "microring".into()
+    }
+
+    fn area(&self) -> Area {
+        // ~10 µm radius ring plus heater.
+        Area::from_square_micrometers(400.0)
+    }
+
+    fn static_power(&self) -> Power {
+        self.tuning_power
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        vec![(ActionKind::Write, self.update_energy)]
+    }
+}
+
+/// A Mach-Zehnder modulator (MZM) imposing an electrical value on light.
+///
+/// Charged per modulated symbol; the default ~0.9 pJ/symbol describes a
+/// driver + junction at near-term energies.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::MachZehnder;
+/// let mzm = MachZehnder::new();
+/// assert!(mzm.modulation_energy().picojoules() < 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachZehnder {
+    modulation_energy: Energy,
+    insertion_loss: Decibel,
+}
+
+impl MachZehnder {
+    /// Builds an MZM with ~0.9 pJ/symbol drive energy and 1.2 dB loss.
+    pub fn new() -> MachZehnder {
+        MachZehnder {
+            modulation_energy: Energy::from_picojoules(0.9),
+            insertion_loss: Decibel::new(1.2),
+        }
+    }
+
+    /// Overrides the per-symbol modulation energy.
+    #[must_use]
+    pub fn with_modulation_energy(mut self, energy: Energy) -> MachZehnder {
+        self.modulation_energy = energy;
+        self
+    }
+
+    /// Overrides the insertion loss.
+    #[must_use]
+    pub fn with_insertion_loss(mut self, loss: Decibel) -> MachZehnder {
+        self.insertion_loss = loss;
+        self
+    }
+
+    /// Energy to modulate one symbol onto a carrier.
+    pub fn modulation_energy(&self) -> Energy {
+        self.modulation_energy
+    }
+
+    /// Optical insertion loss.
+    pub fn insertion_loss(&self) -> Decibel {
+        self.insertion_loss
+    }
+}
+
+impl Default for MachZehnder {
+    fn default() -> Self {
+        MachZehnder::new()
+    }
+}
+
+impl Component for MachZehnder {
+    fn name(&self) -> String {
+        "mach-zehnder".into()
+    }
+
+    fn area(&self) -> Area {
+        // Travelling-wave MZMs are long: ~1 mm × 50 µm.
+        Area::from_square_micrometers(50_000.0)
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        vec![(ActionKind::Convert, self.modulation_energy)]
+    }
+}
+
+/// A photodiode plus transimpedance amplifier (the `AO/AE` crossing).
+///
+/// Charged per detected sample.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::Photodiode;
+/// let pd = Photodiode::new();
+/// assert!(pd.detection_energy().femtojoules() > 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Photodiode {
+    detection_energy: Energy,
+    sensitivity: Power,
+}
+
+impl Photodiode {
+    /// Builds a photodiode+TIA with ~150 fJ/sample and −20 dBm sensitivity.
+    pub fn new() -> Photodiode {
+        Photodiode {
+            detection_energy: Energy::from_femtojoules(150.0),
+            sensitivity: Power::from_dbm(-20.0),
+        }
+    }
+
+    /// Overrides the per-sample detection (TIA) energy.
+    #[must_use]
+    pub fn with_detection_energy(mut self, energy: Energy) -> Photodiode {
+        self.detection_energy = energy;
+        self
+    }
+
+    /// Overrides the minimum detectable optical power.
+    #[must_use]
+    pub fn with_sensitivity(mut self, sensitivity: Power) -> Photodiode {
+        self.sensitivity = sensitivity;
+        self
+    }
+
+    /// Energy to detect one analog sample.
+    pub fn detection_energy(&self) -> Energy {
+        self.detection_energy
+    }
+
+    /// Minimum optical power required at the detector.
+    pub fn sensitivity(&self) -> Power {
+        self.sensitivity
+    }
+}
+
+impl Default for Photodiode {
+    fn default() -> Self {
+        Photodiode::new()
+    }
+}
+
+impl Component for Photodiode {
+    fn name(&self) -> String {
+        "photodiode".into()
+    }
+
+    fn area(&self) -> Area {
+        Area::from_square_micrometers(200.0)
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        vec![(ActionKind::Convert, self.detection_energy)]
+    }
+}
+
+/// A passive star coupler broadcasting one optical input to `fanout`
+/// outputs.
+///
+/// Consumes no electrical energy but splits optical power: the fundamental
+/// `10·log10(fanout)` dB division plus excess loss per stage. This loss is
+/// what makes "more optical reuse" cost laser power — the paper's Fig. 5
+/// tradeoff.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::StarCoupler;
+/// let sc = StarCoupler::new(8);
+/// assert!(sc.total_loss().db() > 9.0); // 9 dB split + excess
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarCoupler {
+    fanout: usize,
+    excess_per_stage: Decibel,
+}
+
+impl StarCoupler {
+    /// Builds a 1:`fanout` star coupler with 0.2 dB excess loss per stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero.
+    pub fn new(fanout: usize) -> StarCoupler {
+        assert!(fanout > 0, "fanout must be nonzero");
+        StarCoupler {
+            fanout,
+            excess_per_stage: Decibel::new(0.2),
+        }
+    }
+
+    /// Overrides the excess loss per 1:2 stage.
+    #[must_use]
+    pub fn with_excess_loss(mut self, per_stage: Decibel) -> StarCoupler {
+        self.excess_per_stage = per_stage;
+        self
+    }
+
+    /// Number of output ports.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// The fundamental power-splitting loss: `10·log10(fanout)` dB.
+    pub fn splitting_loss(&self) -> Decibel {
+        Decibel::from_linear(self.fanout as f64)
+    }
+
+    /// Excess (implementation) loss of the splitting tree.
+    pub fn excess_loss(&self) -> Decibel {
+        Decibel::per_split(self.excess_per_stage.db(), self.fanout)
+    }
+
+    /// Total loss from the input port to any single output port.
+    pub fn total_loss(&self) -> Decibel {
+        self.splitting_loss() + self.excess_loss()
+    }
+}
+
+impl Component for StarCoupler {
+    fn name(&self) -> String {
+        format!("star-coupler-1x{}", self.fanout)
+    }
+
+    fn area(&self) -> Area {
+        Area::from_square_micrometers(100.0 * self.fanout as f64)
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        Vec::new() // passive
+    }
+}
+
+/// A silicon waveguide segment.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::Waveguide;
+/// let wg = Waveguide::new(10.0); // 10 mm
+/// assert!((wg.propagation_loss().db() - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveguide {
+    length_mm: f64,
+    loss_db_per_cm: f64,
+}
+
+impl Waveguide {
+    /// Builds a waveguide of `length_mm` with 2 dB/cm propagation loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_mm` is negative.
+    pub fn new(length_mm: f64) -> Waveguide {
+        assert!(length_mm >= 0.0, "length must be non-negative");
+        Waveguide {
+            length_mm,
+            loss_db_per_cm: 2.0,
+        }
+    }
+
+    /// Overrides the propagation loss per centimeter.
+    #[must_use]
+    pub fn with_loss_per_cm(mut self, db_per_cm: f64) -> Waveguide {
+        self.loss_db_per_cm = db_per_cm;
+        self
+    }
+
+    /// Total propagation loss over the segment.
+    pub fn propagation_loss(&self) -> Decibel {
+        Decibel::new(self.loss_db_per_cm * self.length_mm / 10.0)
+    }
+}
+
+impl Component for Waveguide {
+    fn name(&self) -> String {
+        format!("waveguide-{:.1}mm", self.length_mm)
+    }
+
+    fn area(&self) -> Area {
+        // ~0.5 µm wide track.
+        Area::from_square_micrometers(0.5 * self.length_mm * 1000.0)
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        Vec::new() // passive
+    }
+}
+
+/// An off-chip laser source.
+///
+/// Charged per symbol slot per wavelength: `E = P_wall / f_clock` where
+/// `P_wall = P_optical / wall-plug efficiency`.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::Laser;
+/// use lumen_units::{Frequency, Power};
+/// let laser = Laser::new(Power::from_milliwatts(4.0), 0.1);
+/// let e = laser.energy_per_symbol(Frequency::from_gigahertz(5.0));
+/// assert!((e.picojoules() - 8.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Laser {
+    optical_power: Power,
+    wall_plug_efficiency: f64,
+}
+
+impl Laser {
+    /// Builds a laser emitting `optical_power` at the given wall-plug
+    /// efficiency (0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wall_plug_efficiency` is not in (0, 1].
+    pub fn new(optical_power: Power, wall_plug_efficiency: f64) -> Laser {
+        assert!(
+            wall_plug_efficiency > 0.0 && wall_plug_efficiency <= 1.0,
+            "wall-plug efficiency must be in (0, 1]"
+        );
+        Laser {
+            optical_power,
+            wall_plug_efficiency,
+        }
+    }
+
+    /// Emitted optical power.
+    pub fn optical_power(&self) -> Power {
+        self.optical_power
+    }
+
+    /// Wall-plug (electrical-to-optical) efficiency.
+    pub fn wall_plug_efficiency(&self) -> f64 {
+        self.wall_plug_efficiency
+    }
+
+    /// Electrical (wall) power drawn.
+    pub fn wall_power(&self) -> Power {
+        self.optical_power / self.wall_plug_efficiency
+    }
+
+    /// Electrical energy per symbol slot at the given symbol rate.
+    pub fn energy_per_symbol(&self, clock: Frequency) -> Energy {
+        self.wall_power() * clock.period()
+    }
+}
+
+impl Component for Laser {
+    fn name(&self) -> String {
+        "laser".into()
+    }
+
+    fn area(&self) -> Area {
+        Area::ZERO // off-chip
+    }
+
+    fn static_power(&self) -> Power {
+        self.wall_power()
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        Vec::new() // charged per cycle via `energy_per_symbol`
+    }
+}
+
+/// A Kerr frequency-comb source providing `wavelengths` carriers from one
+/// pump laser (how WDM photonic accelerators source many channels).
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::CombSource;
+/// use lumen_units::Power;
+/// let comb = CombSource::new(8, Power::from_milliwatts(1.0), 0.1, 0.3);
+/// assert_eq!(comb.wavelengths(), 8);
+/// assert!(comb.wall_power().milliwatts() > 8.0 / 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombSource {
+    wavelengths: usize,
+    power_per_line: Power,
+    wall_plug_efficiency: f64,
+    comb_conversion_efficiency: f64,
+}
+
+impl CombSource {
+    /// Builds a comb with `wavelengths` lines of `power_per_line` each,
+    /// produced at `wall_plug_efficiency` (pump laser) ×
+    /// `comb_conversion_efficiency` (pump→comb line conversion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavelengths` is zero or efficiencies are not in (0, 1].
+    pub fn new(
+        wavelengths: usize,
+        power_per_line: Power,
+        wall_plug_efficiency: f64,
+        comb_conversion_efficiency: f64,
+    ) -> CombSource {
+        assert!(wavelengths > 0, "need at least one wavelength");
+        assert!(
+            wall_plug_efficiency > 0.0 && wall_plug_efficiency <= 1.0,
+            "wall-plug efficiency must be in (0, 1]"
+        );
+        assert!(
+            comb_conversion_efficiency > 0.0 && comb_conversion_efficiency <= 1.0,
+            "comb conversion efficiency must be in (0, 1]"
+        );
+        CombSource {
+            wavelengths,
+            power_per_line,
+            wall_plug_efficiency,
+            comb_conversion_efficiency,
+        }
+    }
+
+    /// Number of carrier wavelengths.
+    pub fn wavelengths(&self) -> usize {
+        self.wavelengths
+    }
+
+    /// Optical power per comb line.
+    pub fn power_per_line(&self) -> Power {
+        self.power_per_line
+    }
+
+    /// Total electrical power drawn by the pump.
+    pub fn wall_power(&self) -> Power {
+        self.power_per_line * self.wavelengths as f64
+            / (self.wall_plug_efficiency * self.comb_conversion_efficiency)
+    }
+
+    /// Electrical energy per symbol slot (all lines together).
+    pub fn energy_per_symbol(&self, clock: Frequency) -> Energy {
+        self.wall_power() * clock.period()
+    }
+}
+
+impl Component for CombSource {
+    fn name(&self) -> String {
+        format!("comb-source-{}λ", self.wavelengths)
+    }
+
+    fn area(&self) -> Area {
+        Area::ZERO // off-chip pump + ring
+    }
+
+    fn static_power(&self) -> Power {
+        self.wall_power()
+    }
+
+    fn action_energies(&self) -> Vec<(ActionKind, Energy)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_units::Frequency;
+
+    #[test]
+    fn mrr_hold_energy_scales_with_clock() {
+        let mrr = Microring::new();
+        let slow = mrr.hold_energy(Frequency::from_gigahertz(1.0));
+        let fast = mrr.hold_energy(Frequency::from_gigahertz(10.0));
+        assert!((slow / fast - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mzm_default_is_sub_pj_to_pj() {
+        let e = MachZehnder::new().modulation_energy();
+        assert!(e.picojoules() > 0.1 && e.picojoules() < 5.0);
+    }
+
+    #[test]
+    fn star_coupler_loss_grows_with_fanout() {
+        let l2 = StarCoupler::new(2).total_loss();
+        let l16 = StarCoupler::new(16).total_loss();
+        assert!(l16.db() > l2.db());
+        // 1:16 fundamental split alone is 12 dB.
+        assert!(l16.db() >= 12.0);
+    }
+
+    #[test]
+    fn star_coupler_unit_fanout_lossless_split() {
+        let sc = StarCoupler::new(1);
+        assert_eq!(sc.splitting_loss().db(), 0.0);
+        assert_eq!(sc.excess_loss().db(), 0.0);
+    }
+
+    #[test]
+    fn waveguide_loss_linear_in_length() {
+        let l1 = Waveguide::new(5.0).propagation_loss();
+        let l2 = Waveguide::new(10.0).propagation_loss();
+        assert!((l2.db() / l1.db() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laser_energy_per_symbol() {
+        let laser = Laser::new(Power::from_milliwatts(1.0), 0.2);
+        assert!((laser.wall_power().milliwatts() - 5.0).abs() < 1e-12);
+        let e = laser.energy_per_symbol(Frequency::from_gigahertz(5.0));
+        assert!((e.picojoules() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comb_source_accounts_for_conversion() {
+        let comb = CombSource::new(8, Power::from_milliwatts(0.5), 0.2, 0.25);
+        // 8 × 0.5 mW optical / (0.2 × 0.25) = 80 mW wall.
+        assert!((comb.wall_power().milliwatts() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn passive_components_report_no_dynamic_actions() {
+        assert!(StarCoupler::new(4).action_energies().is_empty());
+        assert!(Waveguide::new(1.0).action_energies().is_empty());
+    }
+
+    #[test]
+    fn photodiode_sensitivity_default() {
+        let pd = Photodiode::new();
+        assert!((pd.sensitivity().dbm() + 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Optical-device scaling projections.
+//!
+//! The Albireo paper (ISCA 2021) evaluates its photonic accelerator under
+//! device-energy projections for future optical components; the ISPASS 2024
+//! modeling paper validates against three of them. [`ScalingProfile`]
+//! captures those corners as multipliers over the conservative (near-term)
+//! device energies in this crate.
+
+use std::fmt;
+
+/// A named optical-technology corner.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_components::ScalingProfile;
+/// let f = ScalingProfile::Aggressive.factors();
+/// assert!(f.modulator < ScalingProfile::Conservative.factors().modulator);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalingProfile {
+    /// Near-term devices (demonstrated energies).
+    Conservative,
+    /// Mid-term projections.
+    Moderate,
+    /// Long-term projections (every optical device at its projected floor).
+    Aggressive,
+}
+
+impl ScalingProfile {
+    /// All profiles, from least to most optimistic.
+    pub const ALL: [ScalingProfile; 3] = [
+        ScalingProfile::Conservative,
+        ScalingProfile::Moderate,
+        ScalingProfile::Aggressive,
+    ];
+
+    /// The device-energy multipliers of this corner.
+    ///
+    /// Digital components (SRAM, DRAM, NoC) do **not** scale — they are
+    /// already mature — which is exactly why DRAM dominates the
+    /// aggressively-scaled system in the paper's Fig. 4.
+    pub fn factors(self) -> ScalingFactors {
+        match self {
+            ScalingProfile::Conservative => ScalingFactors {
+                modulator: 1.0,
+                tuning: 1.0,
+                detector: 1.0,
+                adc: 1.0,
+                dac: 1.0,
+                laser_wall_plug_efficiency: 0.10,
+                detector_sensitivity_dbm: -20.0,
+            },
+            ScalingProfile::Moderate => ScalingFactors {
+                modulator: 0.40,
+                tuning: 0.40,
+                detector: 0.45,
+                adc: 0.42,
+                dac: 0.42,
+                laser_wall_plug_efficiency: 0.17,
+                detector_sensitivity_dbm: -24.0,
+            },
+            ScalingProfile::Aggressive => ScalingFactors {
+                modulator: 0.115,
+                tuning: 0.12,
+                detector: 0.15,
+                adc: 0.145,
+                dac: 0.15,
+                laser_wall_plug_efficiency: 0.25,
+                detector_sensitivity_dbm: -28.0,
+            },
+        }
+    }
+}
+
+impl fmt::Display for ScalingProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalingProfile::Conservative => "conservative",
+            ScalingProfile::Moderate => "moderate",
+            ScalingProfile::Aggressive => "aggressive",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Multipliers applied to conservative device energies, plus absolute
+/// laser/detector figures of merit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingFactors {
+    /// MZM modulation-energy multiplier.
+    pub modulator: f64,
+    /// MRR thermal-tuning-power multiplier.
+    pub tuning: f64,
+    /// Photodiode/TIA detection-energy multiplier.
+    pub detector: f64,
+    /// ADC conversion-energy multiplier.
+    pub adc: f64,
+    /// DAC conversion-energy multiplier.
+    pub dac: f64,
+    /// Laser wall-plug efficiency (absolute, not a multiplier).
+    pub laser_wall_plug_efficiency: f64,
+    /// Detector sensitivity in dBm (absolute; lower = better).
+    pub detector_sensitivity_dbm: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_are_monotonic() {
+        let c = ScalingProfile::Conservative.factors();
+        let m = ScalingProfile::Moderate.factors();
+        let a = ScalingProfile::Aggressive.factors();
+        for get in [
+            |f: &ScalingFactors| f.modulator,
+            |f: &ScalingFactors| f.tuning,
+            |f: &ScalingFactors| f.detector,
+            |f: &ScalingFactors| f.adc,
+            |f: &ScalingFactors| f.dac,
+        ] {
+            assert!(get(&c) > get(&m) && get(&m) > get(&a), "multipliers shrink");
+        }
+        assert!(c.laser_wall_plug_efficiency < a.laser_wall_plug_efficiency);
+        assert!(c.detector_sensitivity_dbm > a.detector_sensitivity_dbm);
+    }
+
+    #[test]
+    fn conservative_is_identity_on_multipliers() {
+        let f = ScalingProfile::Conservative.factors();
+        for v in [f.modulator, f.tuning, f.detector, f.adc, f.dac] {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ScalingProfile::Aggressive.to_string(), "aggressive");
+        assert_eq!(ScalingProfile::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Design-space exploration drivers: sweeps and Pareto fronts.
+//!
+//! The paper motivates bringing a modeling tool to photonics with "rapid
+//! design space exploration over the large co-design space"; these helpers
+//! are the programmatic entry point: name a set of system variants, run a
+//! workload over all of them, compare.
+
+use crate::{NetworkEvaluation, NetworkOptions, System, SystemError};
+use lumen_workload::Network;
+
+/// One named design point: a system variant plus evaluation options.
+pub struct DesignPoint {
+    /// Label shown in sweep results.
+    pub label: String,
+    /// The system variant.
+    pub system: System,
+    /// Evaluation options (batching, fusion).
+    pub options: NetworkOptions,
+}
+
+impl DesignPoint {
+    /// Builds a design point with baseline options.
+    pub fn new(label: impl Into<String>, system: System) -> DesignPoint {
+        DesignPoint {
+            label: label.into(),
+            system,
+            options: NetworkOptions::baseline(),
+        }
+    }
+
+    /// Sets the evaluation options (builder style).
+    #[must_use]
+    pub fn with_options(mut self, options: NetworkOptions) -> DesignPoint {
+        self.options = options;
+        self
+    }
+}
+
+/// The evaluation of one design point in a sweep.
+pub struct SweepEntry {
+    /// The design point's label.
+    pub label: String,
+    /// The network evaluation.
+    pub evaluation: NetworkEvaluation,
+}
+
+/// Evaluates `network` on every design point, in order.
+///
+/// # Errors
+///
+/// Fails on the first design point whose mapping fails, reporting its
+/// label in the error string.
+pub fn sweep(points: Vec<DesignPoint>, network: &Network) -> Result<Vec<SweepEntry>, SystemError> {
+    let mut results = Vec::with_capacity(points.len());
+    for point in points {
+        let evaluation = point.system.evaluate_network(network, &point.options)?;
+        results.push(SweepEntry {
+            label: point.label,
+            evaluation,
+        });
+    }
+    Ok(results)
+}
+
+/// Indices of the non-dominated points under *(minimize x, minimize y)*.
+///
+/// A point dominates another if it is no worse in both objectives and
+/// strictly better in at least one.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_core::dse::pareto_front;
+/// let pts = [(1.0, 5.0), (2.0, 2.0), (3.0, 3.0), (5.0, 1.0)];
+/// assert_eq!(pareto_front(&pts), vec![0, 1, 3]); // (3,3) dominated by (2,2)
+/// ```
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, &(xi, yi)) in points.iter().enumerate() {
+        for (j, &(xj, yj)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let no_worse = xj <= xi && yj <= yi;
+            let strictly_better = xj < xi || yj < yi;
+            if no_worse && strictly_better {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MappingStrategy;
+    use lumen_arch::{ArchBuilder, Domain, Fanout};
+    use lumen_units::{Energy, Frequency};
+    use lumen_workload::{Dim, DimSet, Layer, TensorSet};
+
+    fn system(mac_pj: f64) -> System {
+        let arch = ArchBuilder::new("v", Frequency::from_gigahertz(1.0))
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .read_energy(Energy::from_picojoules(50.0))
+            .write_energy(Energy::from_picojoules(50.0))
+            .done()
+            .storage("glb", Domain::DigitalElectrical, TensorSet::all())
+            .read_energy(Energy::from_picojoules(1.0))
+            .write_energy(Energy::from_picojoules(1.0))
+            .fanout(Fanout::new(4).allow(DimSet::from_dims(&[Dim::M])))
+            .done()
+            .compute("mac", Domain::DigitalElectrical, Energy::from_picojoules(mac_pj))
+            .build()
+            .unwrap();
+        System::new(arch, MappingStrategy::default())
+    }
+
+    fn net() -> Network {
+        Network::new("n").push(Layer::conv2d("c", 1, 8, 4, 8, 8, 3, 3))
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_labels() {
+        let points = vec![
+            DesignPoint::new("cheap-mac", system(0.01)),
+            DesignPoint::new("pricey-mac", system(1.0)),
+        ];
+        let results = sweep(points, &net()).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].label, "cheap-mac");
+        assert!(
+            results[0].evaluation.energy.total() < results[1].evaluation.energy.total(),
+            "cheaper MAC yields lower total energy"
+        );
+    }
+
+    #[test]
+    fn pareto_front_simple() {
+        let pts = [(1.0, 1.0), (2.0, 2.0)];
+        assert_eq!(pareto_front(&pts), vec![0]);
+    }
+
+    #[test]
+    fn pareto_keeps_ties() {
+        // Identical points do not dominate each other (no strict better).
+        let pts = [(1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn pareto_empty() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

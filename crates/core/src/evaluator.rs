@@ -1,0 +1,465 @@
+//! The system evaluator: mapping strategy + energy accounting.
+
+use crate::{CostCategory, EnergyBreakdown};
+use lumen_arch::Architecture;
+use lumen_mapper::search::{
+    greedy_mapping, random_search, SearchConfig, TemporalPlan, DEFAULT_SPATIAL_PRIORITY,
+};
+use lumen_mapper::{analyze, LayerAnalysis, Mapping, MappingError};
+use lumen_units::Energy;
+use lumen_workload::{Layer, TensorKind};
+use std::fmt;
+use std::sync::Arc;
+
+/// A caller-provided mapping constructor.
+pub type MappingFn = dyn Fn(&Architecture, &Layer) -> Mapping + Send + Sync;
+
+/// How a [`System`] chooses a mapping for each layer.
+#[derive(Clone)]
+pub enum MappingStrategy {
+    /// Deterministic greedy spatial packing with all leftover temporal
+    /// loops at the given storage level (0 = the backing store).
+    Greedy {
+        /// Storage level receiving the temporal loops.
+        temporal_level: usize,
+    },
+    /// Deterministic greedy spatial packing with an explicit temporal
+    /// plan — e.g. batch-innermost-of-weights dataflows that amortize
+    /// weight fetches across a batch.
+    Planned {
+        /// Spatial packing priority.
+        priority: Vec<lumen_workload::Dim>,
+        /// Temporal loop placement.
+        plan: TemporalPlan,
+    },
+    /// Seeded random search minimizing total system energy.
+    RandomSearch(SearchConfig),
+    /// Caller-provided mapping constructor (e.g. an architecture-specific
+    /// dataflow like Albireo's).
+    Custom(Arc<MappingFn>),
+}
+
+impl Default for MappingStrategy {
+    /// Greedy with temporal loops at the innermost storage level above
+    /// compute — a sensible output-stationary default.
+    fn default() -> Self {
+        MappingStrategy::Greedy { temporal_level: 1 }
+    }
+}
+
+impl fmt::Debug for MappingStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingStrategy::Greedy { temporal_level } => f
+                .debug_struct("Greedy")
+                .field("temporal_level", temporal_level)
+                .finish(),
+            MappingStrategy::Planned { priority, plan } => f
+                .debug_struct("Planned")
+                .field("priority", priority)
+                .field("plan", plan)
+                .finish(),
+            MappingStrategy::RandomSearch(cfg) => {
+                f.debug_tuple("RandomSearch").field(cfg).finish()
+            }
+            MappingStrategy::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+/// Errors from system evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// The strategy produced no legal mapping for a layer.
+    NoMapping {
+        /// The layer that could not be mapped.
+        layer: String,
+        /// The underlying mapping error, if one was produced.
+        cause: Option<MappingError>,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::NoMapping { layer, cause } => {
+                write!(f, "no legal mapping found for layer `{layer}`")?;
+                if let Some(cause) = cause {
+                    write!(f, ": {cause}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// The result of evaluating one layer on a system.
+#[derive(Debug, Clone)]
+pub struct LayerEvaluation {
+    /// The evaluated layer's name.
+    pub layer_name: String,
+    /// The mapping used.
+    pub mapping: Mapping,
+    /// Access/conversion/cycle analysis.
+    pub analysis: LayerAnalysis,
+    /// Itemized energy.
+    pub energy: EnergyBreakdown,
+}
+
+impl LayerEvaluation {
+    /// Energy per true MAC.
+    pub fn energy_per_mac(&self) -> Energy {
+        self.energy.total() / self.analysis.macs as f64
+    }
+}
+
+/// Traffic rerouting for fused-layer dataflows: charge a tensor's traffic
+/// at one level using another level's energetics (e.g. inter-layer
+/// activations that stay in the global buffer instead of DRAM).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Reroute {
+    /// `(tensor, from level index, to level index)` entries.
+    pub entries: Vec<(TensorKind, usize, usize)>,
+}
+
+impl Reroute {
+    fn target(&self, tensor: TensorKind, level: usize) -> Option<usize> {
+        self.entries
+            .iter()
+            .find(|(t, from, _)| *t == tensor && *from == level)
+            .map(|(_, _, to)| *to)
+    }
+}
+
+/// An architecture paired with a mapping strategy — the object the
+/// paper's experiments evaluate.
+#[derive(Debug, Clone)]
+pub struct System {
+    arch: Architecture,
+    strategy: MappingStrategy,
+}
+
+impl System {
+    /// Couples an architecture with a mapping strategy.
+    pub fn new(arch: Architecture, strategy: MappingStrategy) -> System {
+        System { arch, strategy }
+    }
+
+    /// The underlying architecture.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The mapping strategy.
+    pub fn strategy(&self) -> &MappingStrategy {
+        &self.strategy
+    }
+
+    /// Finds a mapping for `layer` per the strategy.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::NoMapping`] if the strategy cannot produce a legal
+    /// mapping.
+    pub fn map_layer(&self, layer: &Layer) -> Result<Mapping, SystemError> {
+        let mapping = match &self.strategy {
+            MappingStrategy::Greedy { temporal_level } => greedy_mapping(
+                &self.arch,
+                layer,
+                &DEFAULT_SPATIAL_PRIORITY,
+                &TemporalPlan::all_at(*temporal_level),
+            ),
+            MappingStrategy::Planned { priority, plan } => {
+                greedy_mapping(&self.arch, layer, priority, plan)
+            }
+            MappingStrategy::RandomSearch(cfg) => {
+                let arch = &self.arch;
+                let result = random_search(arch, layer, *cfg, |analysis| {
+                    energy_from_analysis(arch, analysis, &Reroute::default())
+                        .total()
+                        .picojoules()
+                })
+                .ok_or_else(|| SystemError::NoMapping {
+                    layer: layer.name().to_string(),
+                    cause: None,
+                })?;
+                return Ok(result.mapping);
+            }
+            MappingStrategy::Custom(f) => f(&self.arch, layer),
+        };
+        Ok(mapping)
+    }
+
+    /// Maps and evaluates one layer.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::NoMapping`] if no legal mapping exists (including
+    /// capacity violations).
+    pub fn evaluate_layer(&self, layer: &Layer) -> Result<LayerEvaluation, SystemError> {
+        self.evaluate_layer_rerouted(layer, &Reroute::default())
+    }
+
+    /// Evaluates a layer with an explicit mapping (no strategy involved).
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::NoMapping`] wrapping the mapping error if the
+    /// mapping is illegal.
+    pub fn evaluate_layer_with_mapping(
+        &self,
+        layer: &Layer,
+        mapping: Mapping,
+    ) -> Result<LayerEvaluation, SystemError> {
+        let analysis =
+            analyze(&self.arch, layer, &mapping).map_err(|e| SystemError::NoMapping {
+                layer: layer.name().to_string(),
+                cause: Some(e),
+            })?;
+        let energy = energy_from_analysis(&self.arch, &analysis, &Reroute::default());
+        Ok(LayerEvaluation {
+            layer_name: layer.name().to_string(),
+            mapping,
+            analysis,
+            energy,
+        })
+    }
+
+    pub(crate) fn evaluate_layer_rerouted(
+        &self,
+        layer: &Layer,
+        reroute: &Reroute,
+    ) -> Result<LayerEvaluation, SystemError> {
+        let mapping = self.map_layer(layer)?;
+        let analysis =
+            analyze(&self.arch, layer, &mapping).map_err(|e| SystemError::NoMapping {
+                layer: layer.name().to_string(),
+                cause: Some(e),
+            })?;
+        let energy = energy_from_analysis(&self.arch, &analysis, reroute);
+        Ok(LayerEvaluation {
+            layer_name: layer.name().to_string(),
+            mapping,
+            analysis,
+            energy,
+        })
+    }
+}
+
+/// Converts a nest analysis into an itemized energy breakdown under the
+/// architecture's per-level energetics.
+pub(crate) fn energy_from_analysis(
+    arch: &Architecture,
+    analysis: &LayerAnalysis,
+    reroute: &Reroute,
+) -> EnergyBreakdown {
+    let mut breakdown = EnergyBreakdown::new();
+
+    for (x, level) in arch.levels().iter().enumerate() {
+        let traffic = analysis.level(x);
+        if level.kind().is_storage() {
+            for t in TensorKind::ALL {
+                let (label, read_e, write_e) = match reroute.target(t, x) {
+                    Some(to) => {
+                        let target = &arch.levels()[to];
+                        (
+                            target.name().to_string(),
+                            target.read_energy(),
+                            target.write_energy(),
+                        )
+                    }
+                    None => (
+                        level.name().to_string(),
+                        level.read_energy(),
+                        level.write_energy(),
+                    ),
+                };
+                breakdown.add(
+                    label.clone(),
+                    CostCategory::Storage,
+                    Some(t),
+                    read_e * traffic.reads[t],
+                );
+                breakdown.add(
+                    label,
+                    CostCategory::Storage,
+                    Some(t),
+                    write_e * traffic.writes[t],
+                );
+            }
+        } else if level.kind().is_converter() {
+            for t in TensorKind::ALL {
+                breakdown.add(
+                    level.name().to_string(),
+                    CostCategory::Conversion,
+                    Some(t),
+                    level.convert_energy() * traffic.conversions[t],
+                );
+            }
+        }
+    }
+
+    // Compute: charge padded MACs (idle-lane padding still switches).
+    breakdown.add(
+        arch.compute_level().name().to_string(),
+        CostCategory::Compute,
+        None,
+        arch.mac_energy() * analysis.padded_macs as f64,
+    );
+
+    // Per-cycle costs: lasers and tuning burn for every cycle; gateable
+    // costs scale with the fraction of lanes in use.
+    for cost in arch.per_cycle_costs() {
+        let factor = if cost.gateable {
+            analysis.spatial_utilization
+        } else {
+            1.0
+        };
+        breakdown.add(
+            cost.name.clone(),
+            CostCategory::PerCycle,
+            None,
+            cost.energy_per_cycle * (analysis.cycles as f64) * factor,
+        );
+    }
+
+    // Leakage over the runtime.
+    let runtime = arch.clock().period() * analysis.cycles as f64;
+    let static_energy = arch.total_static_power() * runtime;
+    breakdown.add("static", CostCategory::Static, None, static_energy);
+
+    breakdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_arch::{ArchBuilder, Domain, Fanout};
+    use lumen_units::Frequency;
+    use lumen_workload::{Dim, DimSet, TensorSet};
+
+    fn toy_arch() -> Architecture {
+        ArchBuilder::new("toy", Frequency::from_gigahertz(1.0))
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .read_energy(Energy::from_picojoules(100.0))
+            .write_energy(Energy::from_picojoules(100.0))
+            .done()
+            .storage("glb", Domain::DigitalElectrical, TensorSet::all())
+            .read_energy(Energy::from_picojoules(1.0))
+            .write_energy(Energy::from_picojoules(1.0))
+            .fanout(Fanout::new(8).allow(DimSet::from_dims(&[Dim::M, Dim::C])))
+            .done()
+            .compute("mac", Domain::DigitalElectrical, Energy::from_picojoules(0.1))
+            .build()
+            .unwrap()
+    }
+
+    fn layer() -> Layer {
+        Layer::conv2d("conv", 1, 16, 8, 8, 8, 3, 3)
+    }
+
+    #[test]
+    fn greedy_system_evaluates() {
+        let system = System::new(toy_arch(), MappingStrategy::default());
+        let eval = system.evaluate_layer(&layer()).unwrap();
+        assert!(eval.energy.total() > Energy::ZERO);
+        assert_eq!(eval.analysis.macs, layer().macs());
+        assert!(eval.energy_per_mac() > Energy::ZERO);
+        // Compute energy = padded macs x 0.1 pJ.
+        let compute = eval.energy.by_category(CostCategory::Compute);
+        assert!(
+            (compute.picojoules() - 0.1 * eval.analysis.padded_macs as f64).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn random_search_not_worse_than_greedy() {
+        let greedy = System::new(toy_arch(), MappingStrategy::default());
+        let searched = System::new(
+            toy_arch(),
+            MappingStrategy::RandomSearch(SearchConfig {
+                iterations: 150,
+                seed: 42,
+            }),
+        );
+        let g = greedy.evaluate_layer(&layer()).unwrap().energy.total();
+        let s = searched.evaluate_layer(&layer()).unwrap().energy.total();
+        assert!(
+            s.picojoules() <= g.picojoules() * 1.001,
+            "searched {s} vs greedy {g}"
+        );
+    }
+
+    #[test]
+    fn custom_strategy_runs_caller_mapping() {
+        let custom = MappingStrategy::Custom(Arc::new(|arch, layer| {
+            greedy_mapping(
+                arch,
+                layer,
+                &DEFAULT_SPATIAL_PRIORITY,
+                &TemporalPlan::all_at(0),
+            )
+        }));
+        let system = System::new(toy_arch(), custom);
+        let eval = system.evaluate_layer(&layer()).unwrap();
+        // All temporal loops at DRAM: buffer tiles are tiny; DRAM sees a
+        // lot of traffic.
+        assert!(eval.energy.by_label("dram") > Energy::ZERO);
+    }
+
+    #[test]
+    fn per_cycle_costs_scale_with_cycles() {
+        let arch = ArchBuilder::new("pc", Frequency::from_gigahertz(1.0))
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .done()
+            .per_cycle("laser", Energy::from_picojoules(2.0), false)
+            .compute("mac", Domain::AnalogOptical, Energy::ZERO)
+            .build()
+            .unwrap();
+        let system = System::new(arch, MappingStrategy::Greedy { temporal_level: 0 });
+        let eval = system.evaluate_layer(&layer()).unwrap();
+        let laser = eval.energy.by_label("laser");
+        assert!(
+            (laser.picojoules() - 2.0 * eval.analysis.cycles as f64).abs() < 1e-6,
+            "laser energy charged per cycle"
+        );
+    }
+
+    #[test]
+    fn reroute_moves_traffic_energy() {
+        let system = System::new(toy_arch(), MappingStrategy::default());
+        let plain = system.evaluate_layer(&layer()).unwrap();
+        let reroute = Reroute {
+            entries: vec![(TensorKind::Input, 0, 1)],
+        };
+        let fused = system.evaluate_layer_rerouted(&layer(), &reroute).unwrap();
+        // DRAM input energy disappears; total drops (glb is 100x cheaper).
+        assert_eq!(
+            fused.energy.by_label_and_tensor("dram", TensorKind::Input),
+            Energy::ZERO
+        );
+        assert!(fused.energy.total() < plain.energy.total());
+        // Weights still hit DRAM.
+        assert!(fused.energy.by_label_and_tensor("dram", TensorKind::Weight) > Energy::ZERO);
+    }
+
+    #[test]
+    fn no_mapping_error_for_impossible_layer() {
+        // Capacity-bounded buffer too small for even one element tile of
+        // every tensor after greedy mapping -> expect NoMapping.
+        let arch = ArchBuilder::new("tiny", Frequency::from_gigahertz(1.0))
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .done()
+            .storage("buf", Domain::DigitalElectrical, TensorSet::all())
+            .capacity_bits(8)
+            .done()
+            .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+            .build()
+            .unwrap();
+        let system = System::new(arch, MappingStrategy::Greedy { temporal_level: 1 });
+        let err = system.evaluate_layer(&layer()).unwrap_err();
+        assert!(matches!(err, SystemError::NoMapping { .. }));
+    }
+}

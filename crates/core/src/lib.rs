@@ -1,0 +1,57 @@
+//! # lumen-core
+//!
+//! The full-system evaluator: turns *(architecture, workload, mapping
+//! strategy)* into energy, throughput and area estimates — the Rust
+//! counterpart of the CiMLoop/Timeloop/Accelergy stack the paper builds
+//! on, extended to photonic systems.
+//!
+//! * [`System`] couples an architecture with a [`MappingStrategy`] and
+//!   evaluates layers ([`System::evaluate_layer`]) or whole networks
+//!   ([`System::evaluate_network`]).
+//! * [`EnergyBreakdown`] itemizes energy by level, tensor and
+//!   [`CostCategory`] (storage access, conversion, compute, per-cycle
+//!   laser/tuning, static leakage).
+//! * [`NetworkOptions`] model the paper's full-system levers: **batching**
+//!   (amortizes weight DRAM traffic) and **fused-layer dataflow**
+//!   (inter-layer activations stay in the global buffer; Fig. 4).
+//! * [`dse`] provides sweep and Pareto utilities for design-space
+//!   exploration; [`report`] renders ASCII/CSV tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use lumen_arch::{ArchBuilder, Domain, Fanout};
+//! use lumen_core::{MappingStrategy, System};
+//! use lumen_units::{Energy, Frequency};
+//! use lumen_workload::{Dim, DimSet, Layer, TensorSet};
+//!
+//! let arch = ArchBuilder::new("toy", Frequency::from_gigahertz(1.0))
+//!     .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+//!     .read_energy(Energy::from_picojoules(100.0))
+//!     .write_energy(Energy::from_picojoules(100.0))
+//!     .done()
+//!     .storage("buf", Domain::DigitalElectrical, TensorSet::all())
+//!     .read_energy(Energy::from_picojoules(1.0))
+//!     .write_energy(Energy::from_picojoules(1.0))
+//!     .fanout(Fanout::new(16).allow(DimSet::from_dims(&[Dim::M, Dim::C])))
+//!     .done()
+//!     .compute("mac", Domain::DigitalElectrical, Energy::from_picojoules(0.05))
+//!     .build()
+//!     .unwrap();
+//!
+//! let system = System::new(arch, MappingStrategy::default());
+//! let layer = Layer::conv2d("conv", 1, 32, 16, 16, 16, 3, 3);
+//! let eval = system.evaluate_layer(&layer).unwrap();
+//! assert!(eval.energy.total().nanojoules() > 0.0);
+//! assert!(eval.analysis.utilization > 0.0);
+//! ```
+
+pub mod dse;
+mod energy;
+mod evaluator;
+mod network;
+pub mod report;
+
+pub use energy::{CostCategory, EnergyBreakdown, EnergyItem};
+pub use evaluator::{LayerEvaluation, MappingFn, MappingStrategy, System, SystemError};
+pub use network::{FusionConfig, NetworkEvaluation, NetworkOptions};

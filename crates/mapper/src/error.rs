@@ -1,0 +1,136 @@
+//! Mapping validation and analysis errors.
+
+use lumen_workload::Dim;
+use std::fmt;
+
+/// An invalid mapping for a given architecture and layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// The mapping has a different number of levels than the architecture.
+    LevelCountMismatch {
+        /// Levels in the mapping.
+        mapping: usize,
+        /// Levels in the architecture.
+        arch: usize,
+    },
+    /// Temporal loops were assigned to a converter level.
+    TemporalAtConverter {
+        /// The offending level name.
+        level: String,
+    },
+    /// The spatial loops at a level exceed its fan-out.
+    FanoutExceeded {
+        /// The offending level name.
+        level: String,
+        /// Parallel instances requested.
+        used: u64,
+        /// Parallel instances available.
+        available: u64,
+    },
+    /// A spatial loop uses a dimension the fan-out does not support (or
+    /// one gated off because the layer is strided).
+    DimNotAllowed {
+        /// The offending level name.
+        level: String,
+        /// The offending dimension.
+        dim: Dim,
+    },
+    /// A dimension's mapped bound product does not cover the layer.
+    Uncovered {
+        /// The offending dimension.
+        dim: Dim,
+        /// Product of mapped bounds.
+        mapped: u64,
+        /// Layer requirement.
+        needed: u64,
+    },
+    /// A tile does not fit in a bounded buffer.
+    CapacityExceeded {
+        /// The offending level name.
+        level: String,
+        /// Bits required by the mapping's tiles.
+        required_bits: u64,
+        /// Bits available.
+        available_bits: u64,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::LevelCountMismatch { mapping, arch } => write!(
+                f,
+                "mapping has {mapping} levels but the architecture has {arch}"
+            ),
+            MappingError::TemporalAtConverter { level } => write!(
+                f,
+                "temporal loops cannot be assigned to converter level `{level}`"
+            ),
+            MappingError::FanoutExceeded {
+                level,
+                used,
+                available,
+            } => write!(
+                f,
+                "level `{level}` maps {used} parallel instances but fans out to only {available}"
+            ),
+            MappingError::DimNotAllowed { level, dim } => write!(
+                f,
+                "dimension {dim} cannot map spatially at level `{level}` for this layer"
+            ),
+            MappingError::Uncovered {
+                dim,
+                mapped,
+                needed,
+            } => write!(
+                f,
+                "dimension {dim} is mapped to {mapped} iterations but the layer needs {needed}"
+            ),
+            MappingError::CapacityExceeded {
+                level,
+                required_bits,
+                available_bits,
+            } => write!(
+                f,
+                "tiles need {required_bits} bits at level `{level}` but only {available_bits} fit"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        let samples = vec![
+            MappingError::LevelCountMismatch { mapping: 2, arch: 3 },
+            MappingError::TemporalAtConverter { level: "dac".into() },
+            MappingError::FanoutExceeded {
+                level: "pe".into(),
+                used: 9,
+                available: 8,
+            },
+            MappingError::DimNotAllowed {
+                level: "pe".into(),
+                dim: Dim::Q,
+            },
+            MappingError::Uncovered {
+                dim: Dim::M,
+                mapped: 4,
+                needed: 8,
+            },
+            MappingError::CapacityExceeded {
+                level: "glb".into(),
+                required_bits: 100,
+                available_bits: 64,
+            },
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Mapping construction and search.
+//!
+//! Three engines with different determinism/coverage tradeoffs:
+//!
+//! * [`greedy_spatial`] + [`TemporalPlan`] — deterministic construction:
+//!   pack every fan-out with the highest-priority usable dimensions, then
+//!   place leftover temporal loops per an explicit plan. Experiments use
+//!   this for reproducible, paper-dataflow mappings.
+//! * [`random_search`] — seeded random tilings with best-of-N selection
+//!   under a caller-supplied cost function (e.g. full-system energy).
+//! * [`exhaustive_search`] — enumerates per-dimension temporal homes for
+//!   small problems; ground truth for tests.
+
+use crate::{analyze, LayerAnalysis, Mapping};
+use lumen_arch::Architecture;
+use lumen_workload::{Dim, DimMap, Layer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default spatial packing priority: parallelize output channels and
+/// spatial window dims first (they are the broadcast-friendly dims in
+/// photonic dataflows), batch last.
+pub const DEFAULT_SPATIAL_PRIORITY: [Dim; 7] =
+    [Dim::M, Dim::C, Dim::R, Dim::S, Dim::Q, Dim::P, Dim::N];
+
+/// Greedily packs every fan-out of `arch` with spatial loops for `layer`.
+///
+/// Walks levels outermost→innermost; at each fan-out, assigns dimensions
+/// in `priority` order, taking as much of each dimension's remaining
+/// extent as fits. Returns the partially-built mapping plus each
+/// dimension's leftover (ceil) extent for temporal placement.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_arch::{ArchBuilder, Domain, Fanout};
+/// use lumen_mapper::search::{greedy_spatial, DEFAULT_SPATIAL_PRIORITY};
+/// use lumen_units::{Energy, Frequency};
+/// use lumen_workload::{Dim, DimSet, Layer, TensorSet};
+///
+/// let arch = ArchBuilder::new("t", Frequency::from_gigahertz(1.0))
+///     .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+///     .done()
+///     .storage("buf", Domain::DigitalElectrical, TensorSet::all())
+///     .fanout(Fanout::new(8).allow(DimSet::from_dims(&[Dim::M])))
+///     .done()
+///     .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+///     .build()
+///     .unwrap();
+/// let layer = Layer::conv2d("l", 1, 16, 4, 8, 8, 3, 3);
+/// let (mapping, leftover) = greedy_spatial(&arch, &layer, &DEFAULT_SPATIAL_PRIORITY);
+/// assert_eq!(mapping.total_bound(Dim::M), 8); // fanout filled
+/// assert_eq!(leftover[Dim::M], 2); // 16 / 8 remains temporal
+/// ```
+pub fn greedy_spatial(
+    arch: &Architecture,
+    layer: &Layer,
+    priority: &[Dim],
+) -> (Mapping, DimMap<usize>) {
+    let mut mapping = Mapping::new(arch.levels().len());
+    let mut remaining = DimMap::from_fn(|d| layer.shape()[d]);
+    for (x, level) in arch.levels().iter().enumerate() {
+        let mut capacity = level.fanout().size();
+        if capacity <= 1 {
+            continue;
+        }
+        let usable = level.fanout().usable_dims(layer);
+        for &d in priority {
+            if capacity <= 1 {
+                break;
+            }
+            if !usable.contains(d) || remaining[d] <= 1 {
+                continue;
+            }
+            let f = remaining[d].min(capacity);
+            mapping.push_spatial(x, d, f);
+            remaining[d] = remaining[d].div_ceil(f);
+            capacity /= f;
+        }
+    }
+    (mapping, remaining)
+}
+
+/// Where leftover temporal extents go after spatial packing.
+///
+/// Dimensions listed in `assignments` are placed at their level in the
+/// given order (outermost first within a level); unlisted dimensions fall
+/// back to `default_level`, appended outer→inner in the order
+/// `N, P, Q, M, C, R, S` (reduction loops innermost, which keeps partial
+/// sums resident — the usual output-stationary default).
+#[derive(Debug, Clone)]
+pub struct TemporalPlan {
+    /// `(storage level index, dims outer→inner)` placements.
+    pub assignments: Vec<(usize, Vec<Dim>)>,
+    /// Level for dimensions not mentioned in `assignments`.
+    pub default_level: usize,
+}
+
+impl TemporalPlan {
+    /// Places everything at `level`.
+    pub fn all_at(level: usize) -> TemporalPlan {
+        TemporalPlan {
+            assignments: Vec::new(),
+            default_level: level,
+        }
+    }
+
+    /// Builds the complete mapping from a spatially-packed prefix.
+    pub fn apply(&self, mut mapping: Mapping, leftover: &DimMap<usize>) -> Mapping {
+        const DEFAULT_ORDER: [Dim; 7] =
+            [Dim::N, Dim::P, Dim::Q, Dim::M, Dim::C, Dim::R, Dim::S];
+        let mut placed = [false; 7];
+        for (level, dims) in &self.assignments {
+            for &d in dims {
+                if leftover[d] > 1 {
+                    mapping.push_temporal(*level, d, leftover[d]);
+                }
+                placed[d.index()] = true;
+            }
+        }
+        for d in DEFAULT_ORDER {
+            if !placed[d.index()] && leftover[d] > 1 {
+                mapping.push_temporal(self.default_level, d, leftover[d]);
+            }
+        }
+        mapping
+    }
+}
+
+/// A complete deterministic mapping: greedy spatial packing plus a
+/// temporal plan.
+pub fn greedy_mapping(
+    arch: &Architecture,
+    layer: &Layer,
+    priority: &[Dim],
+    plan: &TemporalPlan,
+) -> Mapping {
+    let (mapping, leftover) = greedy_spatial(arch, layer, priority);
+    plan.apply(mapping, &leftover)
+}
+
+/// Configuration for [`random_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct SearchConfig {
+    /// Number of random candidates to draw.
+    pub iterations: usize,
+    /// RNG seed (searches are reproducible).
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            iterations: 500,
+            seed: 0xC1A0,
+        }
+    }
+}
+
+/// The outcome of a search: the best mapping, its analysis and its cost.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The winning mapping.
+    pub mapping: Mapping,
+    /// Its nest analysis.
+    pub analysis: LayerAnalysis,
+    /// Its cost under the caller's objective.
+    pub cost: f64,
+    /// Legal candidates evaluated.
+    pub evaluated: usize,
+}
+
+/// Seeded random mapping search.
+///
+/// Spatial packing is fixed (greedy); temporal factorizations and level
+/// placements are randomized. Candidates failing validation or capacity
+/// checks are discarded. Returns `None` if no legal candidate was found.
+pub fn random_search(
+    arch: &Architecture,
+    layer: &Layer,
+    config: SearchConfig,
+    mut cost: impl FnMut(&LayerAnalysis) -> f64,
+) -> Option<SearchResult> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (base, leftover) = greedy_spatial(arch, layer, &DEFAULT_SPATIAL_PRIORITY);
+    let storage_levels: Vec<usize> = arch
+        .levels()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.kind().is_converter())
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut best: Option<SearchResult> = None;
+    let mut evaluated = 0usize;
+    for _ in 0..config.iterations {
+        let mut candidate = base.clone();
+        // Randomly split each leftover extent across storage levels.
+        let mut per_level_loops: Vec<Vec<(Dim, usize)>> =
+            vec![Vec::new(); arch.levels().len()];
+        for d in Dim::ALL {
+            let mut remaining = leftover[d];
+            if remaining <= 1 {
+                continue;
+            }
+            // Up to `storage_levels.len()` chunks.
+            let chunks = rng.gen_range(1..=storage_levels.len());
+            for i in 0..chunks {
+                if remaining <= 1 {
+                    break;
+                }
+                let f = if i + 1 == chunks {
+                    remaining
+                } else {
+                    random_factor(remaining, &mut rng)
+                };
+                if f > 1 {
+                    let level = storage_levels[rng.gen_range(0..storage_levels.len())];
+                    per_level_loops[level].push((d, f));
+                    remaining = remaining.div_ceil(f);
+                }
+            }
+            if remaining > 1 {
+                let level = storage_levels[rng.gen_range(0..storage_levels.len())];
+                per_level_loops[level].push((d, remaining));
+            }
+        }
+        // Random order within each level.
+        for (level, loops) in per_level_loops.iter_mut().enumerate() {
+            shuffle(loops, &mut rng);
+            for &(d, f) in loops.iter() {
+                candidate.push_temporal(level, d, f);
+            }
+        }
+        let Ok(analysis) = analyze(arch, layer, &candidate) else {
+            continue;
+        };
+        evaluated += 1;
+        let c = cost(&analysis);
+        if best.as_ref().is_none_or(|b| c < b.cost) {
+            best = Some(SearchResult {
+                mapping: candidate,
+                analysis,
+                cost: c,
+                evaluated,
+            });
+        }
+    }
+    if let Some(b) = &mut best {
+        b.evaluated = evaluated;
+    }
+    best
+}
+
+/// Exhaustive search over per-dimension temporal homes (no splitting):
+/// every dimension's leftover extent is assigned to one storage level.
+/// The space is `|storage levels|^7`; suitable for tests and small cases.
+pub fn exhaustive_search(
+    arch: &Architecture,
+    layer: &Layer,
+    mut cost: impl FnMut(&LayerAnalysis) -> f64,
+) -> Option<SearchResult> {
+    let (base, leftover) = greedy_spatial(arch, layer, &DEFAULT_SPATIAL_PRIORITY);
+    let storage_levels: Vec<usize> = arch
+        .levels()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.kind().is_converter())
+        .map(|(i, _)| i)
+        .collect();
+    let k = storage_levels.len();
+    let total = (k as u64).pow(7);
+
+    let mut best: Option<SearchResult> = None;
+    let mut evaluated = 0usize;
+    for combo in 0..total {
+        let mut candidate = base.clone();
+        let mut c = combo;
+        // Assign dims in the default outer->inner order so within-level
+        // ordering is deterministic.
+        for d in [Dim::N, Dim::P, Dim::Q, Dim::M, Dim::C, Dim::R, Dim::S] {
+            let level = storage_levels[(c % k as u64) as usize];
+            c /= k as u64;
+            if leftover[d] > 1 {
+                candidate.push_temporal(level, d, leftover[d]);
+            }
+        }
+        let Ok(analysis) = analyze(arch, layer, &candidate) else {
+            continue;
+        };
+        evaluated += 1;
+        let cost_value = cost(&analysis);
+        if best.as_ref().is_none_or(|b| cost_value < b.cost) {
+            best = Some(SearchResult {
+                mapping: candidate,
+                analysis,
+                cost: cost_value,
+                evaluated,
+            });
+        }
+    }
+    if let Some(b) = &mut best {
+        b.evaluated = evaluated;
+    }
+    best
+}
+
+/// A random factor of `v` (uniform over divisors > 1, or a ceil-factor
+/// when `v` is prime-ish).
+fn random_factor(v: usize, rng: &mut StdRng) -> usize {
+    if v <= 1 {
+        return 1;
+    }
+    let divisors: Vec<usize> = (2..=v).filter(|f| v.is_multiple_of(*f)).collect();
+    if divisors.is_empty() {
+        v
+    } else {
+        divisors[rng.gen_range(0..divisors.len())]
+    }
+}
+
+/// Fisher-Yates shuffle (avoids pulling in rand's slice extension trait).
+fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_arch::{ArchBuilder, Domain, Fanout};
+    use lumen_units::{Energy, Frequency};
+    use lumen_workload::{DimSet, TensorSet};
+
+    fn arch() -> Architecture {
+        ArchBuilder::new("t", Frequency::from_gigahertz(1.0))
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .done()
+            .storage("buf", Domain::DigitalElectrical, TensorSet::all())
+            .fanout(Fanout::new(8).allow(DimSet::from_dims(&[Dim::M, Dim::C])))
+            .done()
+            .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+            .build()
+            .unwrap()
+    }
+
+    fn layer() -> Layer {
+        Layer::conv2d("l", 1, 16, 8, 8, 8, 3, 3)
+    }
+
+    #[test]
+    fn greedy_fills_fanout_by_priority() {
+        let (m, leftover) = greedy_spatial(&arch(), &layer(), &DEFAULT_SPATIAL_PRIORITY);
+        // M=16 against capacity 8: all 8 lanes to M.
+        assert_eq!(m.level(1).spatial_product(), 8);
+        assert_eq!(leftover[Dim::M], 2);
+        assert_eq!(leftover[Dim::C], 8);
+    }
+
+    #[test]
+    fn greedy_respects_priority_order() {
+        let (m, _) = greedy_spatial(&arch(), &layer(), &[Dim::C, Dim::M]);
+        // C first: C=8 fills the whole fanout.
+        let spatial = &m.level(1).spatial;
+        assert_eq!(spatial.len(), 1);
+        assert_eq!(spatial[0].dim, Dim::C);
+        assert_eq!(spatial[0].bound, 8);
+    }
+
+    #[test]
+    fn greedy_mapping_is_legal() {
+        let m = greedy_mapping(
+            &arch(),
+            &layer(),
+            &DEFAULT_SPATIAL_PRIORITY,
+            &TemporalPlan::all_at(1),
+        );
+        assert!(m.validate(&arch(), &layer()).is_ok());
+        let a = analyze(&arch(), &layer(), &m).unwrap();
+        assert_eq!(a.macs, layer().macs());
+    }
+
+    #[test]
+    fn temporal_plan_honors_explicit_assignment() {
+        let (base, leftover) = greedy_spatial(&arch(), &layer(), &DEFAULT_SPATIAL_PRIORITY);
+        let plan = TemporalPlan {
+            assignments: vec![(0, vec![Dim::C])],
+            default_level: 1,
+        };
+        let m = plan.apply(base, &leftover);
+        assert!(m.level(0).temporal.iter().any(|l| l.dim == Dim::C));
+        assert!(!m.level(1).temporal.iter().any(|l| l.dim == Dim::C));
+    }
+
+    #[test]
+    fn random_search_finds_legal_mapping_and_is_reproducible() {
+        let cfg = SearchConfig {
+            iterations: 80,
+            seed: 7,
+        };
+        let cost = |a: &LayerAnalysis| a.level(0).total_accesses();
+        let r1 = random_search(&arch(), &layer(), cfg, cost).expect("found mapping");
+        let r2 = random_search(&arch(), &layer(), cfg, cost).expect("found mapping");
+        assert_eq!(r1.mapping, r2.mapping, "seeded search is deterministic");
+        assert!(r1.evaluated > 0);
+        assert!(r1.cost >= 0.0);
+    }
+
+    #[test]
+    fn random_search_beats_or_matches_worst_case() {
+        // The best random candidate should not be worse than the greedy
+        // all-at-buf mapping under the same cost.
+        let cost = |a: &LayerAnalysis| a.level(0).total_accesses();
+        let greedy = greedy_mapping(
+            &arch(),
+            &layer(),
+            &DEFAULT_SPATIAL_PRIORITY,
+            &TemporalPlan::all_at(1),
+        );
+        let greedy_cost = cost(&analyze(&arch(), &layer(), &greedy).unwrap());
+        let found = random_search(
+            &arch(),
+            &layer(),
+            SearchConfig {
+                iterations: 300,
+                seed: 3,
+            },
+            cost,
+        )
+        .unwrap();
+        assert!(
+            found.cost <= greedy_cost * 1.001,
+            "random best {} vs greedy {greedy_cost}",
+            found.cost
+        );
+    }
+
+    #[test]
+    fn exhaustive_search_is_at_least_as_good_as_random() {
+        let small = Layer::conv2d("s", 1, 8, 4, 4, 4, 3, 3);
+        let cost = |a: &LayerAnalysis| a.level(0).total_accesses();
+        let ex = exhaustive_search(&arch(), &small, cost).unwrap();
+        let rand = random_search(
+            &arch(),
+            &small,
+            SearchConfig {
+                iterations: 100,
+                seed: 11,
+            },
+            cost,
+        )
+        .unwrap();
+        assert!(ex.cost <= rand.cost * 1.001);
+        assert!(ex.evaluated > 0);
+    }
+
+    #[test]
+    fn random_factor_divides_or_returns_v() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in 2..40usize {
+            let f = random_factor(v, &mut rng);
+            assert!(f == v || v % f == 0);
+            assert!(f >= 2);
+        }
+    }
+}

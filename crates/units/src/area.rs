@@ -1,0 +1,78 @@
+//! Silicon / photonic die area quantities.
+
+use crate::quantity_impl;
+
+/// A silicon or photonic die area, stored in square meters.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_units::Area;
+/// let mrr = Area::from_square_micrometers(300.0);
+/// let bank = mrr * 64.0;
+/// assert!((bank.square_millimeters() - 0.0192).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Area(pub(crate) f64);
+
+quantity_impl!(Area, crate::format::si_format_area);
+
+impl Area {
+    /// Builds an area from square meters.
+    #[inline]
+    pub const fn from_square_meters(m2: f64) -> Self {
+        Area(m2)
+    }
+
+    /// Builds an area from square millimeters.
+    #[inline]
+    pub const fn from_square_millimeters(mm2: f64) -> Self {
+        Area(mm2 * 1e-6)
+    }
+
+    /// Builds an area from square micrometers.
+    #[inline]
+    pub const fn from_square_micrometers(um2: f64) -> Self {
+        Area(um2 * 1e-12)
+    }
+
+    /// Magnitude in square meters.
+    #[inline]
+    pub const fn square_meters(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in square millimeters.
+    #[inline]
+    pub fn square_millimeters(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Magnitude in square micrometers.
+    #[inline]
+    pub fn square_micrometers(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Area::from_square_millimeters(1.0).square_meters(), 1e-6);
+        assert_eq!(Area::from_square_micrometers(1.0).square_meters(), 1e-12);
+        assert!(
+            (Area::from_square_millimeters(2.0).square_micrometers() - 2e6).abs() < 1e-3,
+            "mm² to µm²"
+        );
+    }
+
+    #[test]
+    fn accumulation() {
+        let total: Area = std::iter::repeat_n(Area::from_square_micrometers(10.0), 100)
+            .sum();
+        assert!((total.square_micrometers() - 1000.0).abs() < 1e-9);
+    }
+}

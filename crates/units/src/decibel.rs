@@ -1,0 +1,156 @@
+//! Decibel ratios for optical link budgets.
+
+/// A power ratio expressed in decibels.
+///
+/// Optical losses (insertion, splitting, propagation, coupling) compose by
+/// *adding* their dB values; the corresponding linear attenuation multiplies.
+/// [`Decibel`] keeps the two views explicit and avoids the classic
+/// "multiplied dBs" bug.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_units::Decibel;
+/// let insertion = Decibel::new(1.5);
+/// let splits = Decibel::per_split(0.2, 8); // three 1:2 stages
+/// let total = insertion + splits;
+/// assert!((total.db() - 2.1).abs() < 1e-12);
+/// assert!(total.linear() > 1.6 && total.linear() < 1.7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Decibel(f64);
+
+impl Decibel {
+    /// No attenuation (0 dB, linear ratio 1).
+    pub const ZERO: Decibel = Decibel(0.0);
+
+    /// Builds a ratio from a dB value.
+    #[inline]
+    pub const fn new(db: f64) -> Self {
+        Decibel(db)
+    }
+
+    /// Builds a ratio from a linear power ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `ratio` is not positive.
+    #[inline]
+    pub fn from_linear(ratio: f64) -> Self {
+        debug_assert!(ratio > 0.0, "dB undefined for non-positive ratio");
+        Decibel(10.0 * ratio.log10())
+    }
+
+    /// Total loss for a binary splitting tree with `fanout` leaves, charging
+    /// `db_per_stage` of *excess* loss per 1:2 stage plus the fundamental
+    /// 3 dB per split of optical power division.
+    ///
+    /// A `fanout` of 1 is lossless. Non-power-of-two fanouts are charged for
+    /// `ceil(log2(fanout))` stages.
+    pub fn per_split(db_per_stage: f64, fanout: usize) -> Self {
+        if fanout <= 1 {
+            return Decibel::ZERO;
+        }
+        let stages = (fanout as f64).log2().ceil();
+        Decibel(stages * db_per_stage)
+    }
+
+    /// The dB value.
+    #[inline]
+    pub const fn db(self) -> f64 {
+        self.0
+    }
+
+    /// The linear power ratio corresponding to this dB value.
+    #[inline]
+    pub fn linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+}
+
+impl std::ops::Add for Decibel {
+    type Output = Decibel;
+
+    /// Composes two losses (linear ratios multiply).
+    #[inline]
+    fn add(self, rhs: Decibel) -> Decibel {
+        Decibel(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Decibel {
+    #[inline]
+    fn add_assign(&mut self, rhs: Decibel) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Decibel {
+    type Output = Decibel;
+
+    #[inline]
+    fn sub(self, rhs: Decibel) -> Decibel {
+        Decibel(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul<f64> for Decibel {
+    type Output = Decibel;
+
+    /// Scales the dB value (e.g. `per_unit_length * length`).
+    #[inline]
+    fn mul(self, rhs: f64) -> Decibel {
+        Decibel(self.0 * rhs)
+    }
+}
+
+impl std::iter::Sum for Decibel {
+    fn sum<I: Iterator<Item = Decibel>>(iter: I) -> Decibel {
+        iter.fold(Decibel::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl std::fmt::Display for Decibel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} dB", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_round_trip() {
+        for db in [-10.0, -3.0, 0.0, 0.2, 3.0, 20.0] {
+            let d = Decibel::new(db);
+            let back = Decibel::from_linear(d.linear());
+            assert!((back.db() - db).abs() < 1e-9, "round trip at {db}");
+        }
+    }
+
+    #[test]
+    fn three_db_doubles() {
+        assert!((Decibel::new(3.0103).linear() - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn losses_compose_additively() {
+        let total = Decibel::new(1.0) + Decibel::new(2.0);
+        assert!((total.linear() - Decibel::new(3.0).linear()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_stages() {
+        assert_eq!(Decibel::per_split(0.2, 1), Decibel::ZERO);
+        assert!((Decibel::per_split(0.2, 2).db() - 0.2).abs() < 1e-12);
+        assert!((Decibel::per_split(0.2, 8).db() - 0.6).abs() < 1e-12);
+        // Non-power-of-two rounds the stage count up.
+        assert!((Decibel::per_split(0.2, 9).db() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Decibel::new(1.5)), "1.500 dB");
+    }
+}

@@ -1,0 +1,148 @@
+//! Energy quantities (joules).
+
+use crate::quantity_impl;
+
+/// An amount of energy, stored in joules.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_units::Energy;
+/// let mac = Energy::from_femtojoules(50.0);
+/// let per_tile = mac * 1024.0;
+/// assert!((per_tile.picojoules() - 51.2).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Energy(pub(crate) f64);
+
+quantity_impl!(Energy, |v: f64| crate::format::si_format(v, "J"));
+
+impl Energy {
+    /// Builds an energy from joules.
+    #[inline]
+    pub const fn from_joules(j: f64) -> Self {
+        Energy(j)
+    }
+
+    /// Builds an energy from millijoules.
+    #[inline]
+    pub const fn from_millijoules(mj: f64) -> Self {
+        Energy(mj * 1e-3)
+    }
+
+    /// Builds an energy from microjoules.
+    #[inline]
+    pub const fn from_microjoules(uj: f64) -> Self {
+        Energy(uj * 1e-6)
+    }
+
+    /// Builds an energy from nanojoules.
+    #[inline]
+    pub const fn from_nanojoules(nj: f64) -> Self {
+        Energy(nj * 1e-9)
+    }
+
+    /// Builds an energy from picojoules.
+    #[inline]
+    pub const fn from_picojoules(pj: f64) -> Self {
+        Energy(pj * 1e-12)
+    }
+
+    /// Builds an energy from femtojoules.
+    #[inline]
+    pub const fn from_femtojoules(fj: f64) -> Self {
+        Energy(fj * 1e-15)
+    }
+
+    /// Builds an energy from attojoules.
+    #[inline]
+    pub const fn from_attojoules(aj: f64) -> Self {
+        Energy(aj * 1e-18)
+    }
+
+    /// Magnitude in joules.
+    #[inline]
+    pub const fn joules(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in millijoules.
+    #[inline]
+    pub fn millijoules(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Magnitude in microjoules.
+    #[inline]
+    pub fn microjoules(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Magnitude in nanojoules.
+    #[inline]
+    pub fn nanojoules(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Magnitude in picojoules.
+    #[inline]
+    pub fn picojoules(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Magnitude in femtojoules.
+    #[inline]
+    pub fn femtojoules(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl std::ops::Div<crate::Time> for Energy {
+    type Output = crate::Power;
+
+    /// Average power dissipated when `self` is spent over a duration.
+    #[inline]
+    fn div(self, rhs: crate::Time) -> crate::Power {
+        crate::Power::from_raw(self.0 / rhs.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        assert_eq!(Energy::from_millijoules(1.0).joules(), 1e-3);
+        assert_eq!(Energy::from_microjoules(1.0).joules(), 1e-6);
+        assert!((Energy::from_nanojoules(2.0).picojoules() - 2000.0).abs() < 1e-9);
+        assert!((Energy::from_picojoules(1.0).femtojoules() - 1000.0).abs() < 1e-9);
+        assert!((Energy::from_attojoules(1000.0).femtojoules() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Energy::from_picojoules(1.5);
+        let b = Energy::from_picojoules(0.5);
+        assert_eq!(a + b, Energy::from_picojoules(2.0));
+        assert!(((a - b).picojoules() - 1.0).abs() < 1e-12);
+        assert_eq!(a * 2.0, Energy::from_picojoules(3.0));
+        assert_eq!(2.0 * b, Energy::from_picojoules(1.0));
+        assert!((a / b - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = Energy::from_picojoules(1.0);
+        let b = Energy::from_picojoules(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_uses_si_prefix() {
+        let shown = format!("{}", Energy::from_picojoules(3.25));
+        assert!(shown.contains("pJ"), "got {shown}");
+    }
+}

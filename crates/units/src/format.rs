@@ -1,0 +1,112 @@
+//! Engineering-notation formatting shared by all quantities.
+
+/// Formats `value` (in SI base units) with an engineering prefix, e.g.
+/// `3.25e-12` with unit `"J"` becomes `"3.250 pJ"`.
+///
+/// Values of exactly zero print as `"0 <unit>"`. Values outside the
+/// yocto..yotta range fall back to scientific notation.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_units::si_format;
+/// assert_eq!(si_format(3.25e-12, "J"), "3.250 pJ");
+/// assert_eq!(si_format(0.0, "W"), "0 W");
+/// assert_eq!(si_format(2.0e9, "Hz"), "2.000 GHz");
+/// ```
+pub fn si_format(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    const PREFIXES: [(&str, i32); 17] = [
+        ("y", -24),
+        ("z", -21),
+        ("a", -18),
+        ("f", -15),
+        ("p", -12),
+        ("n", -9),
+        ("µ", -6),
+        ("m", -3),
+        ("", 0),
+        ("k", 3),
+        ("M", 6),
+        ("G", 9),
+        ("T", 12),
+        ("P", 15),
+        ("E", 18),
+        ("Z", 21),
+        ("Y", 24),
+    ];
+    let magnitude = value.abs();
+    let exp3 = (magnitude.log10() / 3.0).floor() as i32 * 3;
+    let exp3 = exp3.clamp(-24, 24);
+    match PREFIXES.iter().find(|(_, e)| *e == exp3) {
+        Some((prefix, e)) => {
+            let scaled = value / 10f64.powi(*e);
+            format!("{scaled:.3} {prefix}{unit}")
+        }
+        None => format!("{value:e} {unit}"),
+    }
+}
+
+/// Formats an area (in m²) with *squared* SI prefixes: the prefix applies
+/// to the meter before squaring, so `1e-6 m² = 1 mm²`, not "1 µm²".
+///
+/// # Examples
+///
+/// ```
+/// use lumen_units::si_format_area;
+/// assert_eq!(si_format_area(1e-6), "1.000 mm²");
+/// assert_eq!(si_format_area(2.5e-11), "25.000 µm²");
+/// assert_eq!(si_format_area(0.0), "0 m²");
+/// ```
+pub fn si_format_area(value: f64) -> String {
+    if value == 0.0 {
+        return "0 m²".to_string();
+    }
+    if !value.is_finite() {
+        return format!("{value} m²");
+    }
+    const SCALES: [(&str, f64); 4] = [("m²", 1.0), ("mm²", 1e-6), ("µm²", 1e-12), ("nm²", 1e-18)];
+    let magnitude = value.abs();
+    for (unit, scale) in SCALES {
+        if magnitude >= scale {
+            return format!("{:.3} {unit}", value / scale);
+        }
+    }
+    format!("{value:e} m²")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_scales() {
+        assert_eq!(si_format(1.0, "J"), "1.000 J");
+        assert_eq!(si_format(1.5e-3, "J"), "1.500 mJ");
+        assert_eq!(si_format(2.5e-15, "J"), "2.500 fJ");
+        assert_eq!(si_format(5.0e9, "Hz"), "5.000 GHz");
+    }
+
+    #[test]
+    fn negative_values() {
+        assert_eq!(si_format(-1.5e-12, "J"), "-1.500 pJ");
+    }
+
+    #[test]
+    fn boundary_just_below_prefix() {
+        // 999.9e-15 is still femto range.
+        let s = si_format(999.9e-15, "J");
+        assert!(s.ends_with("fJ"), "got {s}");
+    }
+
+    #[test]
+    fn zero_and_nonfinite() {
+        assert_eq!(si_format(0.0, "s"), "0 s");
+        assert!(si_format(f64::INFINITY, "s").contains("inf"));
+    }
+}

@@ -1,0 +1,211 @@
+//! # lumen-units
+//!
+//! Strongly-typed physical quantities for architecture-level modeling.
+//!
+//! Every quantity is a newtype over `f64` in SI base units (joules, watts,
+//! seconds, hertz, square meters). Newtypes keep the rest of Lumen honest:
+//! an [`Energy`] cannot be accidentally added to an [`Area`], and dimensional
+//! products are expressed through explicit `Mul`/`Div` impls
+//! (`Power * Time = Energy`, `Energy / Time = Power`, ...).
+//!
+//! # Examples
+//!
+//! ```
+//! use lumen_units::{Energy, Power, Time, Frequency};
+//!
+//! let adc = Energy::from_picojoules(1.2);
+//! let laser = Power::from_milliwatts(10.0) * Time::from_nanoseconds(0.2);
+//! let total = adc + laser;
+//! assert!(total.picojoules() > 3.0);
+//!
+//! let clock = Frequency::from_gigahertz(5.0);
+//! assert_eq!(clock.period(), Time::from_picoseconds(200.0));
+//! ```
+
+mod area;
+mod decibel;
+mod energy;
+mod format;
+mod power;
+mod time;
+
+pub use area::Area;
+pub use decibel::Decibel;
+pub use energy::Energy;
+pub use format::{si_format, si_format_area};
+pub use power::Power;
+pub use time::{Frequency, Time};
+
+/// Convenient glob import for downstream crates.
+///
+/// ```
+/// use lumen_units::prelude::*;
+/// let e = Energy::from_picojoules(1.0) * 3.0;
+/// assert_eq!(e, Energy::from_picojoules(3.0));
+/// ```
+pub mod prelude {
+    pub use crate::{Area, Decibel, Energy, Frequency, Power, Time};
+}
+
+/// Implements the shared numeric surface of a scalar quantity newtype:
+/// accessors, arithmetic with `Self` and `f64`, ordering helpers, `Sum`.
+macro_rules! quantity_impl {
+    ($ty:ident, $format:expr) => {
+        impl $ty {
+            /// The zero quantity.
+            pub const ZERO: $ty = $ty(0.0);
+
+            /// Raw magnitude in SI base units.
+            #[inline]
+            pub const fn raw(self) -> f64 {
+                self.0
+            }
+
+            /// Builds the quantity from a magnitude in SI base units.
+            #[inline]
+            pub const fn from_raw(value: f64) -> Self {
+                $ty(value)
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                $ty(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                $ty(self.0.min(other.0))
+            }
+
+            /// `true` if the magnitude is a finite number.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Dimensionless ratio of two like quantities.
+            ///
+            /// Useful for normalized plots (e.g. "energy relative to
+            /// baseline").
+            #[inline]
+            pub fn ratio(self, denom: Self) -> f64 {
+                self.0 / denom.0
+            }
+        }
+
+        impl std::ops::Add for $ty {
+            type Output = $ty;
+            #[inline]
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+
+        impl std::ops::AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl std::ops::Sub for $ty {
+            type Output = $ty;
+            #[inline]
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+
+        impl std::ops::SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl std::ops::Mul<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+
+        impl std::ops::Mul<$ty> for f64 {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+
+        impl std::ops::Div<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+
+        impl std::ops::Div<$ty> for $ty {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $ty) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl std::iter::Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                iter.fold($ty::ZERO, |acc, x| acc + x)
+            }
+        }
+
+        impl<'a> std::iter::Sum<&'a $ty> for $ty {
+            fn sum<I: Iterator<Item = &'a $ty>>(iter: I) -> $ty {
+                iter.fold($ty::ZERO, |acc, x| acc + *x)
+            }
+        }
+
+        impl std::fmt::Display for $ty {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", ($format)(self.0))
+            }
+        }
+    };
+}
+pub(crate) use quantity_impl;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let _ = (
+            Energy::ZERO,
+            Power::ZERO,
+            Time::ZERO,
+            Area::ZERO,
+            Frequency::from_gigahertz(1.0),
+            Decibel::new(3.0),
+        );
+    }
+
+    #[test]
+    fn cross_unit_products() {
+        let e = Power::from_milliwatts(2.0) * Time::from_nanoseconds(3.0);
+        assert!((e.picojoules() - 6.0).abs() < 1e-12);
+        let p = Energy::from_picojoules(6.0) / Time::from_nanoseconds(3.0);
+        assert!((p.milliwatts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Energy = (0..4).map(|i| Energy::from_picojoules(i as f64)).sum();
+        assert_eq!(total, Energy::from_picojoules(6.0));
+    }
+}

@@ -1,0 +1,137 @@
+//! Power quantities (watts).
+
+use crate::quantity_impl;
+
+/// A rate of energy use, stored in watts.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_units::{Power, Time};
+/// let laser = Power::from_milliwatts(25.0);
+/// let per_symbol = laser * Time::from_picoseconds(200.0);
+/// assert!((per_symbol.picojoules() - 5.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Power(pub(crate) f64);
+
+quantity_impl!(Power, |v: f64| crate::format::si_format(v, "W"));
+
+impl Power {
+    /// Builds a power from watts.
+    #[inline]
+    pub const fn from_watts(w: f64) -> Self {
+        Power(w)
+    }
+
+    /// Builds a power from milliwatts.
+    #[inline]
+    pub const fn from_milliwatts(mw: f64) -> Self {
+        Power(mw * 1e-3)
+    }
+
+    /// Builds a power from microwatts.
+    #[inline]
+    pub const fn from_microwatts(uw: f64) -> Self {
+        Power(uw * 1e-6)
+    }
+
+    /// Builds a power from nanowatts.
+    #[inline]
+    pub const fn from_nanowatts(nw: f64) -> Self {
+        Power(nw * 1e-9)
+    }
+
+    /// Magnitude in watts.
+    #[inline]
+    pub const fn watts(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in milliwatts.
+    #[inline]
+    pub fn milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Magnitude in microwatts.
+    #[inline]
+    pub fn microwatts(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Converts optical power from a dBm level.
+    ///
+    /// `0 dBm = 1 mW`; this is the conventional unit for laser output power
+    /// and photodetector sensitivity in link-budget calculations.
+    ///
+    /// ```
+    /// use lumen_units::Power;
+    /// assert!((Power::from_dbm(0.0).milliwatts() - 1.0).abs() < 1e-12);
+    /// assert!((Power::from_dbm(10.0).milliwatts() - 10.0).abs() < 1e-9);
+    /// ```
+    #[inline]
+    pub fn from_dbm(dbm: f64) -> Self {
+        Power(1e-3 * 10f64.powf(dbm / 10.0))
+    }
+
+    /// Expresses this power as a dBm level.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the power is non-positive (a dBm level is
+    /// undefined for zero or negative power).
+    #[inline]
+    pub fn dbm(self) -> f64 {
+        debug_assert!(self.0 > 0.0, "dBm undefined for non-positive power");
+        10.0 * (self.0 / 1e-3).log10()
+    }
+}
+
+impl std::ops::Mul<crate::Time> for Power {
+    type Output = crate::Energy;
+
+    /// Energy spent running at `self` for a duration.
+    #[inline]
+    fn mul(self, rhs: crate::Time) -> crate::Energy {
+        crate::Energy::from_raw(self.0 * rhs.raw())
+    }
+}
+
+impl std::ops::Mul<Power> for crate::Time {
+    type Output = crate::Energy;
+
+    #[inline]
+    fn mul(self, rhs: Power) -> crate::Energy {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Time;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Power::from_milliwatts(1.0).watts(), 1e-3);
+        assert_eq!(Power::from_microwatts(1.0).watts(), 1e-6);
+        assert_eq!(Power::from_nanowatts(1.0).watts(), 1e-9);
+    }
+
+    #[test]
+    fn dbm_round_trip() {
+        for dbm in [-30.0, -3.0, 0.0, 3.0, 17.0] {
+            let p = Power::from_dbm(dbm);
+            assert!((p.dbm() - dbm).abs() < 1e-9, "round trip failed at {dbm}");
+        }
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_watts(2.0) * Time::from_raw(3.0);
+        assert_eq!(e.joules(), 6.0);
+        let e2 = Time::from_raw(3.0) * Power::from_watts(2.0);
+        assert_eq!(e, e2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Time and frequency quantities.
+
+use crate::quantity_impl;
+
+/// A duration, stored in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_units::Time;
+/// let cycle = Time::from_picoseconds(200.0);
+/// assert_eq!(cycle * 5.0, Time::from_nanoseconds(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Time(pub(crate) f64);
+
+quantity_impl!(Time, |v: f64| crate::format::si_format(v, "s"));
+
+impl Time {
+    /// Builds a duration from seconds.
+    #[inline]
+    pub const fn from_seconds(s: f64) -> Self {
+        Time(s)
+    }
+
+    /// Builds a duration from milliseconds.
+    #[inline]
+    pub const fn from_milliseconds(ms: f64) -> Self {
+        Time(ms * 1e-3)
+    }
+
+    /// Builds a duration from microseconds.
+    #[inline]
+    pub const fn from_microseconds(us: f64) -> Self {
+        Time(us * 1e-6)
+    }
+
+    /// Builds a duration from nanoseconds.
+    #[inline]
+    pub const fn from_nanoseconds(ns: f64) -> Self {
+        Time(ns * 1e-9)
+    }
+
+    /// Builds a duration from picoseconds.
+    #[inline]
+    pub const fn from_picoseconds(ps: f64) -> Self {
+        Time(ps * 1e-12)
+    }
+
+    /// Magnitude in seconds.
+    #[inline]
+    pub const fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in milliseconds.
+    #[inline]
+    pub fn milliseconds(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Magnitude in microseconds.
+    #[inline]
+    pub fn microseconds(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Magnitude in nanoseconds.
+    #[inline]
+    pub fn nanoseconds(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Magnitude in picoseconds.
+    #[inline]
+    pub fn picoseconds(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// The frequency whose period is this duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the duration is not positive.
+    #[inline]
+    pub fn frequency(self) -> Frequency {
+        debug_assert!(self.0 > 0.0, "frequency undefined for non-positive time");
+        Frequency(1.0 / self.0)
+    }
+}
+
+/// A rate of events, stored in hertz.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_units::Frequency;
+/// let clock = Frequency::from_gigahertz(2.5);
+/// assert!((clock.period().picoseconds() - 400.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Frequency(pub(crate) f64);
+
+quantity_impl!(Frequency, |v: f64| crate::format::si_format(v, "Hz"));
+
+impl Frequency {
+    /// Builds a frequency from hertz.
+    #[inline]
+    pub const fn from_hertz(hz: f64) -> Self {
+        Frequency(hz)
+    }
+
+    /// Builds a frequency from megahertz.
+    #[inline]
+    pub const fn from_megahertz(mhz: f64) -> Self {
+        Frequency(mhz * 1e6)
+    }
+
+    /// Builds a frequency from gigahertz.
+    #[inline]
+    pub const fn from_gigahertz(ghz: f64) -> Self {
+        Frequency(ghz * 1e9)
+    }
+
+    /// Magnitude in hertz.
+    #[inline]
+    pub const fn hertz(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in megahertz.
+    #[inline]
+    pub fn megahertz(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Magnitude in gigahertz.
+    #[inline]
+    pub fn gigahertz(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// The period of one event at this rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the frequency is not positive.
+    #[inline]
+    pub fn period(self) -> Time {
+        debug_assert!(self.0 > 0.0, "period undefined for non-positive frequency");
+        Time(1.0 / self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors() {
+        assert_eq!(Time::from_milliseconds(1.0).seconds(), 1e-3);
+        assert_eq!(Time::from_microseconds(1.0).seconds(), 1e-6);
+        assert!((Time::from_nanoseconds(1.0).picoseconds() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_period_round_trip() {
+        let f = Frequency::from_gigahertz(5.0);
+        let t = f.period();
+        assert!((t.frequency().gigahertz() - 5.0).abs() < 1e-9);
+        assert!((t.picoseconds() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mhz_accessors() {
+        assert_eq!(Frequency::from_megahertz(250.0).hertz(), 2.5e8);
+        assert!((Frequency::from_hertz(1e9).megahertz() - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests on unit arithmetic: round-trips, algebraic laws
+//! and dimensional consistency hold for arbitrary magnitudes.
+
+use lumen_units::{Decibel, Energy, Frequency, Power, Time};
+use proptest::prelude::*;
+
+/// Positive magnitudes spanning the physically-relevant decades
+/// (attojoules to kilojoules, picoseconds to hours, ...).
+fn magnitude() -> impl Strategy<Value = f64> {
+    (-18.0f64..6.0).prop_map(|exp| 10f64.powf(exp))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn energy_unit_round_trips(v in magnitude()) {
+        let e = Energy::from_picojoules(v);
+        prop_assert!((e.femtojoules() / 1000.0 - v).abs() / v < 1e-12);
+        prop_assert!((e.nanojoules() * 1000.0 - v).abs() / v < 1e-12);
+        prop_assert!((Energy::from_joules(e.joules()).picojoules() - v).abs() / v < 1e-12);
+    }
+
+    #[test]
+    fn power_times_time_matches_energy_division(p in magnitude(), t in magnitude()) {
+        let power = Power::from_watts(p);
+        let time = Time::from_seconds(t);
+        let energy = power * time;
+        let back = energy / time;
+        prop_assert!((back.watts() - p).abs() / p < 1e-9);
+    }
+
+    #[test]
+    fn addition_is_commutative_and_sub_inverts(a in magnitude(), b in magnitude()) {
+        let (x, y) = (Energy::from_joules(a), Energy::from_joules(b));
+        prop_assert_eq!(x + y, y + x);
+        // Subtraction inverts addition up to float cancellation, which is
+        // bounded by the *larger* magnitude's epsilon.
+        let diff = (x + y) - y;
+        prop_assert!((diff.joules() - a).abs() <= (a + b) * 1e-12);
+    }
+
+    #[test]
+    fn scaling_distributes_over_sum(a in magnitude(), b in magnitude(), k in 0.1f64..100.0) {
+        let (x, y) = (Energy::from_joules(a), Energy::from_joules(b));
+        let lhs = (x + y) * k;
+        let rhs = x * k + y * k;
+        prop_assert!((lhs.joules() - rhs.joules()).abs() / lhs.joules() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_period_round_trip(ghz in 0.001f64..1000.0) {
+        let f = Frequency::from_gigahertz(ghz);
+        let back = f.period().frequency();
+        prop_assert!((back.gigahertz() - ghz).abs() / ghz < 1e-9);
+    }
+
+    #[test]
+    fn decibel_composition_matches_linear_product(a in -30.0f64..30.0, b in -30.0f64..30.0) {
+        let composed = (Decibel::new(a) + Decibel::new(b)).linear();
+        let product = Decibel::new(a).linear() * Decibel::new(b).linear();
+        prop_assert!((composed - product).abs() / product < 1e-9);
+    }
+
+    #[test]
+    fn dbm_round_trip(dbm in -60.0f64..30.0) {
+        let p = Power::from_dbm(dbm);
+        prop_assert!((p.dbm() - dbm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_matches_fold(values in proptest::collection::vec(magnitude(), 0..20)) {
+        let energies: Vec<Energy> = values.iter().map(|&v| Energy::from_joules(v)).collect();
+        let summed: Energy = energies.iter().sum();
+        let folded: f64 = values.iter().sum();
+        let tolerance = folded.max(1e-30) * 1e-9;
+        prop_assert!((summed.joules() - folded).abs() <= tolerance);
+    }
+
+    #[test]
+    fn ordering_consistent_with_magnitude(a in magnitude(), b in magnitude()) {
+        let (x, y) = (Time::from_seconds(a), Time::from_seconds(b));
+        prop_assert_eq!(x < y, a < b);
+        prop_assert_eq!(x.max(y).seconds(), a.max(b));
+    }
+
+    #[test]
+    fn display_never_panics_and_is_nonempty(v in -1e20f64..1e20) {
+        for rendered in [
+            format!("{}", Energy::from_joules(v)),
+            format!("{}", Power::from_watts(v)),
+            format!("{}", Time::from_seconds(v)),
+            format!("{}", lumen_units::Area::from_square_meters(v)),
+        ] {
+            prop_assert!(!rendered.is_empty());
+        }
+    }
+}

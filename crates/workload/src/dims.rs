@@ -1,0 +1,384 @@
+//! The seven problem dimensions of a convolutional loop nest.
+
+use std::fmt;
+
+/// One dimension of the 7-D convolution iteration space.
+///
+/// The ordering (`N`, `M`, `C`, `P`, `Q`, `R`, `S`) is fixed and used as the
+/// canonical index for [`DimMap`] and [`Shape`].
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::Dim;
+/// assert_eq!(Dim::ALL.len(), 7);
+/// assert_eq!(Dim::M.index(), 1);
+/// assert_eq!(format!("{}", Dim::Q), "Q");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Dim {
+    /// Batch.
+    N = 0,
+    /// Output channels.
+    M = 1,
+    /// Input channels.
+    C = 2,
+    /// Output rows.
+    P = 3,
+    /// Output columns.
+    Q = 4,
+    /// Filter rows.
+    R = 5,
+    /// Filter columns.
+    S = 6,
+}
+
+impl Dim {
+    /// All dimensions in canonical order.
+    pub const ALL: [Dim; 7] = [Dim::N, Dim::M, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S];
+
+    /// Canonical index of this dimension (0..7).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The dimension with the given canonical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 7`.
+    #[inline]
+    pub const fn from_index(index: usize) -> Dim {
+        Dim::ALL[index]
+    }
+
+    /// `true` for the reduction dimensions `C`, `R`, `S` — iterating them
+    /// accumulates into the same output element.
+    #[inline]
+    pub const fn is_reduction(self) -> bool {
+        matches!(self, Dim::C | Dim::R | Dim::S)
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Dim::N => 'N',
+            Dim::M => 'M',
+            Dim::C => 'C',
+            Dim::P => 'P',
+            Dim::Q => 'Q',
+            Dim::R => 'R',
+            Dim::S => 'S',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A set of [`Dim`]s, stored as a bitmask.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::{Dim, DimSet};
+/// let spatial = DimSet::from_dims(&[Dim::P, Dim::Q]);
+/// assert!(spatial.contains(Dim::P));
+/// assert!(!spatial.contains(Dim::C));
+/// assert_eq!(spatial.len(), 2);
+/// let all = spatial.union(DimSet::all());
+/// assert_eq!(all, DimSet::all());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DimSet(u8);
+
+impl DimSet {
+    /// The empty set.
+    pub const EMPTY: DimSet = DimSet(0);
+
+    /// Creates an empty set.
+    #[inline]
+    pub const fn new() -> DimSet {
+        DimSet(0)
+    }
+
+    /// The set of all seven dimensions.
+    #[inline]
+    pub const fn all() -> DimSet {
+        DimSet(0b111_1111)
+    }
+
+    /// Builds a set from a slice of dimensions.
+    pub fn from_dims(dims: &[Dim]) -> DimSet {
+        let mut set = DimSet(0);
+        for &d in dims {
+            set = set.with(d);
+        }
+        set
+    }
+
+    /// Returns this set with `dim` added.
+    #[inline]
+    pub const fn with(self, dim: Dim) -> DimSet {
+        DimSet(self.0 | (1 << dim.index()))
+    }
+
+    /// Returns this set with `dim` removed.
+    #[inline]
+    pub const fn without(self, dim: Dim) -> DimSet {
+        DimSet(self.0 & !(1 << dim.index()))
+    }
+
+    /// `true` if `dim` is a member.
+    #[inline]
+    pub const fn contains(self, dim: Dim) -> bool {
+        self.0 & (1 << dim.index()) != 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: DimSet) -> DimSet {
+        DimSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(self, other: DimSet) -> DimSet {
+        DimSet(self.0 & other.0)
+    }
+
+    /// `true` if the sets share no members.
+    #[inline]
+    pub const fn is_disjoint(self, other: DimSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Number of members.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` if the set has no members.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates members in canonical order.
+    pub fn iter(self) -> impl Iterator<Item = Dim> {
+        Dim::ALL.into_iter().filter(move |d| self.contains(*d))
+    }
+}
+
+impl FromIterator<Dim> for DimSet {
+    fn from_iter<I: IntoIterator<Item = Dim>>(iter: I) -> DimSet {
+        iter.into_iter().fold(DimSet::new(), DimSet::with)
+    }
+}
+
+impl fmt::Display for DimSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, d) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A value of type `T` per [`Dim`].
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::{Dim, DimMap};
+/// let mut factors = DimMap::filled(1usize);
+/// factors[Dim::M] = 8;
+/// assert_eq!(factors[Dim::M], 8);
+/// assert_eq!(factors.iter().map(|(_, v)| *v).product::<usize>(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DimMap<T> {
+    values: [T; 7],
+}
+
+impl<T> DimMap<T> {
+    /// Builds a map from a function of the dimension.
+    pub fn from_fn(mut f: impl FnMut(Dim) -> T) -> DimMap<T> {
+        DimMap {
+            values: Dim::ALL.map(&mut f),
+        }
+    }
+
+    /// Iterates `(dim, &value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Dim, &T)> {
+        Dim::ALL.iter().map(move |&d| (d, &self.values[d.index()]))
+    }
+}
+
+impl<T: Copy> DimMap<T> {
+    /// Builds a map with every dimension set to `value`.
+    pub fn filled(value: T) -> DimMap<T> {
+        DimMap { values: [value; 7] }
+    }
+}
+
+impl<T> std::ops::Index<Dim> for DimMap<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, dim: Dim) -> &T {
+        &self.values[dim.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<Dim> for DimMap<T> {
+    #[inline]
+    fn index_mut(&mut self, dim: Dim) -> &mut T {
+        &mut self.values[dim.index()]
+    }
+}
+
+/// The concrete bounds of a layer's 7-D iteration space.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::{Dim, Shape};
+/// let s = Shape::new(1, 64, 3, 224, 224, 3, 3);
+/// assert_eq!(s[Dim::M], 64);
+/// assert_eq!(s.volume(), 64 * 3 * 224 * 224 * 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape(DimMap<usize>);
+
+impl Shape {
+    /// Builds a shape from the seven canonical bounds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(n: usize, m: usize, c: usize, p: usize, q: usize, r: usize, s: usize) -> Shape {
+        let mut map = DimMap::filled(1);
+        map[Dim::N] = n;
+        map[Dim::M] = m;
+        map[Dim::C] = c;
+        map[Dim::P] = p;
+        map[Dim::Q] = q;
+        map[Dim::R] = r;
+        map[Dim::S] = s;
+        Shape(map)
+    }
+
+    /// The bound of one dimension.
+    #[inline]
+    pub fn bound(&self, dim: Dim) -> usize {
+        self.0[dim]
+    }
+
+    /// Sets the bound of one dimension (builder style).
+    #[must_use]
+    pub fn with_bound(mut self, dim: Dim, bound: usize) -> Shape {
+        self.0[dim] = bound;
+        self
+    }
+
+    /// Product of all bounds — the number of MACs of one group.
+    pub fn volume(&self) -> u64 {
+        Dim::ALL.iter().map(|&d| self.0[d] as u64).product()
+    }
+
+    /// `true` if every bound is at least 1.
+    pub fn is_valid(&self) -> bool {
+        Dim::ALL.iter().all(|&d| self.0[d] >= 1)
+    }
+}
+
+impl std::ops::Index<Dim> for Shape {
+    type Output = usize;
+    #[inline]
+    fn index(&self, dim: Dim) -> &usize {
+        &self.0[dim]
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in Dim::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{d}={}", self.0[*d])?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_index_round_trip() {
+        for d in Dim::ALL {
+            assert_eq!(Dim::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn reduction_dims() {
+        let reductions: Vec<Dim> = Dim::ALL.into_iter().filter(|d| d.is_reduction()).collect();
+        assert_eq!(reductions, vec![Dim::C, Dim::R, Dim::S]);
+    }
+
+    #[test]
+    fn dimset_ops() {
+        let a = DimSet::from_dims(&[Dim::M, Dim::C]);
+        let b = DimSet::from_dims(&[Dim::C, Dim::P]);
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert!(a.intersection(b).contains(Dim::C));
+        assert!(!a.is_disjoint(b));
+        assert!(a.without(Dim::C).is_disjoint(b.without(Dim::C)));
+        assert_eq!(DimSet::all().len(), 7);
+        assert!(DimSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn dimset_iter_order() {
+        let s = DimSet::from_dims(&[Dim::S, Dim::N, Dim::Q]);
+        let v: Vec<Dim> = s.iter().collect();
+        assert_eq!(v, vec![Dim::N, Dim::Q, Dim::S]);
+    }
+
+    #[test]
+    fn dimset_display() {
+        let s = DimSet::from_dims(&[Dim::M, Dim::R]);
+        assert_eq!(format!("{s}"), "{M,R}");
+    }
+
+    #[test]
+    fn dimmap_from_fn() {
+        let m = DimMap::from_fn(|d| d.index() * 2);
+        assert_eq!(m[Dim::S], 12);
+        assert_eq!(m.iter().count(), 7);
+    }
+
+    #[test]
+    fn shape_volume_and_validity() {
+        let s = Shape::new(2, 4, 8, 16, 16, 3, 3);
+        assert_eq!(s.volume(), 2 * 4 * 8 * 16 * 16 * 9);
+        assert!(s.is_valid());
+        let bad = s.with_bound(Dim::C, 0);
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn shape_display_contains_bounds() {
+        let s = Shape::new(1, 2, 3, 4, 5, 6, 7);
+        let shown = format!("{s}");
+        assert!(shown.contains("M=2") && shown.contains("S=7"));
+    }
+}

@@ -1,0 +1,434 @@
+//! Layer shapes: convolutions, fully-connected layers and friends.
+
+use crate::{Dim, Shape, TensorKind};
+use std::fmt;
+
+/// The operator class of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Standard 2-D convolution (possibly grouped / strided / dilated).
+    Conv2d,
+    /// Fully-connected (dense) layer: a conv with `P=Q=R=S=1`.
+    FullyConnected,
+    /// Depthwise convolution: `groups == input channels`, one filter per
+    /// channel.
+    DepthwiseConv2d,
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LayerKind::Conv2d => "conv2d",
+            LayerKind::FullyConnected => "fc",
+            LayerKind::DepthwiseConv2d => "dwconv2d",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Errors produced when constructing or validating a [`Layer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerError {
+    /// A dimension bound, stride, dilation or group count was zero.
+    ZeroParameter(&'static str),
+    /// Channel counts are not divisible by the group count.
+    BadGrouping {
+        /// Output channels of the full layer.
+        m: usize,
+        /// Input channels of the full layer.
+        c: usize,
+        /// Requested group count.
+        groups: usize,
+    },
+}
+
+impl fmt::Display for LayerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerError::ZeroParameter(what) => write!(f, "layer parameter `{what}` must be nonzero"),
+            LayerError::BadGrouping { m, c, groups } => write!(
+                f,
+                "channels (M={m}, C={c}) are not divisible by groups={groups}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayerError {}
+
+/// One DNN layer, described as a (possibly grouped) 7-D loop nest.
+///
+/// The stored [`Shape`] is *per group*: `M` and `C` are the per-group channel
+/// counts and the full layer repeats the nest [`Layer::groups`] times. This
+/// matches how grouped layers execute: groups share no data, so a mapper
+/// schedules one group at a time.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::{Dim, Layer};
+///
+/// // AlexNet conv2: 5x5, 256 output channels in 2 groups of 48->128.
+/// let conv2 = Layer::conv2d("conv2", 1, 256, 96, 27, 27, 5, 5).with_groups(2);
+/// assert_eq!(conv2.shape()[Dim::M], 128);
+/// assert_eq!(conv2.shape()[Dim::C], 48);
+/// assert_eq!(conv2.macs(), 2 * 128 * 48 * 27 * 27 * 25);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layer {
+    name: String,
+    kind: LayerKind,
+    shape: Shape,
+    stride: (usize, usize),
+    dilation: (usize, usize),
+    groups: usize,
+}
+
+impl Layer {
+    /// Builds a standard convolution.
+    ///
+    /// `m` and `c` are the *full-layer* channel counts; use
+    /// [`Layer::with_groups`] afterwards for grouped convolutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound is zero (use [`Layer::try_new`] for fallible
+    /// construction).
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d(
+        name: impl Into<String>,
+        n: usize,
+        m: usize,
+        c: usize,
+        p: usize,
+        q: usize,
+        r: usize,
+        s: usize,
+    ) -> Layer {
+        Layer::try_new(
+            name,
+            LayerKind::Conv2d,
+            Shape::new(n, m, c, p, q, r, s),
+            (1, 1),
+            (1, 1),
+            1,
+        )
+        .expect("conv2d bounds must be nonzero")
+    }
+
+    /// Builds a fully-connected layer with `m` outputs and `c` inputs.
+    pub fn fully_connected(name: impl Into<String>, n: usize, m: usize, c: usize) -> Layer {
+        Layer::try_new(
+            name,
+            LayerKind::FullyConnected,
+            Shape::new(n, m, c, 1, 1, 1, 1),
+            (1, 1),
+            (1, 1),
+            1,
+        )
+        .expect("fc bounds must be nonzero")
+    }
+
+    /// Builds a depthwise convolution over `c` channels.
+    #[allow(clippy::too_many_arguments)]
+    pub fn depthwise_conv2d(
+        name: impl Into<String>,
+        n: usize,
+        c: usize,
+        p: usize,
+        q: usize,
+        r: usize,
+        s: usize,
+    ) -> Layer {
+        // Depthwise = `c` groups of a 1->1 channel convolution; the full
+        // layer has M = C = c channels, divided into c groups.
+        Layer::try_new(
+            name,
+            LayerKind::DepthwiseConv2d,
+            Shape::new(n, c, c, p, q, r, s),
+            (1, 1),
+            (1, 1),
+            c,
+        )
+        .expect("depthwise bounds must be nonzero")
+    }
+
+    /// Fallible constructor with every knob exposed.
+    ///
+    /// `shape` carries the *full-layer* `M`/`C`; they are divided by `groups`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayerError::ZeroParameter`] if any bound / stride / dilation
+    /// / group count is zero and [`LayerError::BadGrouping`] if the channel
+    /// counts are not divisible by `groups`.
+    pub fn try_new(
+        name: impl Into<String>,
+        kind: LayerKind,
+        shape: Shape,
+        stride: (usize, usize),
+        dilation: (usize, usize),
+        groups: usize,
+    ) -> Result<Layer, LayerError> {
+        if !shape.is_valid() {
+            return Err(LayerError::ZeroParameter("shape bound"));
+        }
+        if stride.0 == 0 || stride.1 == 0 {
+            return Err(LayerError::ZeroParameter("stride"));
+        }
+        if dilation.0 == 0 || dilation.1 == 0 {
+            return Err(LayerError::ZeroParameter("dilation"));
+        }
+        if groups == 0 {
+            return Err(LayerError::ZeroParameter("groups"));
+        }
+        let (m, c) = (shape[Dim::M], shape[Dim::C]);
+        if m % groups != 0 || c % groups != 0 {
+            return Err(LayerError::BadGrouping { m, c, groups });
+        }
+        let per_group = shape
+            .with_bound(Dim::M, m / groups)
+            .with_bound(Dim::C, c / groups);
+        Ok(Layer {
+            name: name.into(),
+            kind,
+            shape: per_group,
+            stride,
+            dilation,
+            groups,
+        })
+    }
+
+    /// Returns this layer with the given stride (builder style).
+    #[must_use]
+    pub fn with_stride(mut self, vertical: usize, horizontal: usize) -> Layer {
+        assert!(vertical > 0 && horizontal > 0, "stride must be nonzero");
+        self.stride = (vertical, horizontal);
+        self
+    }
+
+    /// Returns this layer with the given dilation (builder style).
+    #[must_use]
+    pub fn with_dilation(mut self, vertical: usize, horizontal: usize) -> Layer {
+        assert!(vertical > 0 && horizontal > 0, "dilation must be nonzero");
+        self.dilation = (vertical, horizontal);
+        self
+    }
+
+    /// Splits the layer's channels into `groups` independent groups
+    /// (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current per-group channel counts are not divisible by
+    /// `groups`.
+    #[must_use]
+    pub fn with_groups(mut self, groups: usize) -> Layer {
+        assert!(groups > 0, "groups must be nonzero");
+        let (m, c) = (self.shape[Dim::M], self.shape[Dim::C]);
+        assert!(
+            m % groups == 0 && c % groups == 0,
+            "channels (M={m}, C={c}) not divisible by groups={groups}"
+        );
+        self.shape = self
+            .shape
+            .with_bound(Dim::M, m / groups)
+            .with_bound(Dim::C, c / groups);
+        self.groups *= groups;
+        self
+    }
+
+    /// Returns this layer with a new batch size (builder style).
+    #[must_use]
+    pub fn with_batch(mut self, n: usize) -> Layer {
+        assert!(n > 0, "batch must be nonzero");
+        self.shape = self.shape.with_bound(Dim::N, n);
+        self
+    }
+
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operator class.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// Per-group loop bounds.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// `(vertical, horizontal)` stride.
+    pub fn stride(&self) -> (usize, usize) {
+        self.stride
+    }
+
+    /// `(vertical, horizontal)` dilation.
+    pub fn dilation(&self) -> (usize, usize) {
+        self.dilation
+    }
+
+    /// Number of independent channel groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// `true` if both strides are 1 (many photonic dataflows require this
+    /// for their sliding-window reuse to function).
+    pub fn is_unit_stride(&self) -> bool {
+        self.stride == (1, 1)
+    }
+
+    /// Total multiply-accumulates for the full layer (all groups).
+    pub fn macs(&self) -> u64 {
+        self.shape.volume() * self.groups as u64
+    }
+
+    /// Input feature-map height consumed by `p_extent` output rows with
+    /// `r_extent` filter rows (the sliding-window footprint rule).
+    pub fn input_rows(&self, p_extent: usize, r_extent: usize) -> usize {
+        (p_extent - 1) * self.stride.0 + (r_extent - 1) * self.dilation.0 + 1
+    }
+
+    /// Input feature-map width consumed by `q_extent` output columns with
+    /// `s_extent` filter columns.
+    pub fn input_cols(&self, q_extent: usize, s_extent: usize) -> usize {
+        (q_extent - 1) * self.stride.1 + (s_extent - 1) * self.dilation.1 + 1
+    }
+
+    /// Number of elements of `tensor` touched by the full layer (all groups).
+    pub fn tensor_elements(&self, tensor: TensorKind) -> u64 {
+        let s = &self.shape;
+        let per_group: u64 = match tensor {
+            TensorKind::Weight => {
+                (s[Dim::M] * s[Dim::C] * s[Dim::R] * s[Dim::S]) as u64
+            }
+            TensorKind::Output => (s[Dim::N] * s[Dim::M] * s[Dim::P] * s[Dim::Q]) as u64,
+            TensorKind::Input => {
+                let h = self.input_rows(s[Dim::P], s[Dim::R]);
+                let w = self.input_cols(s[Dim::Q], s[Dim::S]);
+                (s[Dim::N] * s[Dim::C] * h * w) as u64
+            }
+        };
+        per_group * self.groups as u64
+    }
+
+    /// Arithmetic intensity: MACs per element moved if every tensor were
+    /// touched exactly once (an upper bound on achievable reuse).
+    pub fn ideal_arithmetic_intensity(&self) -> f64 {
+        let moved: u64 = TensorKind::ALL.iter().map(|&t| self.tensor_elements(t)).sum();
+        self.macs() as f64 / moved as f64
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}) {} stride={:?} groups={}",
+            self.name, self.kind, self.shape, self.stride, self.groups
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_macs() {
+        let l = Layer::conv2d("c", 1, 64, 3, 224, 224, 3, 3);
+        assert_eq!(l.macs(), 64 * 3 * 224 * 224 * 9);
+    }
+
+    #[test]
+    fn fc_is_degenerate_conv() {
+        let l = Layer::fully_connected("fc", 1, 1000, 4096);
+        assert_eq!(l.shape()[Dim::P], 1);
+        assert_eq!(l.shape()[Dim::R], 1);
+        assert_eq!(l.macs(), 1000 * 4096);
+        assert_eq!(l.kind(), LayerKind::FullyConnected);
+    }
+
+    #[test]
+    fn grouped_conv_divides_channels() {
+        let l = Layer::conv2d("g", 1, 256, 96, 27, 27, 5, 5).with_groups(2);
+        assert_eq!(l.shape()[Dim::M], 128);
+        assert_eq!(l.shape()[Dim::C], 48);
+        assert_eq!(l.groups(), 2);
+        // MACs include both groups.
+        assert_eq!(l.macs(), 2 * 128 * 48 * 27 * 27 * 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_grouping_panics() {
+        let _ = Layer::conv2d("g", 1, 10, 9, 4, 4, 1, 1).with_groups(4);
+    }
+
+    #[test]
+    fn try_new_rejects_zero() {
+        let err = Layer::try_new(
+            "bad",
+            LayerKind::Conv2d,
+            Shape::new(1, 0, 1, 1, 1, 1, 1),
+            (1, 1),
+            (1, 1),
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(err, LayerError::ZeroParameter("shape bound"));
+    }
+
+    #[test]
+    fn input_footprint_accounts_for_stride() {
+        // AlexNet conv1: 11x11 stride 4 on 227x227 -> 55x55 outputs.
+        let l = Layer::conv2d("conv1", 1, 96, 3, 55, 55, 11, 11).with_stride(4, 4);
+        assert_eq!(l.input_rows(55, 11), 227);
+        assert_eq!(l.input_cols(55, 11), 227);
+        assert_eq!(l.tensor_elements(TensorKind::Input), 3 * 227 * 227);
+    }
+
+    #[test]
+    fn input_footprint_accounts_for_dilation() {
+        let l = Layer::conv2d("d", 1, 1, 1, 8, 8, 3, 3).with_dilation(2, 2);
+        assert_eq!(l.input_rows(8, 3), 7 + 4 + 1);
+    }
+
+    #[test]
+    fn tensor_elements_output_and_weight() {
+        let l = Layer::conv2d("c", 2, 8, 4, 5, 6, 3, 3);
+        assert_eq!(l.tensor_elements(TensorKind::Output), 2 * 8 * 5 * 6);
+        assert_eq!(l.tensor_elements(TensorKind::Weight), 8 * 4 * 9);
+    }
+
+    #[test]
+    fn depthwise_builds_groups() {
+        let l = Layer::depthwise_conv2d("dw", 1, 32, 16, 16, 3, 3);
+        assert_eq!(l.groups(), 32);
+        assert_eq!(l.macs(), 32 * 16 * 16 * 9);
+    }
+
+    #[test]
+    fn with_batch_changes_n_only() {
+        let l = Layer::conv2d("c", 1, 8, 8, 8, 8, 3, 3).with_batch(16);
+        assert_eq!(l.shape()[Dim::N], 16);
+        assert_eq!(l.macs(), 16 * 8 * 8 * 8 * 8 * 9);
+    }
+
+    #[test]
+    fn arithmetic_intensity_positive() {
+        let l = Layer::conv2d("c", 1, 64, 64, 56, 56, 3, 3);
+        assert!(l.ideal_arithmetic_intensity() > 1.0);
+    }
+
+    #[test]
+    fn display_contains_name_and_kind() {
+        let l = Layer::fully_connected("fc8", 1, 1000, 4096);
+        let shown = format!("{l}");
+        assert!(shown.contains("fc8") && shown.contains("(fc)"));
+    }
+}

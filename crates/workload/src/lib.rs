@@ -1,0 +1,43 @@
+//! # lumen-workload
+//!
+//! DNN workload descriptions for architecture-level modeling.
+//!
+//! A convolutional / fully-connected layer is described as a seven-dimensional
+//! loop nest over [`Dim`]s `(N, M, C, P, Q, R, S)`:
+//!
+//! * `N` — batch
+//! * `M` — output channels
+//! * `C` — input channels
+//! * `P`/`Q` — output feature-map rows / columns
+//! * `R`/`S` — filter rows / columns
+//!
+//! with strides, dilation and channel groups. Three operand tensors project
+//! out of this nest ([`TensorKind`]): weights `W[M,C,R,S]`, inputs
+//! `I[N,C,H,W]` (sliding-window footprint) and outputs `O[N,M,P,Q]`.
+//!
+//! The [`networks`] module provides the three networks evaluated by the
+//! paper: [`networks::alexnet`], [`networks::vgg16`] and
+//! [`networks::resnet18`].
+//!
+//! # Examples
+//!
+//! ```
+//! use lumen_workload::{Layer, networks};
+//!
+//! let conv = Layer::conv2d("conv", 1, 64, 3, 224, 224, 3, 3);
+//! assert_eq!(conv.macs(), 64 * 3 * 224 * 224 * 9);
+//!
+//! let net = networks::resnet18();
+//! assert!(net.total_macs() > 1_700_000_000);
+//! ```
+
+mod dims;
+mod layer;
+mod network;
+pub mod networks;
+mod tensor;
+
+pub use dims::{Dim, DimMap, DimSet, Shape};
+pub use layer::{Layer, LayerError, LayerKind};
+pub use network::{Network, NetworkStats};
+pub use tensor::{TensorKind, TensorMap, TensorSet};

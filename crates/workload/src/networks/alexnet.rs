@@ -1,0 +1,84 @@
+//! AlexNet (Krizhevsky et al., NeurIPS 2012) — the original two-GPU grouped
+//! topology with a 227×227 input.
+
+use crate::{Layer, Network};
+
+/// Builds batch-1 AlexNet.
+///
+/// Notable for the modeling experiments: `conv1` is an 11×11 convolution
+/// with **stride 4** and the last three layers are **fully connected** —
+/// both shapes severely underutilize dataflows designed around unit-stride
+/// sliding-window reuse (the paper's Fig. 3 observation).
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::networks::alexnet;
+/// let net = alexnet();
+/// assert_eq!(net.layers().len(), 8);
+/// assert!(!net.layers()[0].is_unit_stride());
+/// ```
+pub fn alexnet() -> Network {
+    Network::new("alexnet")
+        // 227x227x3 -> 55x55x96, 11x11 stride 4.
+        .push(Layer::conv2d("conv1", 1, 96, 3, 55, 55, 11, 11).with_stride(4, 4))
+        // After 3x3/2 max-pool: 27x27x96. Grouped 5x5.
+        .push(Layer::conv2d("conv2", 1, 256, 96, 27, 27, 5, 5).with_groups(2))
+        // After pool: 13x13x256.
+        .push(Layer::conv2d("conv3", 1, 384, 256, 13, 13, 3, 3))
+        .push(Layer::conv2d("conv4", 1, 384, 384, 13, 13, 3, 3).with_groups(2))
+        .push(Layer::conv2d("conv5", 1, 256, 384, 13, 13, 3, 3).with_groups(2))
+        // After pool: 6x6x256 = 9216 inputs.
+        .push(Layer::fully_connected("fc6", 1, 4096, 9216))
+        .push(Layer::fully_connected("fc7", 1, 4096, 4096))
+        .push(Layer::fully_connected("fc8", 1, 1000, 4096))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dim, LayerKind, TensorKind};
+
+    #[test]
+    fn conv1_shape() {
+        let net = alexnet();
+        let conv1 = &net.layers()[0];
+        assert_eq!(conv1.shape()[Dim::M], 96);
+        assert_eq!(conv1.stride(), (4, 4));
+        assert_eq!(conv1.input_rows(55, 11), 227);
+        assert_eq!(conv1.macs(), 96 * 3 * 55 * 55 * 121);
+    }
+
+    #[test]
+    fn grouped_layers() {
+        let net = alexnet();
+        let conv2 = &net.layers()[1];
+        assert_eq!(conv2.groups(), 2);
+        assert_eq!(conv2.shape()[Dim::M], 128);
+        assert_eq!(conv2.shape()[Dim::C], 48);
+    }
+
+    #[test]
+    fn fc_macs() {
+        let net = alexnet();
+        let fc: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::FullyConnected)
+            .map(Layer::macs)
+            .sum();
+        assert_eq!(fc, 4096 * 9216 + 4096 * 4096 + 1000 * 4096);
+    }
+
+    #[test]
+    fn fc_layers_dominate_weights() {
+        let net = alexnet();
+        let fc_weights: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::FullyConnected)
+            .map(|l| l.tensor_elements(TensorKind::Weight))
+            .sum();
+        assert!(fc_weights * 10 > net.total_weights() * 9, "FC >90% of weights");
+    }
+}

@@ -1,0 +1,108 @@
+//! MobileNetV1 (Howard et al., 2017) — depthwise-separable convolutions,
+//! width multiplier 1.0, 224×224 input.
+//!
+//! Included as an extension workload: its depthwise layers have *no*
+//! channel-level parallelism or reuse, which stresses photonic dataflows
+//! built around wavelength-parallel input channels and output-channel
+//! broadcast in a way none of the paper's workloads do.
+
+use crate::{Layer, Network};
+
+/// Builds batch-1 MobileNetV1 (1.0×, 224).
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::networks::mobilenetv1;
+/// let net = mobilenetv1();
+/// assert_eq!(net.layers().len(), 28);
+/// assert!(net.layers().iter().any(|l| l.groups() > 1));
+/// ```
+pub fn mobilenetv1() -> Network {
+    let mut net = Network::new("mobilenetv1")
+        // Stem: 3x3 stride-2 full conv.
+        .push(Layer::conv2d("conv1", 1, 32, 3, 112, 112, 3, 3).with_stride(2, 2));
+
+    // (input channels, output channels, output size, depthwise stride)
+    let blocks: [(usize, usize, usize, usize); 13] = [
+        (32, 64, 112, 1),
+        (64, 128, 56, 2),
+        (128, 128, 56, 1),
+        (128, 256, 28, 2),
+        (256, 256, 28, 1),
+        (256, 512, 14, 2),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 1024, 7, 2),
+        (1024, 1024, 7, 1),
+    ];
+    for (i, (c_in, c_out, size, stride)) in blocks.into_iter().enumerate() {
+        let dw = Layer::depthwise_conv2d(format!("dw{}", i + 1), 1, c_in, size, size, 3, 3)
+            .with_stride(stride, stride);
+        net = net.push(dw).push(Layer::conv2d(
+            format!("pw{}", i + 1),
+            1,
+            c_out,
+            c_in,
+            size,
+            size,
+            1,
+            1,
+        ));
+    }
+
+    net.push(Layer::fully_connected("fc", 1, 1000, 1024))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LayerKind, TensorKind};
+
+    #[test]
+    fn mac_count_matches_literature() {
+        // ~569 MMACs for batch-1 MobileNetV1.
+        let macs = mobilenetv1().total_macs();
+        assert!(
+            (520_000_000..620_000_000).contains(&macs),
+            "MobileNetV1 MACs out of range: {macs}"
+        );
+    }
+
+    #[test]
+    fn weight_count_matches_literature() {
+        // ~4.2M conv+fc weights.
+        let w = mobilenetv1().total_weights();
+        assert!((3_900_000..4_500_000).contains(&w), "weights: {w}");
+    }
+
+    #[test]
+    fn depthwise_layers_are_grouped() {
+        let net = mobilenetv1();
+        let dw: Vec<_> = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::DepthwiseConv2d)
+            .collect();
+        assert_eq!(dw.len(), 13);
+        for layer in dw {
+            assert_eq!(layer.groups(), layer.tensor_elements(TensorKind::Weight) as usize / 9);
+        }
+    }
+
+    #[test]
+    fn pointwise_dominates_macs() {
+        // The 1x1 convolutions carry ~2/3 of the MACs.
+        let net = mobilenetv1();
+        let pw: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.name().starts_with("pw"))
+            .map(Layer::macs)
+            .sum();
+        assert!(pw * 3 > net.total_macs() * 2 - net.total_macs() / 10);
+    }
+}

@@ -1,0 +1,103 @@
+//! Prebuilt networks used in the paper's evaluation.
+//!
+//! All shapes follow the original publications (AlexNet with its two-group
+//! convolutions, VGG16 configuration D, ResNet-18 with projection
+//! shortcuts). Pooling and normalization layers carry no MACs and are
+//! omitted, matching Timeloop-family modeling practice.
+
+mod alexnet;
+mod mobilenetv1;
+mod resnet18;
+mod vgg16;
+
+pub use alexnet::alexnet;
+pub use mobilenetv1::mobilenetv1;
+pub use resnet18::resnet18;
+pub use vgg16::vgg16;
+
+use crate::Network;
+
+/// Looks a prebuilt network up by (case-insensitive) name.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::networks;
+/// assert!(networks::by_name("VGG16").is_some());
+/// assert!(networks::by_name("mystery-net").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Network> {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => Some(alexnet()),
+        "vgg16" | "vgg-16" => Some(vgg16()),
+        "resnet18" | "resnet-18" => Some(resnet18()),
+        "mobilenetv1" | "mobilenet-v1" | "mobilenet" => Some(mobilenetv1()),
+        _ => None,
+    }
+}
+
+/// Names accepted by [`by_name`].
+pub const NAMES: [&str; 4] = ["alexnet", "vgg16", "resnet18", "mobilenetv1"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_finds_all() {
+        for name in NAMES {
+            assert!(by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn alexnet_mac_count_matches_literature() {
+        // ~724 MMACs for batch-1 AlexNet (original grouped version).
+        let macs = alexnet().total_macs();
+        assert!(
+            (600_000_000..800_000_000).contains(&macs),
+            "AlexNet MACs out of range: {macs}"
+        );
+    }
+
+    #[test]
+    fn vgg16_mac_count_matches_literature() {
+        // ~15.5 GMACs for batch-1 VGG16.
+        let macs = vgg16().total_macs();
+        assert!(
+            (15_000_000_000..16_000_000_000).contains(&macs),
+            "VGG16 MACs out of range: {macs}"
+        );
+    }
+
+    #[test]
+    fn resnet18_mac_count_matches_literature() {
+        // ~1.8 GMACs for batch-1 ResNet-18.
+        let macs = resnet18().total_macs();
+        assert!(
+            (1_700_000_000..1_950_000_000).contains(&macs),
+            "ResNet18 MACs out of range: {macs}"
+        );
+    }
+
+    #[test]
+    fn resnet18_weight_count_matches_literature() {
+        // ~11.2M conv+fc weights.
+        let w = resnet18().total_weights();
+        assert!((10_500_000..12_000_000).contains(&w), "weights: {w}");
+    }
+
+    #[test]
+    fn vgg16_is_weight_heavy_in_fc() {
+        // The three FC layers hold most of VGG16's ~138M weights.
+        let w = vgg16().total_weights();
+        assert!((130_000_000..145_000_000).contains(&w), "weights: {w}");
+    }
+
+    #[test]
+    fn alexnet_has_strided_and_grouped_layers() {
+        let net = alexnet();
+        assert!(net.layers().iter().any(|l| !l.is_unit_stride()));
+        assert!(net.layers().iter().any(|l| l.groups() > 1));
+    }
+}

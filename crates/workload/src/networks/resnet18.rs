@@ -1,0 +1,117 @@
+//! ResNet-18 (He et al., CVPR 2016) with projection shortcuts.
+
+use crate::{Layer, Network};
+
+/// Builds batch-1 ResNet-18.
+///
+/// The residual topology is linearized into 21 MAC layers (1 stem conv,
+/// 16 block convs, 3 projection shortcuts, 1 classifier). This is the
+/// workload of the paper's full-system (Fig. 4) and architecture-
+/// exploration (Fig. 5) experiments.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::networks::resnet18;
+/// let net = resnet18();
+/// assert_eq!(net.layers().len(), 21);
+/// ```
+pub fn resnet18() -> Network {
+    let mut net = Network::new("resnet18")
+        // 224x224x3 -> 112x112x64, 7x7 stride 2.
+        .push(Layer::conv2d("conv1", 1, 64, 3, 112, 112, 7, 7).with_stride(2, 2));
+
+    // After 3x3/2 max-pool the feature map is 56x56x64.
+    // Stage 1: two basic blocks at 56x56, 64 channels.
+    for block in 0..2 {
+        for conv in 1..=2 {
+            net = net.push(Layer::conv2d(
+                format!("layer1.{block}.conv{conv}"),
+                1,
+                64,
+                64,
+                56,
+                56,
+                3,
+                3,
+            ));
+        }
+    }
+
+    // Stages 2-4 halve the spatial size and double the channels; the first
+    // block of each stage has a strided conv1 and a 1x1 projection shortcut.
+    let stages: [(&str, usize, usize, usize); 3] = [
+        ("layer2", 128, 64, 28),
+        ("layer3", 256, 128, 14),
+        ("layer4", 512, 256, 7),
+    ];
+    for (stage, m, c_in, pq) in stages {
+        // Block 0 (downsampling).
+        net = net
+            .push(Layer::conv2d(format!("{stage}.0.conv1"), 1, m, c_in, pq, pq, 3, 3).with_stride(2, 2))
+            .push(Layer::conv2d(format!("{stage}.0.conv2"), 1, m, m, pq, pq, 3, 3))
+            .push(
+                Layer::conv2d(format!("{stage}.0.downsample"), 1, m, c_in, pq, pq, 1, 1)
+                    .with_stride(2, 2),
+            );
+        // Block 1.
+        net = net
+            .push(Layer::conv2d(format!("{stage}.1.conv1"), 1, m, m, pq, pq, 3, 3))
+            .push(Layer::conv2d(format!("{stage}.1.conv2"), 1, m, m, pq, pq, 3, 3));
+    }
+
+    net.push(Layer::fully_connected("fc", 1, 1000, 512))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dim, LayerKind};
+
+    #[test]
+    fn layer_inventory() {
+        let net = resnet18();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::Conv2d)
+            .count();
+        let fcs = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::FullyConnected)
+            .count();
+        assert_eq!((convs, fcs), (20, 1));
+    }
+
+    #[test]
+    fn stage_shapes_halve() {
+        let net = resnet18();
+        let l2 = net
+            .layers()
+            .iter()
+            .find(|l| l.name() == "layer2.0.conv1")
+            .unwrap();
+        assert_eq!(l2.shape()[Dim::M], 128);
+        assert_eq!(l2.shape()[Dim::P], 28);
+        assert_eq!(l2.stride(), (2, 2));
+    }
+
+    #[test]
+    fn downsample_convs_are_1x1_strided() {
+        let net = resnet18();
+        for l in net.layers().iter().filter(|l| l.name().contains("downsample")) {
+            assert_eq!(l.shape()[Dim::R], 1);
+            assert_eq!(l.stride(), (2, 2));
+        }
+    }
+
+    #[test]
+    fn stem_dominates_no_single_layer() {
+        let net = resnet18();
+        let max_layer = net.layers().iter().map(Layer::macs).max().unwrap();
+        // No layer is more than 10% of... actually conv stages are balanced;
+        // the stem is ~6.5% and block convs ~6.4% each.
+        assert!(max_layer * 5 < net.total_macs(), "layers reasonably balanced");
+    }
+}

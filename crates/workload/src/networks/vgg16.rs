@@ -1,0 +1,88 @@
+//! VGG16 (Simonyan & Zisserman, ICLR 2015) — configuration D.
+
+use crate::{Layer, Network};
+
+/// Builds batch-1 VGG16.
+///
+/// All thirteen convolutions are 3×3 with unit stride and "same" padding —
+/// the shape class Albireo's optical sliding-window dataflow is designed
+/// for, which is why VGG16 throughput stays near ideal in Fig. 3.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::networks::vgg16;
+/// let net = vgg16();
+/// assert_eq!(net.layers().len(), 16);
+/// assert!(net.layers().iter().all(|l| l.is_unit_stride()));
+/// ```
+pub fn vgg16() -> Network {
+    let mut net = Network::new("vgg16");
+    // (name, M, C, P=Q)
+    let convs: [(&str, usize, usize, usize); 13] = [
+        ("conv1_1", 64, 3, 224),
+        ("conv1_2", 64, 64, 224),
+        ("conv2_1", 128, 64, 112),
+        ("conv2_2", 128, 128, 112),
+        ("conv3_1", 256, 128, 56),
+        ("conv3_2", 256, 256, 56),
+        ("conv3_3", 256, 256, 56),
+        ("conv4_1", 512, 256, 28),
+        ("conv4_2", 512, 512, 28),
+        ("conv4_3", 512, 512, 28),
+        ("conv5_1", 512, 512, 14),
+        ("conv5_2", 512, 512, 14),
+        ("conv5_3", 512, 512, 14),
+    ];
+    for (name, m, c, pq) in convs {
+        net = net.push(Layer::conv2d(name, 1, m, c, pq, pq, 3, 3));
+    }
+    net.push(Layer::fully_connected("fc6", 1, 4096, 512 * 7 * 7))
+        .push(Layer::fully_connected("fc7", 1, 4096, 4096))
+        .push(Layer::fully_connected("fc8", 1, 1000, 4096))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn layer_counts() {
+        let net = vgg16();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::Conv2d)
+            .count();
+        let fcs = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::FullyConnected)
+            .count();
+        assert_eq!((convs, fcs), (13, 3));
+    }
+
+    #[test]
+    fn conv_macs_dominate() {
+        let net = vgg16();
+        let conv_macs: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::Conv2d)
+            .map(Layer::macs)
+            .sum();
+        // Convs are ~99% of VGG16 MACs.
+        assert!(conv_macs * 100 > net.total_macs() * 98);
+    }
+
+    #[test]
+    fn all_convs_are_3x3_unit_stride() {
+        for l in vgg16().layers() {
+            if l.kind() == LayerKind::Conv2d {
+                assert_eq!(l.shape().bound(crate::Dim::R), 3);
+                assert!(l.is_unit_stride());
+            }
+        }
+    }
+}

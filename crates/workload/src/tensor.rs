@@ -1,0 +1,335 @@
+//! Operand tensors and their dimension projections.
+
+use crate::{Dim, DimSet};
+use std::fmt;
+
+/// One of the three operand tensors of a convolutional layer.
+///
+/// Each tensor *projects* onto a subset of the seven loop dimensions; loop
+/// dimensions outside the projection are *reuse* dimensions for that tensor
+/// (iterating them revisits the same data).
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::{Dim, TensorKind};
+/// assert!(TensorKind::Weight.is_relevant(Dim::M));
+/// assert!(!TensorKind::Weight.is_relevant(Dim::N)); // batch reuses weights
+/// assert!(TensorKind::Input.is_relevant(Dim::P));   // sliding window
+/// assert!(TensorKind::Output.is_relevant(Dim::Q));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TensorKind {
+    /// Filter weights `W[M, C, R, S]`.
+    Weight,
+    /// Input activations `I[N, C, H, W]`.
+    Input,
+    /// Output activations / partial sums `O[N, M, P, Q]`.
+    Output,
+}
+
+impl TensorKind {
+    /// All tensors, in canonical order.
+    pub const ALL: [TensorKind; 3] = [TensorKind::Weight, TensorKind::Input, TensorKind::Output];
+
+    /// Canonical index (0..3).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            TensorKind::Weight => 0,
+            TensorKind::Input => 1,
+            TensorKind::Output => 2,
+        }
+    }
+
+    /// The loop dimensions this tensor projects onto.
+    ///
+    /// Input activations are relevant to `P`/`Q` *and* `R`/`S` because the
+    /// sliding window couples output position and filter position into the
+    /// input coordinate (`h = p·stride + r·dilation`).
+    pub const fn relevant_dims(self) -> DimSet {
+        match self {
+            TensorKind::Weight => DimSet::EMPTY
+                .with(Dim::M)
+                .with(Dim::C)
+                .with(Dim::R)
+                .with(Dim::S),
+            TensorKind::Input => DimSet::EMPTY
+                .with(Dim::N)
+                .with(Dim::C)
+                .with(Dim::P)
+                .with(Dim::Q)
+                .with(Dim::R)
+                .with(Dim::S),
+            TensorKind::Output => DimSet::EMPTY
+                .with(Dim::N)
+                .with(Dim::M)
+                .with(Dim::P)
+                .with(Dim::Q),
+        }
+    }
+
+    /// `true` if iterating `dim` changes which elements of this tensor are
+    /// touched.
+    #[inline]
+    pub fn is_relevant(self, dim: Dim) -> bool {
+        self.relevant_dims().contains(dim)
+    }
+
+    /// `true` for tensors that are read-only inputs of the layer.
+    #[inline]
+    pub const fn is_read_only(self) -> bool {
+        matches!(self, TensorKind::Weight | TensorKind::Input)
+    }
+
+    /// The reduction dimensions (`C`, `R`, `S`): iterating them accumulates
+    /// partial sums into the *same* output element. Only meaningful for
+    /// [`TensorKind::Output`] traffic analysis.
+    pub const fn reduction_dims() -> DimSet {
+        DimSet::EMPTY.with(Dim::C).with(Dim::R).with(Dim::S)
+    }
+}
+
+impl fmt::Display for TensorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TensorKind::Weight => "Weight",
+            TensorKind::Input => "Input",
+            TensorKind::Output => "Output",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A subset of the three operand tensors, e.g. "which tensors does this
+/// buffer keep" or "which tensors does this converter transduce".
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::{TensorKind, TensorSet};
+/// let io = TensorSet::from_kinds(&[TensorKind::Input, TensorKind::Output]);
+/// assert!(io.contains(TensorKind::Input));
+/// assert!(!io.contains(TensorKind::Weight));
+/// assert_eq!(TensorSet::all().len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TensorSet(u8);
+
+impl TensorSet {
+    /// The empty set.
+    pub const EMPTY: TensorSet = TensorSet(0);
+
+    /// Creates an empty set.
+    #[inline]
+    pub const fn new() -> TensorSet {
+        TensorSet(0)
+    }
+
+    /// All three tensors.
+    #[inline]
+    pub const fn all() -> TensorSet {
+        TensorSet(0b111)
+    }
+
+    /// Only the given tensor.
+    #[inline]
+    pub const fn only(kind: TensorKind) -> TensorSet {
+        TensorSet(1 << kind.index())
+    }
+
+    /// Builds a set from a slice of tensors.
+    pub fn from_kinds(kinds: &[TensorKind]) -> TensorSet {
+        let mut s = TensorSet(0);
+        for &k in kinds {
+            s = s.with(k);
+        }
+        s
+    }
+
+    /// Returns this set with `kind` added.
+    #[inline]
+    pub const fn with(self, kind: TensorKind) -> TensorSet {
+        TensorSet(self.0 | (1 << kind.index()))
+    }
+
+    /// Returns this set with `kind` removed.
+    #[inline]
+    pub const fn without(self, kind: TensorKind) -> TensorSet {
+        TensorSet(self.0 & !(1 << kind.index()))
+    }
+
+    /// `true` if `kind` is a member.
+    #[inline]
+    pub const fn contains(self, kind: TensorKind) -> bool {
+        self.0 & (1 << kind.index()) != 0
+    }
+
+    /// Number of members.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` if the set has no members.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates members in canonical order.
+    pub fn iter(self) -> impl Iterator<Item = TensorKind> {
+        TensorKind::ALL.into_iter().filter(move |k| self.contains(*k))
+    }
+}
+
+impl FromIterator<TensorKind> for TensorSet {
+    fn from_iter<I: IntoIterator<Item = TensorKind>>(iter: I) -> TensorSet {
+        iter.into_iter().fold(TensorSet::new(), TensorSet::with)
+    }
+}
+
+impl fmt::Display for TensorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, k) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{k}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A value of type `T` per [`TensorKind`].
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::{TensorKind, TensorMap};
+/// let mut bits = TensorMap::filled(8u32);
+/// bits[TensorKind::Output] = 16;
+/// assert_eq!(bits[TensorKind::Weight], 8);
+/// assert_eq!(bits[TensorKind::Output], 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TensorMap<T> {
+    values: [T; 3],
+}
+
+impl<T> TensorMap<T> {
+    /// Builds a map from a function of the tensor kind.
+    pub fn from_fn(mut f: impl FnMut(TensorKind) -> T) -> TensorMap<T> {
+        TensorMap {
+            values: TensorKind::ALL.map(&mut f),
+        }
+    }
+
+    /// Iterates `(kind, &value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (TensorKind, &T)> {
+        TensorKind::ALL
+            .iter()
+            .map(move |&k| (k, &self.values[k.index()]))
+    }
+}
+
+impl<T: Copy> TensorMap<T> {
+    /// Builds a map with every tensor set to `value`.
+    pub fn filled(value: T) -> TensorMap<T> {
+        TensorMap { values: [value; 3] }
+    }
+}
+
+impl<T> std::ops::Index<TensorKind> for TensorMap<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, kind: TensorKind) -> &T {
+        &self.values[kind.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<TensorKind> for TensorMap<T> {
+    #[inline]
+    fn index_mut(&mut self, kind: TensorKind) -> &mut T {
+        &mut self.values[kind.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_map_indexing() {
+        let mut m = TensorMap::filled(0usize);
+        m[TensorKind::Input] = 7;
+        assert_eq!(m[TensorKind::Input], 7);
+        assert_eq!(m.iter().count(), 3);
+        let built = TensorMap::from_fn(|k| k.index());
+        assert_eq!(built[TensorKind::Output], 2);
+    }
+
+    #[test]
+    fn weight_projection() {
+        let w = TensorKind::Weight.relevant_dims();
+        assert!(w.contains(Dim::M) && w.contains(Dim::C) && w.contains(Dim::R) && w.contains(Dim::S));
+        assert!(!w.contains(Dim::N) && !w.contains(Dim::P) && !w.contains(Dim::Q));
+    }
+
+    #[test]
+    fn input_projection_includes_window_dims() {
+        let i = TensorKind::Input.relevant_dims();
+        for d in [Dim::N, Dim::C, Dim::P, Dim::Q, Dim::R, Dim::S] {
+            assert!(i.contains(d), "input should be relevant to {d}");
+        }
+        assert!(!i.contains(Dim::M));
+    }
+
+    #[test]
+    fn output_projection() {
+        let o = TensorKind::Output.relevant_dims();
+        for d in [Dim::N, Dim::M, Dim::P, Dim::Q] {
+            assert!(o.contains(d));
+        }
+        for d in [Dim::C, Dim::R, Dim::S] {
+            assert!(!o.contains(d), "reduction dim {d} must not change outputs");
+        }
+    }
+
+    #[test]
+    fn every_dim_is_relevant_to_some_tensor() {
+        for d in Dim::ALL {
+            assert!(
+                TensorKind::ALL.iter().any(|t| t.is_relevant(d)),
+                "dim {d} relevant to no tensor"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_dims_match_dim_flag() {
+        for d in Dim::ALL {
+            assert_eq!(TensorKind::reduction_dims().contains(d), d.is_reduction());
+        }
+    }
+
+    #[test]
+    fn tensor_set_ops() {
+        let s = TensorSet::only(TensorKind::Weight).with(TensorKind::Output);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(TensorKind::Weight));
+        assert!(!s.contains(TensorKind::Input));
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![TensorKind::Weight, TensorKind::Output]);
+        assert_eq!(s.without(TensorKind::Weight).len(), 1);
+        assert_eq!(format!("{s}"), "{Weight,Output}");
+    }
+
+    #[test]
+    fn read_only_flags() {
+        assert!(TensorKind::Weight.is_read_only());
+        assert!(TensorKind::Input.is_read_only());
+        assert!(!TensorKind::Output.is_read_only());
+    }
+}

@@ -1,0 +1,44 @@
+//! Full-system exploration (the paper's Fig. 4, plus a batch-size sweep).
+//!
+//! Shows how DRAM dominates the aggressively-scaled photonic system and
+//! how batching and fused-layer dataflows recover the scaling benefits,
+//! then sweeps the batch size to find the point of diminishing returns.
+//!
+//! Run with: `cargo run --example full_system_dram`
+
+use lumen::albireo::{experiments, AlbireoConfig, ScalingProfile};
+use lumen::core::report::Table;
+use lumen::core::NetworkOptions;
+use lumen::workload::networks;
+
+fn main() {
+    // The paper's eight bars.
+    println!(
+        "{}",
+        experiments::fig4_memory_exploration().expect("fig4 evaluates")
+    );
+
+    // Extension: how much batch is enough? Weight traffic amortizes as
+    // 1/B, so the curve flattens once activations dominate.
+    let net = networks::resnet18();
+    let system = AlbireoConfig::new(ScalingProfile::Aggressive).build_system();
+    let mut table = Table::new(vec![
+        "batch".into(),
+        "energy/inference (mJ)".into(),
+        "DRAM share".into(),
+    ]);
+    for batch in [1usize, 2, 4, 8, 16, 32, 64] {
+        let eval = system
+            .evaluate_network(&net, &NetworkOptions::baseline().with_batch(batch))
+            .expect("network maps");
+        let total = eval.energy.total().millijoules();
+        let dram = eval.energy.by_label("dram").millijoules();
+        table.row(vec![
+            batch.to_string(),
+            format!("{total:.3}"),
+            format!("{:.1}%", 100.0 * dram / total),
+        ]);
+    }
+    println!("batch-size sweep (aggressive Albireo, ResNet18, not fused):");
+    print!("{}", table.render());
+}

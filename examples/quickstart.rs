@@ -1,0 +1,45 @@
+//! Quickstart: model one DNN layer on a photonic accelerator.
+//!
+//! Builds the conservatively-scaled Albireo system (accelerator + DRAM),
+//! maps a ResNet-18 convolution onto it, and prints the itemized energy
+//! breakdown, throughput and utilization.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lumen::albireo::{AlbireoConfig, ScalingProfile};
+use lumen::core::report::breakdown_table;
+use lumen::workload::networks;
+
+fn main() {
+    // 1. Build the system: architecture + its dataflow mapper.
+    let config = AlbireoConfig::new(ScalingProfile::Conservative);
+    let system = config.build_system();
+    println!("{}", system.arch());
+
+    // 2. Pick a workload layer.
+    let net = networks::resnet18();
+    let layer = &net.layers()[1]; // layer1.0.conv1: 3x3, 64->64, 56x56
+    println!("layer: {layer}");
+
+    // 3. Evaluate: the mapper finds the dataflow, the nest analysis counts
+    //    every access and conversion, the energy model prices them.
+    let eval = system.evaluate_layer(layer).expect("layer maps onto Albireo");
+
+    println!("\nmapping:\n{}", eval.mapping);
+    println!("energy breakdown:");
+    print!("{}", breakdown_table(&eval.energy).render());
+    println!();
+    println!("energy/MAC : {:.4} pJ", eval.energy_per_mac().picojoules());
+    println!(
+        "throughput : {:.0} MACs/cycle ({:.1}% of peak {})",
+        eval.analysis.throughput_macs_per_cycle,
+        100.0 * eval.analysis.utilization,
+        system.arch().peak_parallelism()
+    );
+    println!(
+        "cycles     : {} ({:.2} µs at {})",
+        eval.analysis.cycles,
+        (system.arch().clock().period() * eval.analysis.cycles as f64).microseconds(),
+        system.arch().clock()
+    );
+}

@@ -1,0 +1,56 @@
+//! Analog/optical reuse exploration (the paper's Fig. 5, plus a Pareto
+//! view).
+//!
+//! Sweeps the Albireo variants that convert once and reuse spatially —
+//! weight-sharing windows, input broadcast fan-out and analog output
+//! accumulation — and shows which variants are Pareto-optimal in
+//! (energy/MAC, peak-normalized latency).
+//!
+//! Run with: `cargo run --example reuse_exploration`
+
+use lumen::albireo::{experiments, AlbireoConfig, ScalingProfile, WeightReuse};
+use lumen::core::dse::pareto_front;
+use lumen::core::NetworkOptions;
+use lumen::workload::networks;
+
+fn main() {
+    let result = experiments::fig5_reuse_exploration().expect("fig5 evaluates");
+    println!("{result}");
+
+    // Extension: energy vs latency Pareto front across the same sweep.
+    let net = networks::resnet18();
+    let mut labels = Vec::new();
+    let mut points = Vec::new();
+    for weight_reuse in [WeightReuse::Original, WeightReuse::More] {
+        for or in [3usize, 9, 15] {
+            for ir in [9usize, 27, 45] {
+                let system = AlbireoConfig::new(ScalingProfile::Aggressive)
+                    .with_weight_reuse(weight_reuse)
+                    .with_output_reuse(or)
+                    .with_input_reuse(ir)
+                    .build_system();
+                let eval = system
+                    .evaluate_network(&net, &NetworkOptions::baseline())
+                    .expect("network maps");
+                labels.push(format!("{weight_reuse:?} OR={or} IR={ir}"));
+                points.push((
+                    eval.energy_per_mac().picojoules(),
+                    eval.cycles, // per-inference latency in cycles
+                ));
+            }
+        }
+    }
+    let front = pareto_front(&points);
+    println!("Pareto-optimal variants (minimize full-system energy/MAC and cycles):");
+    for &i in &front {
+        println!(
+            "  {:<24} {:.4} pJ/MAC (incl. DRAM), {:.0} cycles",
+            labels[i], points[i].0, points[i].1
+        );
+    }
+    println!(
+        "{} of {} swept variants are Pareto-optimal",
+        front.len(),
+        points.len()
+    );
+}

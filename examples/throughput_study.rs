@@ -1,0 +1,63 @@
+//! Throughput study (the paper's Fig. 3, extended to all workloads).
+//!
+//! Evaluates every built-in network on conservative Albireo and reports
+//! per-layer utilization, highlighting the two shapes that starve
+//! photonic sliding-window dataflows: strided convolutions and
+//! fully-connected layers.
+//!
+//! Run with: `cargo run --example throughput_study`
+
+use lumen::albireo::{experiments, AlbireoConfig, ScalingProfile};
+use lumen::core::report::Table;
+use lumen::core::NetworkOptions;
+use lumen::workload::networks;
+
+fn main() {
+    // The paper's figure first.
+    println!(
+        "{}",
+        experiments::fig3_throughput().expect("fig3 evaluates")
+    );
+
+    // Then the per-layer story behind it.
+    let system = AlbireoConfig::new(ScalingProfile::Conservative).build_system();
+    for name in networks::NAMES {
+        let net = networks::by_name(name).expect("built-in network");
+        let eval = system
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .expect("network maps");
+        let mut table = Table::new(vec![
+            "layer".into(),
+            "shape class".into(),
+            "utilization".into(),
+            "cycles".into(),
+        ]);
+        for layer_eval in &eval.per_layer {
+            let layer = net
+                .layers()
+                .iter()
+                .find(|l| l.name() == layer_eval.layer_name)
+                .expect("evaluated layer exists");
+            let class = if !layer.is_unit_stride() {
+                "strided conv"
+            } else if layer.kind() == lumen::workload::LayerKind::FullyConnected {
+                "fully connected"
+            } else {
+                "unit-stride conv"
+            };
+            table.row(vec![
+                layer_eval.layer_name.clone(),
+                class.into(),
+                format!("{:.1}%", 100.0 * layer_eval.analysis.utilization),
+                layer_eval.analysis.cycles.to_string(),
+            ]);
+        }
+        println!("== {name} ==");
+        print!("{}", table.render());
+        println!(
+            "network throughput: {:.0} MACs/cycle ({:.1}% of peak)\n",
+            eval.throughput_macs_per_cycle(),
+            100.0 * eval.throughput_macs_per_cycle() / system.arch().peak_parallelism() as f64
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # Lumen
+//!
+//! Architecture-level modeling of photonic deep neural network accelerators.
+//!
+//! This facade crate re-exports the entire Lumen workspace so applications
+//! can depend on a single crate:
+//!
+//! * [`units`] — strongly-typed physical quantities (energy, power, area, ...)
+//! * [`workload`] — DNN layer/network shapes (AlexNet, VGG16, ResNet18, ...)
+//! * [`components`] — energy/area models for digital, analog, and photonic
+//!   components (SRAM, DRAM, ADC, DAC, microrings, modulators, lasers, ...)
+//! * [`arch`] — hierarchical architecture specifications with electrical /
+//!   optical domain tracking
+//! * [`mapper`] — Timeloop-style loop-nest mapping and reuse analysis
+//! * [`core`] — the full-system energy / throughput / area evaluator
+//! * [`albireo`] — the Albireo (ISCA 2021) photonic accelerator case study
+//!   and the paper's experiments (Figures 2–5)
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lumen::albireo::{AlbireoConfig, ScalingProfile};
+//! use lumen::workload::networks;
+//!
+//! // Build the aggressively-scaled Albireo system (accelerator + DRAM).
+//! let system = AlbireoConfig::new(ScalingProfile::Aggressive).build_system();
+//!
+//! // Evaluate one ResNet-18 layer end to end.
+//! let net = networks::resnet18();
+//! let result = system.evaluate_layer(&net.layers()[1]).unwrap();
+//! assert!(result.energy.total().picojoules() > 0.0);
+//! ```
+
+pub use lumen_albireo as albireo;
+pub use lumen_arch as arch;
+pub use lumen_components as components;
+pub use lumen_core as core;
+pub use lumen_mapper as mapper;
+pub use lumen_units as units;
+pub use lumen_workload as workload;

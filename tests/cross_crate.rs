@@ -1,0 +1,162 @@
+//! Cross-crate integration: the facade, conservation laws across the
+//! mapper/evaluator boundary, and behavioral invariants of full systems.
+
+use lumen::albireo::{AlbireoConfig, ScalingProfile};
+use lumen::arch::{ArchBuilder, Domain, Fanout};
+use lumen::core::{MappingStrategy, NetworkOptions, System};
+use lumen::mapper::analyze;
+use lumen::units::{Energy, Frequency};
+use lumen::workload::{networks, Dim, DimSet, Layer, TensorKind, TensorSet};
+
+#[test]
+fn facade_reexports_cover_the_stack() {
+    // One expression touching every crate through the facade.
+    let system = AlbireoConfig::new(ScalingProfile::Moderate).build_system();
+    let net = networks::resnet18();
+    let eval = system
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .expect("resnet maps");
+    assert!(eval.energy.total() > Energy::ZERO);
+    assert_eq!(eval.macs, net.total_macs());
+}
+
+#[test]
+fn every_network_maps_on_every_corner() {
+    for scaling in ScalingProfile::ALL {
+        let system = AlbireoConfig::new(scaling).build_system();
+        for name in networks::NAMES {
+            let net = networks::by_name(name).unwrap();
+            let eval = system
+                .evaluate_network(&net, &NetworkOptions::baseline())
+                .unwrap_or_else(|e| panic!("{name} on {scaling}: {e}"));
+            assert!(eval.average_utilization() > 0.0);
+            assert!(eval.average_utilization() <= 1.0 + 1e-9);
+            assert!(eval.energy.total().is_finite());
+        }
+    }
+}
+
+#[test]
+fn dram_traffic_conservation_on_toy_system() {
+    // Parent reads x multicast >= child fills; both sides computed by the
+    // nest analysis through independent code paths.
+    let arch = ArchBuilder::new("toy", Frequency::from_gigahertz(1.0))
+        .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+        .done()
+        .storage("buf", Domain::DigitalElectrical, TensorSet::all())
+        .fanout(Fanout::new(8).allow(DimSet::from_dims(&[Dim::M])))
+        .done()
+        .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+        .build()
+        .unwrap();
+    let layer = Layer::conv2d("l", 1, 16, 8, 8, 8, 3, 3);
+    let system = System::new(arch.clone(), MappingStrategy::default());
+    let mapping = system.map_layer(&layer).unwrap();
+    let analysis = analyze(&arch, &layer, &mapping).unwrap();
+    for t in [TensorKind::Weight, TensorKind::Input] {
+        let parent_reads = analysis.level(0).reads[t];
+        let child_fills = analysis.level(1).writes[t];
+        assert!(
+            parent_reads <= child_fills + 1e-6,
+            "multicast can only reduce parent-side traffic for {t}"
+        );
+        assert!(
+            child_fills <= parent_reads * 8.0 + 1e-6,
+            "sharing is bounded by the fan-out for {t}"
+        );
+    }
+}
+
+#[test]
+fn scaling_orders_full_system_energy() {
+    let net = networks::resnet18();
+    let mut totals = Vec::new();
+    for scaling in ScalingProfile::ALL {
+        let system = AlbireoConfig::new(scaling).build_system();
+        let eval = system
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .unwrap();
+        totals.push(eval.energy.total());
+    }
+    assert!(
+        totals[0] > totals[1] && totals[1] > totals[2],
+        "energy must fall monotonically with more aggressive scaling: {totals:?}"
+    );
+}
+
+#[test]
+fn batching_never_hurts_and_saturates() {
+    let net = networks::resnet18();
+    let system = AlbireoConfig::new(ScalingProfile::Aggressive).build_system();
+    let mut previous = f64::INFINITY;
+    let mut savings = Vec::new();
+    for batch in [1usize, 4, 16, 64] {
+        let eval = system
+            .evaluate_network(&net, &NetworkOptions::baseline().with_batch(batch))
+            .unwrap();
+        let total = eval.energy.total().millijoules();
+        assert!(
+            total <= previous * 1.0001,
+            "batch {batch} must not increase per-inference energy"
+        );
+        savings.push(previous - total);
+        previous = total;
+    }
+    // Diminishing returns: each 4x batch step saves less than the last.
+    assert!(savings[1] > savings[2] && savings[2] > savings[3]);
+}
+
+#[test]
+fn bigger_global_buffer_trades_access_energy_for_dram() {
+    let net = networks::resnet18();
+    let small = AlbireoConfig::new(ScalingProfile::Aggressive)
+        .with_glb_mebibytes(2)
+        .build_system();
+    let large = AlbireoConfig::new(ScalingProfile::Aggressive)
+        .with_glb_mebibytes(16)
+        .build_system();
+    let opts = NetworkOptions::baseline();
+    let small_eval = small.evaluate_network(&net, &opts).unwrap();
+    let large_eval = large.evaluate_network(&net, &opts).unwrap();
+    // A larger buffer costs more per access...
+    assert!(
+        large.arch().level_named("glb").unwrap().read_energy()
+            > small.arch().level_named("glb").unwrap().read_energy()
+    );
+    // ...and never increases DRAM traffic energy (tiles only get bigger).
+    assert!(
+        large_eval.energy.by_label("dram") <= small_eval.energy.by_label("dram") * 1.0001
+    );
+}
+
+#[test]
+fn peak_parallelism_bounds_every_throughput() {
+    for scaling in ScalingProfile::ALL {
+        let system = AlbireoConfig::new(scaling).build_system();
+        let peak = system.arch().peak_parallelism() as f64;
+        for name in networks::NAMES {
+            let net = networks::by_name(name).unwrap();
+            let eval = system
+                .evaluate_network(&net, &NetworkOptions::baseline())
+                .unwrap();
+            assert!(eval.throughput_macs_per_cycle() <= peak + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn grouped_layers_round_trip_through_the_system() {
+    // AlexNet conv2 is grouped; its evaluation must count both groups.
+    let alexnet = networks::alexnet();
+    let conv2 = alexnet
+        .layers()
+        .iter()
+        .find(|l| l.name() == "conv2")
+        .unwrap();
+    assert_eq!(conv2.groups(), 2);
+    let system = AlbireoConfig::new(ScalingProfile::Conservative).build_system();
+    let eval = system.evaluate_layer(conv2).unwrap();
+    assert_eq!(eval.analysis.macs, conv2.macs());
+    // Two groups serialize: cycles account for both.
+    assert!(eval.analysis.cycles > conv2.macs() / system.arch().peak_parallelism());
+}

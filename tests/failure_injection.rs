@@ -1,0 +1,183 @@
+//! Failure-injection tests: every user-facing error path produces a
+//! descriptive error instead of a panic or a silent wrong answer.
+
+use lumen::arch::{ArchBuilder, ArchError, Domain, Fanout};
+use lumen::core::{MappingStrategy, System, SystemError};
+use lumen::mapper::{analyze, Mapping, MappingError};
+use lumen::units::{Energy, Frequency};
+use lumen::workload::{networks, Dim, DimSet, Layer, LayerError, LayerKind, Shape, TensorKind, TensorSet};
+
+#[test]
+fn zero_dimension_layer_is_rejected() {
+    let err = Layer::try_new(
+        "bad",
+        LayerKind::Conv2d,
+        Shape::new(1, 0, 3, 8, 8, 3, 3),
+        (1, 1),
+        (1, 1),
+        1,
+    )
+    .unwrap_err();
+    assert_eq!(err, LayerError::ZeroParameter("shape bound"));
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn indivisible_groups_are_rejected() {
+    let err = Layer::try_new(
+        "bad",
+        LayerKind::Conv2d,
+        Shape::new(1, 10, 9, 8, 8, 3, 3),
+        (1, 1),
+        (1, 1),
+        4,
+    )
+    .unwrap_err();
+    assert!(matches!(err, LayerError::BadGrouping { groups: 4, .. }));
+}
+
+#[test]
+fn architecture_without_compute_is_rejected() {
+    // A single storage level cannot form a hierarchy.
+    let err = ArchBuilder::new("bad", Frequency::from_gigahertz(1.0))
+        .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+        .done()
+        .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+        .build();
+    assert!(err.is_ok(), "two levels are the minimum");
+    // But a converter on the outside is not.
+    let err = ArchBuilder::new("bad", Frequency::from_gigahertz(1.0))
+        .converter("dac", Domain::AnalogElectrical, TensorSet::all())
+        .done()
+        .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ArchError::BadOutermost);
+}
+
+#[test]
+fn empty_keep_set_is_rejected() {
+    let err = ArchBuilder::new("bad", Frequency::from_gigahertz(1.0))
+        .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+        .done()
+        .storage("buf", Domain::DigitalElectrical, TensorSet::EMPTY)
+        .done()
+        .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ArchError::NothingKept("buf".into()));
+}
+
+fn two_level_arch(capacity_bits: Option<u64>) -> lumen::arch::Architecture {
+    let mut builder = ArchBuilder::new("t", Frequency::from_gigahertz(1.0))
+        .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+        .read_energy(Energy::from_picojoules(50.0))
+        .write_energy(Energy::from_picojoules(50.0))
+        .done()
+        .storage("buf", Domain::DigitalElectrical, TensorSet::all())
+        .read_energy(Energy::from_picojoules(1.0))
+        .write_energy(Energy::from_picojoules(1.0));
+    if let Some(bits) = capacity_bits {
+        builder = builder.capacity_bits(bits);
+    }
+    builder
+        .fanout(Fanout::new(4).allow(DimSet::from_dims(&[Dim::M])))
+        .done()
+        .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn wrong_level_count_is_reported() {
+    let arch = two_level_arch(None);
+    let layer = Layer::conv2d("l", 1, 4, 4, 4, 4, 1, 1);
+    let mapping = Mapping::new(2); // arch has 3 levels
+    let err = analyze(&arch, &layer, &mapping).unwrap_err();
+    assert!(matches!(err, MappingError::LevelCountMismatch { mapping: 2, arch: 3 }));
+}
+
+#[test]
+fn uncovered_dimension_is_reported_with_numbers() {
+    let arch = two_level_arch(None);
+    let layer = Layer::conv2d("l", 1, 4, 4, 4, 4, 1, 1);
+    let mut mapping = Mapping::new(3);
+    mapping.push_temporal(1, Dim::C, 2); // C needs 4
+    mapping.push_spatial(1, Dim::M, 4);
+    mapping.push_temporal(1, Dim::P, 4);
+    mapping.push_temporal(1, Dim::Q, 4);
+    let err = analyze(&arch, &layer, &mapping).unwrap_err();
+    match err {
+        MappingError::Uncovered { dim, mapped, needed } => {
+            assert_eq!(dim, Dim::C);
+            assert_eq!((mapped, needed), (2, 4));
+        }
+        other => panic!("expected Uncovered, got {other:?}"),
+    }
+}
+
+#[test]
+fn capacity_error_names_the_level_and_sizes() {
+    let arch = two_level_arch(Some(16)); // 2 elements at 8 bits
+    let layer = Layer::conv2d("l", 1, 4, 4, 4, 4, 1, 1);
+    let system = System::new(arch, MappingStrategy::Greedy { temporal_level: 0 });
+    let err = system.evaluate_layer(&layer).unwrap_err();
+    let message = err.to_string();
+    assert!(message.contains("buf"), "level named: {message}");
+    assert!(message.contains("bits"), "sizes included: {message}");
+    assert!(matches!(
+        err,
+        SystemError::NoMapping {
+            cause: Some(MappingError::CapacityExceeded { .. }),
+            ..
+        }
+    ));
+}
+
+#[test]
+fn unknown_network_lookup_returns_none() {
+    assert!(networks::by_name("resnet-9000").is_none());
+    assert!(networks::by_name("").is_none());
+}
+
+#[test]
+fn degenerate_one_by_one_layer_still_evaluates() {
+    // Smallest possible layer: one MAC.
+    let arch = two_level_arch(None);
+    let system = System::new(arch, MappingStrategy::default());
+    let layer = Layer::conv2d("tiny", 1, 1, 1, 1, 1, 1, 1);
+    let eval = system.evaluate_layer(&layer).unwrap();
+    assert_eq!(eval.analysis.macs, 1);
+    assert_eq!(eval.analysis.cycles, 1);
+    // One weight, one input, one output reach the backing store.
+    assert_eq!(eval.analysis.level(0).reads[TensorKind::Weight], 1.0);
+    assert_eq!(eval.analysis.level(0).reads[TensorKind::Input], 1.0);
+    assert_eq!(eval.analysis.level(0).writes[TensorKind::Output], 1.0);
+}
+
+#[test]
+fn stride_larger_than_kernel_is_legal() {
+    // Non-overlapping windows (stride > kernel) must not break footprint
+    // math or produce negative reuse.
+    let arch = two_level_arch(None);
+    let system = System::new(arch, MappingStrategy::default());
+    let layer = Layer::conv2d("sparse", 1, 4, 4, 5, 5, 2, 2).with_stride(4, 4);
+    let eval = system.evaluate_layer(&layer).unwrap();
+    assert_eq!(eval.analysis.macs, layer.macs());
+    // Input footprint: (5-1)*4 + (2-1) + 1 = 18 per side.
+    assert_eq!(layer.input_rows(5, 2), 18);
+    assert!(eval.energy.total().is_finite());
+}
+
+#[test]
+fn fusion_with_unknown_level_names_degrades_gracefully() {
+    use lumen::core::NetworkOptions;
+    let arch = two_level_arch(None);
+    let system = System::new(arch, MappingStrategy::default());
+    let net = lumen::workload::Network::new("n").push(Layer::conv2d("c", 1, 4, 4, 4, 4, 1, 1));
+    // Level "nonexistent" is silently ignored (no reroute) rather than
+    // panicking — fusion is a modeling option, not a hard constraint.
+    let options = NetworkOptions::baseline().with_fusion("nonexistent", "buf");
+    let eval = system.evaluate_network(&net, &options).unwrap();
+    assert!(eval.energy.total() > Energy::ZERO);
+}

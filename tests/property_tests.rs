@@ -1,0 +1,135 @@
+//! Property-based tests on the modeling core's invariants.
+//!
+//! Random layers and architectures drive the mapper + evaluator; the
+//! properties are conservation laws and monotonicities that must hold for
+//! *any* legal input, not just the paper's workloads.
+
+use lumen::arch::{ArchBuilder, Architecture, Domain, Fanout};
+use lumen::core::{MappingStrategy, System};
+use lumen::mapper::analyze;
+use lumen::mapper::search::{greedy_mapping, TemporalPlan, DEFAULT_SPATIAL_PRIORITY};
+use lumen::units::{Energy, Frequency};
+use lumen::workload::{Dim, DimSet, Layer, TensorKind, TensorSet};
+use proptest::prelude::*;
+
+fn toy_arch(fanout: usize, dims: &[Dim]) -> Architecture {
+    ArchBuilder::new("prop", Frequency::from_gigahertz(1.0))
+        .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+        .read_energy(Energy::from_picojoules(100.0))
+        .write_energy(Energy::from_picojoules(100.0))
+        .done()
+        .storage("buf", Domain::DigitalElectrical, TensorSet::all())
+        .read_energy(Energy::from_picojoules(1.0))
+        .write_energy(Energy::from_picojoules(1.0))
+        .fanout(Fanout::new(fanout).allow(DimSet::from_dims(dims)))
+        .done()
+        .compute("mac", Domain::DigitalElectrical, Energy::from_picojoules(0.1))
+        .build()
+        .expect("toy architecture is valid")
+}
+
+/// Strategy: a small random conv layer.
+fn layer_strategy() -> impl Strategy<Value = Layer> {
+    (
+        1usize..=2,  // n
+        1usize..=32, // m
+        1usize..=16, // c
+        1usize..=14, // p
+        1usize..=14, // q
+        1usize..=3,  // r
+        1usize..=3,  // s
+        1usize..=2,  // stride
+    )
+        .prop_map(|(n, m, c, p, q, r, s, stride)| {
+            Layer::conv2d("prop", n, m, c, p, q, r, s).with_stride(stride, stride)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn greedy_mapping_is_always_legal(layer in layer_strategy(), fanout in 1usize..=16) {
+        let arch = toy_arch(fanout, &[Dim::M, Dim::C, Dim::Q]);
+        let mapping = greedy_mapping(&arch, &layer, &DEFAULT_SPATIAL_PRIORITY, &TemporalPlan::all_at(1));
+        prop_assert!(mapping.validate(&arch, &layer).is_ok());
+        let analysis = analyze(&arch, &layer, &mapping).unwrap();
+        prop_assert_eq!(analysis.macs, layer.macs());
+        prop_assert!(analysis.padded_macs >= analysis.macs);
+        prop_assert!(analysis.utilization > 0.0 && analysis.utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn multicast_bounded_by_fanout(layer in layer_strategy(), fanout in 1usize..=16) {
+        let arch = toy_arch(fanout, &[Dim::M, Dim::C, Dim::Q]);
+        let mapping = greedy_mapping(&arch, &layer, &DEFAULT_SPATIAL_PRIORITY, &TemporalPlan::all_at(1));
+        let analysis = analyze(&arch, &layer, &mapping).unwrap();
+        for t in [TensorKind::Weight, TensorKind::Input] {
+            let parent_reads = analysis.level(0).reads[t];
+            let child_fills = analysis.level(1).writes[t];
+            // Multicast never amplifies parent traffic and never shares
+            // more ways than the fan-out provides.
+            prop_assert!(parent_reads <= child_fills + 1e-6);
+            prop_assert!(child_fills <= parent_reads * fanout as f64 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn compute_energy_scales_with_padded_macs(layer in layer_strategy()) {
+        let arch = toy_arch(8, &[Dim::M, Dim::C]);
+        let system = System::new(arch, MappingStrategy::default());
+        let eval = system.evaluate_layer(&layer).unwrap();
+        let compute = eval.energy.by_category(lumen::core::CostCategory::Compute);
+        let expected = 0.1 * eval.analysis.padded_macs as f64;
+        prop_assert!((compute.picojoules() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn output_traffic_accounts_for_every_mac(layer in layer_strategy()) {
+        let arch = toy_arch(8, &[Dim::M, Dim::C]);
+        let mapping = greedy_mapping(&arch, &layer, &DEFAULT_SPATIAL_PRIORITY, &TemporalPlan::all_at(1));
+        let analysis = analyze(&arch, &layer, &mapping).unwrap();
+        // Every padded MAC's partial sum lands somewhere: the innermost
+        // output keeper absorbs them (spatial reduction can shrink the
+        // count, bounded by the fan-out).
+        let updates = analysis.level(1).writes[TensorKind::Output];
+        let padded = analysis.padded_macs as f64;
+        prop_assert!(updates <= padded + 1e-6);
+        prop_assert!(updates * 8.0 + 1e-6 >= padded);
+    }
+
+    #[test]
+    fn outputs_written_at_least_once_to_dram(layer in layer_strategy()) {
+        let arch = toy_arch(8, &[Dim::M, Dim::C]);
+        let mapping = greedy_mapping(&arch, &layer, &DEFAULT_SPATIAL_PRIORITY, &TemporalPlan::all_at(1));
+        let analysis = analyze(&arch, &layer, &mapping).unwrap();
+        let dram_writes = analysis.level(0).writes[TensorKind::Output];
+        let outputs = layer.tensor_elements(TensorKind::Output) as f64;
+        // Every output element reaches the backing store at least once
+        // (padding may add more).
+        prop_assert!(dram_writes >= outputs - 1e-6);
+    }
+
+    #[test]
+    fn bigger_fanout_never_slows_a_layer(layer in layer_strategy()) {
+        let small = toy_arch(4, &[Dim::M, Dim::C]);
+        let big = toy_arch(16, &[Dim::M, Dim::C]);
+        let ms = greedy_mapping(&small, &layer, &DEFAULT_SPATIAL_PRIORITY, &TemporalPlan::all_at(1));
+        let mb = greedy_mapping(&big, &layer, &DEFAULT_SPATIAL_PRIORITY, &TemporalPlan::all_at(1));
+        let a_small = analyze(&small, &layer, &ms).unwrap();
+        let a_big = analyze(&big, &layer, &mb).unwrap();
+        prop_assert!(a_big.cycles <= a_small.cycles);
+    }
+
+    #[test]
+    fn energy_is_finite_and_positive(layer in layer_strategy()) {
+        let arch = toy_arch(8, &[Dim::M, Dim::C, Dim::Q]);
+        let system = System::new(arch, MappingStrategy::default());
+        let eval = system.evaluate_layer(&layer).unwrap();
+        prop_assert!(eval.energy.total().is_finite());
+        prop_assert!(eval.energy.total() > Energy::ZERO);
+        for item in eval.energy.items() {
+            prop_assert!(item.energy.raw() >= 0.0, "no negative energy items");
+        }
+    }
+}
