@@ -1,7 +1,16 @@
 //! Calibration diagnostics: print all four figure tables.
 fn main() {
-    println!("{}", lumen_albireo::experiments::fig2_energy_breakdown().unwrap());
+    println!(
+        "{}",
+        lumen_albireo::experiments::fig2_energy_breakdown().unwrap()
+    );
     println!("{}", lumen_albireo::experiments::fig3_throughput().unwrap());
-    println!("{}", lumen_albireo::experiments::fig4_memory_exploration().unwrap());
-    println!("{}", lumen_albireo::experiments::fig5_reuse_exploration().unwrap());
+    println!(
+        "{}",
+        lumen_albireo::experiments::fig4_memory_exploration().unwrap()
+    );
+    println!(
+        "{}",
+        lumen_albireo::experiments::fig5_reuse_exploration().unwrap()
+    );
 }

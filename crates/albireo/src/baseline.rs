@@ -87,13 +87,15 @@ impl DigitalBaseline {
             )
             .write_energy(spad.write_energy_per_bit() * self.word_bits as f64)
             .capacity_bits(64 * 1024 * 8)
-            .fanout(Fanout::new(self.lanes * self.columns).allow(DimSet::from_dims(&[
-                Dim::M,
-                Dim::C,
-                Dim::R,
-                Dim::S,
-                Dim::Q,
-            ])))
+            .fanout(
+                Fanout::new(self.lanes * self.columns).allow(DimSet::from_dims(&[
+                    Dim::M,
+                    Dim::C,
+                    Dim::R,
+                    Dim::S,
+                    Dim::Q,
+                ])),
+            )
             .done()
             .compute("mac", Domain::DigitalElectrical, mac.mac_energy())
             .build()
@@ -116,10 +118,7 @@ impl Default for DigitalBaseline {
     }
 }
 
-fn baseline_mapping(
-    arch: &Architecture,
-    layer: &lumen_workload::Layer,
-) -> lumen_mapper::Mapping {
+fn baseline_mapping(arch: &Architecture, layer: &lumen_workload::Layer) -> lumen_mapper::Mapping {
     use lumen_mapper::search::{greedy_spatial, TemporalPlan, DEFAULT_SPATIAL_PRIORITY};
     let (base, leftover) = greedy_spatial(arch, layer, &DEFAULT_SPATIAL_PRIORITY);
     let pe = arch.levels().len() - 1;
@@ -227,10 +226,8 @@ pub fn compare_with_digital(
             network: name.to_string(),
             digital_pj_per_mac: d.energy_per_mac().picojoules(),
             photonic_pj_per_mac: p.energy_per_mac().picojoules(),
-            digital_gmacs: d.throughput_macs_per_cycle()
-                * digital.arch().clock().gigahertz(),
-            photonic_gmacs: p.throughput_macs_per_cycle()
-                * photonic.arch().clock().gigahertz(),
+            digital_gmacs: d.throughput_macs_per_cycle() * digital.arch().clock().gigahertz(),
+            photonic_gmacs: p.throughput_macs_per_cycle() * photonic.arch().clock().gigahertz(),
         });
     }
     Ok(rows)

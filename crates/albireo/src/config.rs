@@ -28,8 +28,8 @@
 use crate::dataflow::albireo_mapping;
 use lumen_arch::{ArchBuilder, Architecture, Domain, Fanout};
 use lumen_components::{
-    Adc, Component, Dac, Dram, DramKind, LinkBudget, MachZehnder, Microring, ScalingProfile,
-    Sram, StarCoupler, Waveguide,
+    Adc, Component, Dac, Dram, DramKind, LinkBudget, MachZehnder, Microring, ScalingProfile, Sram,
+    StarCoupler, Waveguide,
 };
 use lumen_core::{MappingStrategy, System};
 use lumen_units::{Decibel, Energy, Frequency, Power};
@@ -237,9 +237,8 @@ impl AlbireoConfig {
 
         // Converters, calibrated per the module docs then scaled.
         let dac = Dac::new(self.word_bits);
-        let dac_energy = dac.conversion_energy()
-            * (1.0125 / dac.conversion_energy().picojoules())
-            * f.dac;
+        let dac_energy =
+            dac.conversion_energy() * (1.0125 / dac.conversion_energy().picojoules()) * f.dac;
         let adc = Adc::new(self.word_bits);
         let adc_energy =
             adc.conversion_energy() * (9.0 / adc.conversion_energy().picojoules()) * f.adc;
@@ -264,9 +263,7 @@ impl AlbireoConfig {
             .write_energy(glb_write)
             .capacity_bits(glb_bits)
             .area(lumen_components::Component::area(&glb))
-            .fanout(
-                Fanout::new(self.clusters).allow(DimSet::from_dims(&[Dim::M, Dim::P])),
-            )
+            .fanout(Fanout::new(self.clusters).allow(DimSet::from_dims(&[Dim::M, Dim::P])))
             .done()
             .converter(
                 "weight-dac",
@@ -329,8 +326,11 @@ impl AlbireoConfig {
             // fully-connected shapes its lanes can serve as extra analog
             // reduction over input channels instead.
             .fanout(
-                Fanout::new(self.kernel_rows * self.kernel_cols)
-                    .allow(DimSet::from_dims(&[Dim::R, Dim::S, Dim::C])),
+                Fanout::new(self.kernel_rows * self.kernel_cols).allow(DimSet::from_dims(&[
+                    Dim::R,
+                    Dim::S,
+                    Dim::C,
+                ])),
             )
             .done()
             // Idle lanes park their rings and power-gate their comb lines,
@@ -394,7 +394,13 @@ mod tests {
         let conv = |a: &Architecture, name: &str| {
             a.level_named(name).expect("level exists").convert_energy()
         };
-        for name in ["weight-dac", "input-dac", "input-mzm", "output-adc", "output-pd"] {
+        for name in [
+            "weight-dac",
+            "input-dac",
+            "input-mzm",
+            "output-adc",
+            "output-pd",
+        ] {
             assert!(
                 conv(&aggr, name) < conv(&cons, name),
                 "{name} should shrink with aggressive scaling"

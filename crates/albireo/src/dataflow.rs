@@ -59,7 +59,11 @@ pub fn albireo_mapping(
     // Clusters can parallelize output channels or output rows; choose the
     // split that minimizes ceil-padding over the M x P subspace.
     let (m_clusters, p_clusters) = best_cluster_split(clusters, m, p, ir);
-    let q_window = if layer.is_unit_stride() { q.min(qwin) } else { 1 };
+    let q_window = if layer.is_unit_stride() {
+        q.min(qwin)
+    } else {
+        1
+    };
     let m_pcu = m.div_ceil(m_clusters).min(ir);
     let c_accum = c.min(or);
     let r_kernel = r.min(kernel.0);
@@ -119,7 +123,12 @@ pub fn albireo_mapping(
         ),
         // C: activations also tiled at glb.
         (
-            &[(Dim::N, n), (Dim::M, m_left), (Dim::P, p_left), (Dim::Q, q_left)],
+            &[
+                (Dim::N, n),
+                (Dim::M, m_left),
+                (Dim::P, p_left),
+                (Dim::Q, q_left),
+            ],
             &[(Dim::C, c_left), (Dim::R, r_left), (Dim::S, s_left)],
         ),
         // D: everything streamed (always fits).

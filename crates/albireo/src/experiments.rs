@@ -6,7 +6,7 @@
 
 use crate::{reference, reference_layer, AlbireoConfig, ScalingProfile, WeightReuse};
 use lumen_core::report::Table;
-use lumen_core::{EnergyBreakdown, NetworkOptions, SystemError};
+use lumen_core::{EnergyBreakdown, NetworkOptions, SweepRunner, SystemError};
 use lumen_workload::networks;
 use std::fmt;
 
@@ -91,10 +91,7 @@ impl Fig2Result {
             for (series, values) in [("Model", &row.modeled), ("Reported", &row.reported)] {
                 let mut cells = vec![row.scaling.to_string(), series.to_string()];
                 cells.extend(values.iter().map(|v| format!("{v:.3}")));
-                cells.push(format!(
-                    "{:.3}",
-                    values.iter().sum::<f64>()
-                ));
+                cells.push(format!("{:.3}", values.iter().sum::<f64>()));
                 t.row(cells);
             }
         }
@@ -106,7 +103,11 @@ impl fmt::Display for Fig2Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig. 2 — best-case energy breakdown (pJ/MAC)")?;
         write!(f, "{}", self.table().render())?;
-        writeln!(f, "average total error: {:.2}%", 100.0 * self.average_error())
+        writeln!(
+            f,
+            "average total error: {:.2}%",
+            100.0 * self.average_error()
+        )
     }
 }
 
@@ -115,8 +116,7 @@ impl fmt::Display for Fig2Result {
 /// reported values.
 pub fn fig2_energy_breakdown() -> Result<Fig2Result, SystemError> {
     let layer = reference_layer();
-    let mut rows = Vec::new();
-    for scaling in ScalingProfile::ALL {
+    let rows = SweepRunner::new().try_run(ScalingProfile::ALL, |scaling| {
         let system = AlbireoConfig::new(scaling).build_system();
         let eval = system.evaluate_layer(&layer)?;
         let macs = eval.analysis.macs as f64;
@@ -130,12 +130,12 @@ pub fn fig2_energy_breakdown() -> Result<Fig2Result, SystemError> {
             per_mac(buckets::AE_DE),
             per_mac(buckets::CACHE),
         ];
-        rows.push(Fig2Row {
+        Ok(Fig2Row {
             scaling,
             modeled,
             reported: reference::reported_row(scaling),
-        });
-    }
+        })
+    })?;
     Ok(Fig2Result { rows })
 }
 
@@ -200,17 +200,16 @@ impl fmt::Display for Fig3Result {
 pub fn fig3_throughput() -> Result<Fig3Result, SystemError> {
     let system = AlbireoConfig::new(ScalingProfile::Conservative).build_system();
     let ideal = system.arch().peak_parallelism() as f64;
-    let mut rows = Vec::new();
-    for (name, reported) in reference::REPORTED_FIG3 {
+    let rows = SweepRunner::new().try_run(reference::REPORTED_FIG3, |(name, reported)| {
         let net = networks::by_name(name).expect("reference networks exist");
         let eval = system.evaluate_network(&net, &NetworkOptions::baseline())?;
-        rows.push(Fig3Row {
+        Ok(Fig3Row {
             network: name.to_string(),
             ideal,
             reported,
             modeled: eval.throughput_macs_per_cycle(),
-        });
-    }
+        })
+    })?;
     Ok(Fig3Result { rows })
 }
 
@@ -291,7 +290,11 @@ impl Fig4Result {
                 "{} {} {}",
                 row.scaling,
                 if row.fused { "fused" } else { "not-fused" },
-                if row.batched { "batched" } else { "non-batched" },
+                if row.batched {
+                    "batched"
+                } else {
+                    "non-batched"
+                },
             );
             let mut cells = vec![name];
             cells.extend(row.segments_mj.iter().map(|v| format!("{v:.3}")));
@@ -340,37 +343,54 @@ fn memory_segments(energy: &EnergyBreakdown) -> [f64; 6] {
 /// corners.
 pub fn fig4_memory_exploration() -> Result<Fig4Result, SystemError> {
     let net = networks::resnet18();
-    let mut rows = Vec::new();
+    let mut corners = Vec::new();
     for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
-        let mut baseline_total = None;
         for fused in [false, true] {
             for batched in [false, true] {
-                // Fusion needs a buffer large enough for inter-layer
-                // activations; the paper notes this costs buffer energy.
-                let glb_mib = if fused { 16 } else { 4 };
-                let system = AlbireoConfig::new(scaling)
-                    .with_glb_mebibytes(glb_mib)
-                    .build_system();
-                let mut options = NetworkOptions::baseline();
-                if batched {
-                    options = options.with_batch(16);
-                }
-                if fused {
-                    options = options.with_fusion("dram", "glb");
-                }
-                let eval = system.evaluate_network(&net, &options)?;
-                let segments_mj = memory_segments(&eval.energy);
-                let total: f64 = segments_mj.iter().sum();
-                let base = *baseline_total.get_or_insert(total);
-                rows.push(Fig4Row {
-                    scaling,
-                    batched,
-                    fused,
-                    segments_mj,
-                    normalized_total: total / base,
-                });
+                corners.push((scaling, fused, batched));
             }
         }
+    }
+    let mut rows = SweepRunner::new().try_run(corners, |(scaling, fused, batched)| {
+        // Fusion needs a buffer large enough for inter-layer
+        // activations; the paper notes this costs buffer energy.
+        let glb_mib = if fused { 16 } else { 4 };
+        let system = AlbireoConfig::new(scaling)
+            .with_glb_mebibytes(glb_mib)
+            .build_system();
+        let mut options = NetworkOptions::baseline();
+        if batched {
+            options = options.with_batch(16);
+        }
+        if fused {
+            options = options.with_fusion("dram", "glb");
+        }
+        let eval = system.evaluate_network(&net, &options)?;
+        let segments_mj = memory_segments(&eval.energy);
+        Ok(Fig4Row {
+            scaling,
+            batched,
+            fused,
+            segments_mj,
+            // Filled in below once the corner's baseline bar is known.
+            normalized_total: f64::NAN,
+        })
+    })?;
+    // Normalize each bar to its corner's non-batched, non-fused
+    // baseline. Baselines are derived from the rows themselves, so every
+    // row is guaranteed a finite normalization (or a loud panic if the
+    // corner list ever stops including its own baseline).
+    let baselines: Vec<(ScalingProfile, f64)> = rows
+        .iter()
+        .filter(|r| !r.batched && !r.fused)
+        .map(|r| (r.scaling, r.total_mj()))
+        .collect();
+    for row in rows.iter_mut() {
+        let (_, base) = baselines
+            .iter()
+            .find(|(scaling, _)| *scaling == row.scaling)
+            .expect("every corner's baseline bar is part of the sweep");
+        row.normalized_total = row.total_mj() / base;
     }
     Ok(Fig4Result { rows })
 }
@@ -419,9 +439,7 @@ impl Fig5Result {
         self.rows
             .iter()
             .find(|r| {
-                r.weight_reuse == WeightReuse::Original
-                    && r.output_reuse == 3
-                    && r.input_reuse == 9
+                r.weight_reuse == WeightReuse::Original && r.output_reuse == 3 && r.input_reuse == 9
             })
             .expect("original configuration is part of the sweep")
     }
@@ -492,32 +510,36 @@ impl fmt::Display for Fig5Result {
 /// on ResNet18 and reporting accelerator-only energy per MAC.
 pub fn fig5_reuse_exploration() -> Result<Fig5Result, SystemError> {
     let net = networks::resnet18();
-    let mut rows = Vec::new();
+    let mut corners = Vec::new();
     for weight_reuse in [WeightReuse::Original, WeightReuse::More] {
         for output_reuse in [3usize, 9, 15] {
             for input_reuse in [9usize, 27, 45] {
-                let system = AlbireoConfig::new(ScalingProfile::Aggressive)
-                    .with_weight_reuse(weight_reuse)
-                    .with_output_reuse(output_reuse)
-                    .with_input_reuse(input_reuse)
-                    .build_system();
-                let eval = system.evaluate_network(&net, &NetworkOptions::baseline())?;
-                let segments = memory_segments(&eval.energy);
-                let macs = eval.macs as f64;
-                // Accelerator-only: drop DRAM, convert mJ to pJ/MAC.
-                let mut per_mac = [0.0; 5];
-                for (i, seg) in segments[..5].iter().enumerate() {
-                    per_mac[i] = seg * 1e9 / macs;
-                }
-                rows.push(Fig5Row {
-                    weight_reuse,
-                    output_reuse,
-                    input_reuse,
-                    segments_pj_per_mac: per_mac,
-                });
+                corners.push((weight_reuse, output_reuse, input_reuse));
             }
         }
     }
+    let rows =
+        SweepRunner::new().try_run(corners, |(weight_reuse, output_reuse, input_reuse)| {
+            let system = AlbireoConfig::new(ScalingProfile::Aggressive)
+                .with_weight_reuse(weight_reuse)
+                .with_output_reuse(output_reuse)
+                .with_input_reuse(input_reuse)
+                .build_system();
+            let eval = system.evaluate_network(&net, &NetworkOptions::baseline())?;
+            let segments = memory_segments(&eval.energy);
+            let macs = eval.macs as f64;
+            // Accelerator-only: drop DRAM, convert mJ to pJ/MAC.
+            let mut per_mac = [0.0; 5];
+            for (i, seg) in segments[..5].iter().enumerate() {
+                per_mac[i] = seg * 1e9 / macs;
+            }
+            Ok(Fig5Row {
+                weight_reuse,
+                output_reuse,
+                input_reuse,
+                segments_pj_per_mac: per_mac,
+            })
+        })?;
     Ok(Fig5Result { rows })
 }
 
@@ -544,7 +566,11 @@ mod tests {
         let result = fig3_throughput().unwrap();
         let vgg = &result.rows[0];
         let alex = &result.rows[1];
-        assert!(vgg.modeled >= 0.85 * vgg.ideal, "VGG16 near ideal: {}", vgg.modeled);
+        assert!(
+            vgg.modeled >= 0.85 * vgg.ideal,
+            "VGG16 near ideal: {}",
+            vgg.modeled
+        );
         assert!(
             alex.modeled <= 0.45 * alex.ideal,
             "AlexNet far from ideal: {}",
@@ -560,8 +586,16 @@ mod tests {
         // Aggressive baseline dominated by DRAM; conservative is not.
         let aggr = result.row(ScalingProfile::Aggressive, false, false);
         let cons = result.row(ScalingProfile::Conservative, false, false);
-        assert!(aggr.dram_share() >= 0.60, "aggressive DRAM {:.2}", aggr.dram_share());
-        assert!(cons.dram_share() <= 0.30, "conservative DRAM {:.2}", cons.dram_share());
+        assert!(
+            aggr.dram_share() >= 0.60,
+            "aggressive DRAM {:.2}",
+            aggr.dram_share()
+        );
+        assert!(
+            cons.dram_share() <= 0.30,
+            "conservative DRAM {:.2}",
+            cons.dram_share()
+        );
         // Batching + fusion buy >= 55% at the aggressive corner (paper: 67%).
         let reduction = result.combined_reduction(ScalingProfile::Aggressive);
         assert!(reduction >= 0.55, "reduction {reduction:.2}");

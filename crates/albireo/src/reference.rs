@@ -18,8 +18,7 @@ use lumen_components::ScalingProfile;
 
 /// The energy-breakdown component buckets of the paper's Fig. 2, in
 /// display order.
-pub const FIG2_COMPONENTS: [&str; 7] =
-    ["MRR", "MZM", "Laser", "AO/AE", "DE/AE", "AE/DE", "Cache"];
+pub const FIG2_COMPONENTS: [&str; 7] = ["MRR", "MZM", "Laser", "AO/AE", "DE/AE", "AE/DE", "Cache"];
 
 /// Reported best-case energy per MAC in picojoules, one row per scaling
 /// corner, columns in [`FIG2_COMPONENTS`] order.

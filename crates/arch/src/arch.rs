@@ -227,7 +227,11 @@ mod tests {
             .capacity_bits(1 << 20)
             .fanout(Fanout::new(8).allow(DimSet::from_dims(&[Dim::M])))
             .done()
-            .compute("pe", Domain::DigitalElectrical, Energy::from_picojoules(0.2))
+            .compute(
+                "pe",
+                Domain::DigitalElectrical,
+                Energy::from_picojoules(0.2),
+            )
             .build()
             .expect("valid toy architecture")
     }

@@ -262,7 +262,11 @@ mod tests {
         let arch = base()
             .storage("dram", Domain::DigitalElectrical, TensorSet::all())
             .done()
-            .compute("mac", Domain::DigitalElectrical, Energy::from_picojoules(1.0))
+            .compute(
+                "mac",
+                Domain::DigitalElectrical,
+                Energy::from_picojoules(1.0),
+            )
             .build()
             .unwrap();
         assert_eq!(arch.levels().len(), 2);

@@ -27,7 +27,10 @@ impl fmt::Display for ArchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArchError::TooFewLevels => {
-                write!(f, "architecture needs at least a backing store and a compute level")
+                write!(
+                    f,
+                    "architecture needs at least a backing store and a compute level"
+                )
             }
             ArchError::BadOutermost => write!(
                 f,

@@ -31,21 +31,24 @@ fn laser_pj_per_symbol(ir: usize, with_splitting: bool) -> f64 {
 }
 
 fn bench_ablation(c: &mut Criterion) {
-    print_once("Ablation — laser link budget vs input-reuse factor", || {
-        println!("IR   splits  laser pJ/symbol (with budget)  (ideal optics)");
-        println!("-----------------------------------------------------------");
-        for ir in [9usize, 27, 45] {
-            println!(
-                "{ir:<4} {:<7} {:>18.3} {:>22.3}",
-                ir * 9,
-                laser_pj_per_symbol(ir, true),
-                laser_pj_per_symbol(ir, false),
-            );
-        }
-        println!();
-        println!("Without the budget, growing IR looks free; with it, the 10*log10(N)");
-        println!("splitting loss makes the laser pay linearly for optical fan-out.");
-    });
+    print_once(
+        "Ablation — laser link budget vs input-reuse factor",
+        || {
+            println!("IR   splits  laser pJ/symbol (with budget)  (ideal optics)");
+            println!("-----------------------------------------------------------");
+            for ir in [9usize, 27, 45] {
+                println!(
+                    "{ir:<4} {:<7} {:>18.3} {:>22.3}",
+                    ir * 9,
+                    laser_pj_per_symbol(ir, true),
+                    laser_pj_per_symbol(ir, false),
+                );
+            }
+            println!();
+            println!("Without the budget, growing IR looks free; with it, the 10*log10(N)");
+            println!("splitting loss makes the laser pay linearly for optical fan-out.");
+        },
+    );
 
     let mut group = c.benchmark_group("ablation_link_budget");
     group.bench_function("link_budget_eval", |b| {

@@ -13,25 +13,32 @@ use lumen_workload::networks;
 use std::hint::black_box;
 
 fn bench_digital_baseline(c: &mut Criterion) {
-    print_once("Extension — photonic vs digital baseline (full system)", || {
-        for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
-            let rows = compare_with_digital(scaling).expect("comparison evaluates");
-            println!("scaling corner: {scaling}");
-            println!("network      digital pJ/MAC  photonic pJ/MAC  energy adv.  throughput adv.");
-            println!("--------------------------------------------------------------------------");
-            for row in rows {
+    print_once(
+        "Extension — photonic vs digital baseline (full system)",
+        || {
+            for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
+                let rows = compare_with_digital(scaling).expect("comparison evaluates");
+                println!("scaling corner: {scaling}");
                 println!(
-                    "{:<12} {:>14.3} {:>16.3} {:>11.2}x {:>15.2}x",
-                    row.network,
-                    row.digital_pj_per_mac,
-                    row.photonic_pj_per_mac,
-                    row.energy_advantage(),
-                    row.throughput_advantage()
+                    "network      digital pJ/MAC  photonic pJ/MAC  energy adv.  throughput adv."
                 );
+                println!(
+                    "--------------------------------------------------------------------------"
+                );
+                for row in rows {
+                    println!(
+                        "{:<12} {:>14.3} {:>16.3} {:>11.2}x {:>15.2}x",
+                        row.network,
+                        row.digital_pj_per_mac,
+                        row.photonic_pj_per_mac,
+                        row.energy_advantage(),
+                        row.throughput_advantage()
+                    );
+                }
+                println!();
             }
-            println!();
-        }
-    });
+        },
+    );
 
     let system = DigitalBaseline::new().build_system();
     let net = networks::resnet18();
@@ -46,7 +53,13 @@ fn bench_digital_baseline(c: &mut Criterion) {
     });
     group.sample_size(10);
     group.bench_function("full_comparison", |b| {
-        b.iter(|| black_box(compare_with_digital(ScalingProfile::Aggressive).unwrap().len()))
+        b.iter(|| {
+            black_box(
+                compare_with_digital(ScalingProfile::Aggressive)
+                    .unwrap()
+                    .len(),
+            )
+        })
     });
     group.finish();
 }

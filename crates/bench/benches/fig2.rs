@@ -25,7 +25,13 @@ fn bench_fig2(c: &mut Criterion) {
         })
     });
     group.bench_function("full_three_corner_validation", |b| {
-        b.iter(|| black_box(experiments::fig2_energy_breakdown().unwrap().average_error()))
+        b.iter(|| {
+            black_box(
+                experiments::fig2_energy_breakdown()
+                    .unwrap()
+                    .average_error(),
+            )
+        })
     });
     group.finish();
 }

@@ -31,7 +31,9 @@ fn bench_fig3(c: &mut Criterion) {
     });
     group.bench_function("evaluate_alexnet", |b| {
         b.iter(|| {
-            let eval = system.evaluate_network(black_box(&alexnet), &options).unwrap();
+            let eval = system
+                .evaluate_network(black_box(&alexnet), &options)
+                .unwrap();
             black_box(eval.throughput_macs_per_cycle())
         })
     });

@@ -11,10 +11,13 @@ use lumen_workload::networks;
 use std::hint::black_box;
 
 fn bench_fig4(c: &mut Criterion) {
-    print_once("Fig. 4 — memory exploration (batching, fusion, DRAM)", || {
-        let result = experiments::fig4_memory_exploration().expect("fig4 evaluates");
-        println!("{result}");
-    });
+    print_once(
+        "Fig. 4 — memory exploration (batching, fusion, DRAM)",
+        || {
+            let result = experiments::fig4_memory_exploration().expect("fig4 evaluates");
+            println!("{result}");
+        },
+    );
 
     let net = networks::resnet18();
     let system = AlbireoConfig::new(ScalingProfile::Aggressive).build_system();

@@ -34,7 +34,13 @@ fn bench_fig5(c: &mut Criterion) {
         })
     });
     group.bench_function("full_18_point_sweep", |b| {
-        b.iter(|| black_box(experiments::fig5_reuse_exploration().unwrap().accelerator_reduction()))
+        b.iter(|| {
+            black_box(
+                experiments::fig5_reuse_exploration()
+                    .unwrap()
+                    .accelerator_reduction(),
+            )
+        })
     });
     group.finish();
 }

@@ -23,32 +23,41 @@ fn bench_mapper_search(c: &mut Criterion) {
     let arch = AlbireoConfig::new(ScalingProfile::Conservative).build_arch();
     let layer = Layer::conv2d("probe", 1, 128, 64, 28, 28, 3, 3);
 
-    print_once("Ablation — mapper search strategies (DRAM accesses)", || {
-        let greedy = greedy_mapping(
-            &arch,
-            &layer,
-            &DEFAULT_SPATIAL_PRIORITY,
-            &TemporalPlan::all_at(1),
-        );
-        let greedy_cost = cost(&analyze(&arch, &layer, &greedy).unwrap());
-        let random = random_search(
-            &arch,
-            &layer,
-            SearchConfig {
-                iterations: 400,
-                seed: 0xBEEF,
-            },
-            cost,
-        )
-        .expect("random search finds a mapping");
-        let exhaustive =
-            exhaustive_search(&arch, &layer, cost).expect("exhaustive finds a mapping");
-        println!("strategy     DRAM accesses");
-        println!("---------------------------");
-        println!("greedy       {greedy_cost:.0}");
-        println!("random(400)  {:.0}  ({} legal candidates)", random.cost, random.evaluated);
-        println!("exhaustive   {:.0}  ({} legal candidates)", exhaustive.cost, exhaustive.evaluated);
-    });
+    print_once(
+        "Ablation — mapper search strategies (DRAM accesses)",
+        || {
+            let greedy = greedy_mapping(
+                &arch,
+                &layer,
+                &DEFAULT_SPATIAL_PRIORITY,
+                &TemporalPlan::all_at(1),
+            );
+            let greedy_cost = cost(&analyze(&arch, &layer, &greedy).unwrap());
+            let random = random_search(
+                &arch,
+                &layer,
+                SearchConfig {
+                    iterations: 400,
+                    seed: 0xBEEF,
+                },
+                cost,
+            )
+            .expect("random search finds a mapping");
+            let exhaustive =
+                exhaustive_search(&arch, &layer, cost).expect("exhaustive finds a mapping");
+            println!("strategy     DRAM accesses");
+            println!("---------------------------");
+            println!("greedy       {greedy_cost:.0}");
+            println!(
+                "random(400)  {:.0}  ({} legal candidates)",
+                random.cost, random.evaluated
+            );
+            println!(
+                "exhaustive   {:.0}  ({} legal candidates)",
+                exhaustive.cost, exhaustive.evaluated
+            );
+        },
+    );
 
     let mut group = c.benchmark_group("mapper_search");
     group.bench_function("greedy", |b| {

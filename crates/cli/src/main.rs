@@ -17,13 +17,13 @@
 
 use lumen_albireo::{compare_with_digital, experiments, AlbireoConfig, ScalingProfile};
 use lumen_components::NoiseBudget;
-use lumen_units::{Frequency, Power};
 use lumen_components::{
-    Adc, ComponentCatalog, Dac, DigitalMac, Dram, DramKind, MachZehnder, Microring,
-    NocLink, Photodiode, RegisterFile, SampleAndHold, Sram, StarCoupler, Waveguide,
+    Adc, ComponentCatalog, Dac, DigitalMac, Dram, DramKind, MachZehnder, Microring, NocLink,
+    Photodiode, RegisterFile, SampleAndHold, Sram, StarCoupler, Waveguide,
 };
 use lumen_core::report::{network_table, Table};
 use lumen_core::NetworkOptions;
+use lumen_units::{Frequency, Power};
 use lumen_workload::networks;
 use std::process::ExitCode;
 
@@ -35,7 +35,10 @@ fn main() -> ExitCode {
         "fig3" => fig3(),
         "fig4" => fig4(),
         "fig5" => fig5(),
-        "all" => fig2().and_then(|()| fig3()).and_then(|()| fig4()).and_then(|()| fig5()),
+        "all" => fig2()
+            .and_then(|()| fig3())
+            .and_then(|()| fig4())
+            .and_then(|()| fig5()),
         "arch" => arch(&args),
         "layers" => layers(&args),
         "networks" => networks_cmd(),
@@ -138,8 +141,12 @@ fn arch(args: &[String]) -> Result<(), String> {
 fn layers(args: &[String]) -> Result<(), String> {
     let scaling = parse_scaling(args)?;
     let name = option_value(args, "--network").unwrap_or("resnet18");
-    let net = networks::by_name(name)
-        .ok_or_else(|| format!("unknown network `{name}` (try: {})", networks::NAMES.join(", ")))?;
+    let net = networks::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown network `{name}` (try: {})",
+            networks::NAMES.join(", ")
+        )
+    })?;
     let system = AlbireoConfig::new(scaling).build_system();
     let eval = system
         .evaluate_network(&net, &NetworkOptions::baseline())
@@ -188,7 +195,10 @@ fn networks_cmd() -> Result<(), String> {
 
 fn components_cmd() -> Result<(), String> {
     let mut catalog = ComponentCatalog::new();
-    catalog.insert("sram-glb-4MiB", Sram::new(4 * 1024 * 1024 * 8, 256).with_banks(32));
+    catalog.insert(
+        "sram-glb-4MiB",
+        Sram::new(4 * 1024 * 1024 * 8, 256).with_banks(32),
+    );
     catalog.insert("dram-lpddr4", Dram::new(DramKind::Lpddr4, 8));
     catalog.insert("dram-ddr4", Dram::new(DramKind::Ddr4, 8));
     catalog.insert("regfile-16x8", RegisterFile::new(16, 8));
@@ -252,7 +262,9 @@ fn precision(_args: &[String]) -> Result<(), String> {
             format!("{:.2}", budget.achievable_bits(p)),
         ]);
     }
-    println!("direct-detection precision budget at 5 GS/s (1 A/W, NEP 2 pW/\u{221a}Hz, RIN -150 dB/Hz):");
+    println!(
+        "direct-detection precision budget at 5 GS/s (1 A/W, NEP 2 pW/\u{221a}Hz, RIN -150 dB/Hz):"
+    );
     print!("{}", table.render());
     for bits in [4.0, 6.0, 8.0] {
         match budget.required_power(bits) {

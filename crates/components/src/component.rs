@@ -108,7 +108,10 @@ mod tests {
     #[test]
     fn report_round_trip() {
         let r = Stub.report();
-        assert_eq!(r.energy(ActionKind::Read), Some(Energy::from_picojoules(2.0)));
+        assert_eq!(
+            r.energy(ActionKind::Read),
+            Some(Energy::from_picojoules(2.0))
+        );
         assert_eq!(r.energy(ActionKind::Write), None);
         assert!(format!("{r}").contains("stub"));
     }

@@ -151,8 +151,8 @@ impl Dac {
 
     /// Energy of one conversion.
     pub fn conversion_energy(&self) -> Energy {
-        let e = self.array_fj * 2f64.powi(self.bits as i32)
-            + self.logic_fj_per_bit * self.bits as f64;
+        let e =
+            self.array_fj * 2f64.powi(self.bits as i32) + self.logic_fj_per_bit * self.bits as f64;
         Energy::from_femtojoules(e * self.scale)
     }
 }
@@ -279,6 +279,9 @@ mod tests {
     fn reports() {
         assert!(Adc::new(8).report().energy(ActionKind::Convert).is_some());
         assert!(Dac::new(8).report().energy(ActionKind::Convert).is_some());
-        assert!(SampleAndHold::new().report().energy(ActionKind::Write).is_some());
+        assert!(SampleAndHold::new()
+            .report()
+            .energy(ActionKind::Write)
+            .is_some());
     }
 }

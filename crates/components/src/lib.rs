@@ -43,12 +43,12 @@ mod photonic;
 mod scaling;
 
 pub use action::ActionKind;
-pub use noise::NoiseBudget;
 pub use catalog::ComponentCatalog;
 pub use component::{Component, ComponentReport};
 pub use converter::{Adc, Dac, SampleAndHold};
 pub use digital::{Dram, DramKind, RegisterFile, Sram};
 pub use logic::{Adder, DigitalMac, Multiplier, NocLink};
+pub use noise::NoiseBudget;
 pub use optics::LinkBudget;
 pub use photonic::{CombSource, Laser, MachZehnder, Microring, Photodiode, StarCoupler, Waveguide};
 pub use scaling::{ScalingFactors, ScalingProfile};

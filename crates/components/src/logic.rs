@@ -229,7 +229,10 @@ mod tests {
         let mac = DigitalMac::new(8).mac_energy();
         assert!(mac > Multiplier::new(8).multiply_energy());
         // An 8-bit digital MAC is ~0.1-0.2 pJ at this node.
-        assert!(mac.picojoules() > 0.05 && mac.picojoules() < 0.5, "got {mac}");
+        assert!(
+            mac.picojoules() > 0.05 && mac.picojoules() < 0.5,
+            "got {mac}"
+        );
     }
 
     #[test]
@@ -251,7 +254,13 @@ mod tests {
 
     #[test]
     fn reports_expose_compute_actions() {
-        assert!(DigitalMac::new(8).report().energy(ActionKind::Compute).is_some());
-        assert!(NocLink::new(8, 1.0).report().energy(ActionKind::Transmit).is_some());
+        assert!(DigitalMac::new(8)
+            .report()
+            .energy(ActionKind::Compute)
+            .is_some());
+        assert!(NocLink::new(8, 1.0)
+            .report()
+            .energy(ActionKind::Transmit)
+            .is_some());
     }
 }

@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn unreachable_precision_returns_none() {
         let b = budget(); // RIN −150 dB/Hz at 5 GHz caps SNR at ~43 dB ≈ 6.9 bits...
-        // 14 bits needs ~86 dB SNR — beyond the RIN ceiling.
+                          // 14 bits needs ~86 dB SNR — beyond the RIN ceiling.
         assert!(b.required_power(14.0).is_none());
     }
 

@@ -5,7 +5,7 @@
 //! are the programmatic entry point: name a set of system variants, run a
 //! workload over all of them, compare.
 
-use crate::{NetworkEvaluation, NetworkOptions, System, SystemError};
+use crate::{NetworkEvaluation, NetworkOptions, SweepRunner, System, SystemError};
 use lumen_workload::Network;
 
 /// One named design point: a system variant plus evaluation options.
@@ -44,22 +44,21 @@ pub struct SweepEntry {
     pub evaluation: NetworkEvaluation,
 }
 
-/// Evaluates `network` on every design point, in order.
+/// Evaluates `network` on every design point, in parallel, returning the
+/// entries in the points' input order.
 ///
 /// # Errors
 ///
-/// Fails on the first design point whose mapping fails, reporting its
-/// label in the error string.
+/// Fails on the first (by input order) design point whose mapping fails,
+/// exactly as the sequential loop this replaced did.
 pub fn sweep(points: Vec<DesignPoint>, network: &Network) -> Result<Vec<SweepEntry>, SystemError> {
-    let mut results = Vec::with_capacity(points.len());
-    for point in points {
+    SweepRunner::new().try_run(points, |point| {
         let evaluation = point.system.evaluate_network(network, &point.options)?;
-        results.push(SweepEntry {
+        Ok(SweepEntry {
             label: point.label,
             evaluation,
-        });
-    }
-    Ok(results)
+        })
+    })
 }
 
 /// Indices of the non-dominated points under *(minimize x, minimize y)*.
@@ -111,7 +110,11 @@ mod tests {
             .write_energy(Energy::from_picojoules(1.0))
             .fanout(Fanout::new(4).allow(DimSet::from_dims(&[Dim::M])))
             .done()
-            .compute("mac", Domain::DigitalElectrical, Energy::from_picojoules(mac_pj))
+            .compute(
+                "mac",
+                Domain::DigitalElectrical,
+                Energy::from_picojoules(mac_pj),
+            )
             .build()
             .unwrap();
         System::new(arch, MappingStrategy::default())

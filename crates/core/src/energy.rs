@@ -246,16 +246,24 @@ mod tests {
         assert!((b.by_label("glb").picojoules() - 10.0).abs() < 1e-9);
         assert!((b.by_category(CostCategory::Storage).picojoules() - 10.0).abs() < 1e-9);
         assert!((b.by_tensor(TensorKind::Output).picojoules() - 10.0).abs() < 1e-9);
-        assert!(
-            (b.by_label_and_tensor("glb", TensorKind::Input).picojoules() - 6.0).abs() < 1e-9
-        );
+        assert!((b.by_label_and_tensor("glb", TensorKind::Input).picojoules() - 6.0).abs() < 1e-9);
     }
 
     #[test]
     fn identical_items_merge() {
         let mut b = EnergyBreakdown::new();
-        b.add("x", CostCategory::Compute, None, Energy::from_picojoules(1.0));
-        b.add("x", CostCategory::Compute, None, Energy::from_picojoules(2.0));
+        b.add(
+            "x",
+            CostCategory::Compute,
+            None,
+            Energy::from_picojoules(1.0),
+        );
+        b.add(
+            "x",
+            CostCategory::Compute,
+            None,
+            Energy::from_picojoules(2.0),
+        );
         assert_eq!(b.items().len(), 1);
         assert_eq!(b.total(), Energy::from_picojoules(3.0));
     }

@@ -59,9 +59,7 @@ impl fmt::Debug for MappingStrategy {
                 .field("priority", priority)
                 .field("plan", plan)
                 .finish(),
-            MappingStrategy::RandomSearch(cfg) => {
-                f.debug_tuple("RandomSearch").field(cfg).finish()
-            }
+            MappingStrategy::RandomSearch(cfg) => f.debug_tuple("RandomSearch").field(cfg).finish(),
             MappingStrategy::Custom(_) => f.write_str("Custom(..)"),
         }
     }
@@ -351,7 +349,11 @@ mod tests {
             .write_energy(Energy::from_picojoules(1.0))
             .fanout(Fanout::new(8).allow(DimSet::from_dims(&[Dim::M, Dim::C])))
             .done()
-            .compute("mac", Domain::DigitalElectrical, Energy::from_picojoules(0.1))
+            .compute(
+                "mac",
+                Domain::DigitalElectrical,
+                Energy::from_picojoules(0.1),
+            )
             .build()
             .unwrap()
     }
@@ -369,9 +371,7 @@ mod tests {
         assert!(eval.energy_per_mac() > Energy::ZERO);
         // Compute energy = padded macs x 0.1 pJ.
         let compute = eval.energy.by_category(CostCategory::Compute);
-        assert!(
-            (compute.picojoules() - 0.1 * eval.analysis.padded_macs as f64).abs() < 1e-6
-        );
+        assert!((compute.picojoules() - 0.1 * eval.analysis.padded_macs as f64).abs() < 1e-6);
     }
 
     #[test]

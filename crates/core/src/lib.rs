@@ -16,6 +16,9 @@
 //!   (inter-layer activations stay in the global buffer; Fig. 4).
 //! * [`dse`] provides sweep and Pareto utilities for design-space
 //!   exploration; [`report`] renders ASCII/CSV tables.
+//! * [`SweepRunner`] fans independent sweep points out over worker
+//!   threads (order-preserving, deterministic error selection); the
+//!   Fig. 2–5 experiment drivers and [`dse::sweep`] run on it.
 //!
 //! # Examples
 //!
@@ -51,7 +54,9 @@ mod energy;
 mod evaluator;
 mod network;
 pub mod report;
+pub mod sweep;
 
 pub use energy::{CostCategory, EnergyBreakdown, EnergyItem};
 pub use evaluator::{LayerEvaluation, MappingFn, MappingStrategy, System, SystemError};
 pub use network::{FusionConfig, NetworkEvaluation, NetworkOptions};
+pub use sweep::SweepRunner;

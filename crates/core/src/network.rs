@@ -186,7 +186,11 @@ mod tests {
             .write_energy(Energy::from_picojoules(1.0))
             .fanout(Fanout::new(8).allow(DimSet::from_dims(&[Dim::M, Dim::C])))
             .done()
-            .compute("mac", Domain::DigitalElectrical, Energy::from_picojoules(0.05))
+            .compute(
+                "mac",
+                Domain::DigitalElectrical,
+                Energy::from_picojoules(0.05),
+            )
             .build()
             .unwrap();
         System::new(arch, MappingStrategy::default())

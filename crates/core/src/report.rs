@@ -113,11 +113,7 @@ impl Table {
 
 /// Renders an energy breakdown grouped by label as a table, with shares.
 pub fn breakdown_table(breakdown: &EnergyBreakdown) -> Table {
-    let mut t = Table::new(vec![
-        "component".into(),
-        "energy".into(),
-        "share".into(),
-    ]);
+    let mut t = Table::new(vec!["component".into(), "energy".into(), "share".into()]);
     for label in breakdown.labels() {
         t.row(vec![
             label.to_string(),
@@ -208,7 +204,12 @@ mod tests {
     #[test]
     fn breakdown_table_has_total_row() {
         let mut b = EnergyBreakdown::new();
-        b.add("glb", CostCategory::Storage, None, Energy::from_picojoules(5.0));
+        b.add(
+            "glb",
+            CostCategory::Storage,
+            None,
+            Energy::from_picojoules(5.0),
+        );
         let t = breakdown_table(&b);
         let s = t.render();
         assert!(s.contains("TOTAL") && s.contains("glb"));

@@ -1,0 +1,257 @@
+//! Parallel sweep execution.
+//!
+//! Design-space sweeps (the Fig. 2–5 experiments, [`crate::dse::sweep`],
+//! mapper comparisons) are embarrassingly parallel: every point is an
+//! independent *(system, workload, options)* evaluation. [`SweepRunner`]
+//! fans a list of points out over a scoped thread pool and returns the
+//! results in input order, so callers keep the exact semantics of their
+//! old sequential loops — including "fail on the *first* erroring point".
+//!
+//! `rayon` is the obvious tool here, but this workspace builds without
+//! registry access, so the runner uses `std::thread::scope` with an
+//! atomic work-stealing cursor instead; for the coarse-grained points a
+//! sweep evaluates (whole-network evaluations taking milliseconds each)
+//! the scheduling overhead is negligible.
+//!
+//! # Examples
+//!
+//! ```
+//! use lumen_core::SweepRunner;
+//!
+//! let squares = SweepRunner::new().run(0..8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::{Mutex, OnceLock};
+use std::thread;
+
+/// Runs independent evaluation points across worker threads, preserving
+/// input order in the results.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: NonZeroUsize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner sized to the machine's available parallelism, or to the
+    /// `LUMEN_SWEEP_THREADS` environment variable when set (useful to
+    /// force sequential execution for profiling or flaky-CI bisection).
+    pub fn new() -> SweepRunner {
+        // The override is resolved (and any parse warning printed) once
+        // per process: sweeps are constructed inside bench iteration
+        // loops, where a per-construction warning would flood stderr.
+        static FORCED: OnceLock<Option<usize>> = OnceLock::new();
+        let forced = *FORCED.get_or_init(|| match std::env::var("LUMEN_SWEEP_THREADS") {
+            Ok(value) => match value.trim().parse::<usize>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    eprintln!(
+                        "warning: ignoring unparsable LUMEN_SWEEP_THREADS={value:?} \
+                         (expected a thread count); using available parallelism"
+                    );
+                    None
+                }
+            },
+            Err(_) => None,
+        });
+        if let Some(forced) = forced {
+            return SweepRunner::with_threads(forced);
+        }
+        let threads =
+            thread::available_parallelism().unwrap_or(NonZeroUsize::new(1).expect("1 is nonzero"));
+        SweepRunner { threads }
+    }
+
+    /// A runner with an explicit worker count (`0` is clamped to `1`).
+    /// `with_threads(1)` degenerates to a sequential loop on the calling
+    /// thread — useful for debugging and deterministic profiling.
+    pub fn with_threads(threads: usize) -> SweepRunner {
+        SweepRunner {
+            threads: NonZeroUsize::new(threads.max(1)).expect("clamped to >= 1"),
+        }
+    }
+
+    /// The number of worker threads this runner will spawn.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Evaluates `eval` on every point, in parallel, returning results in
+    /// the points' input order.
+    pub fn run<P, R, F>(&self, points: impl IntoIterator<Item = P>, eval: F) -> Vec<R>
+    where
+        P: Send,
+        R: Send,
+        F: Fn(P) -> R + Sync,
+    {
+        let outcomes = self.dispatch(points, |p| Ok::<R, Never>(eval(p)));
+        outcomes
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(never) => match never {},
+            })
+            .collect()
+    }
+
+    /// Fallible variant of [`run`](SweepRunner::run): evaluates every
+    /// point and returns either all results (input order) or the error of
+    /// the **earliest** failing point — the same error a sequential
+    /// `for` loop with `?` would have surfaced, so parallelism never
+    /// changes which error callers observe.
+    ///
+    /// All points are evaluated even when one fails early; sweep points
+    /// are cheap enough that cancellation machinery isn't worth the
+    /// complexity.
+    pub fn try_run<P, R, E, F>(
+        &self,
+        points: impl IntoIterator<Item = P>,
+        eval: F,
+    ) -> Result<Vec<R>, E>
+    where
+        P: Send,
+        R: Send,
+        E: Send,
+        F: Fn(P) -> Result<R, E> + Sync,
+    {
+        let outcomes = self.dispatch(points, eval);
+        let mut results = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            results.push(outcome?);
+        }
+        Ok(results)
+    }
+
+    /// Work-stealing core: evaluates every point, returning one outcome
+    /// per point in input order. Workers pull *(index, point)* pairs from
+    /// a shared queue — locked only to pop, never while evaluating — and
+    /// buffer outcomes locally, so the merge at the end is the only other
+    /// synchronization point.
+    fn dispatch<P, R, E, F>(
+        &self,
+        points: impl IntoIterator<Item = P>,
+        eval: F,
+    ) -> Vec<Result<R, E>>
+    where
+        P: Send,
+        R: Send,
+        E: Send,
+        F: Fn(P) -> Result<R, E> + Sync,
+    {
+        let points: Vec<P> = points.into_iter().collect();
+        let n = points.len();
+        let workers = self.threads.get().min(n);
+
+        if workers <= 1 {
+            return points.into_iter().map(eval).collect();
+        }
+
+        let queue = Mutex::new(points.into_iter().enumerate());
+        let merged: Mutex<Vec<(usize, Result<R, E>)>> = Mutex::new(Vec::with_capacity(n));
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("queue lock").next();
+                        let Some((i, point)) = next else { break };
+                        local.push((i, eval(point)));
+                    }
+                    merged.lock().expect("merge lock").extend(local);
+                });
+            }
+        });
+
+        let mut outcomes = merged.into_inner().expect("workers joined");
+        debug_assert_eq!(outcomes.len(), n, "every point evaluated exactly once");
+        outcomes.sort_by_key(|(i, _)| *i);
+        outcomes.into_iter().map(|(_, outcome)| outcome).collect()
+    }
+}
+
+/// Local stand-in for the unstable `!` type, so [`SweepRunner::run`] can
+/// reuse the fallible dispatch path.
+enum Never {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let runner = SweepRunner::with_threads(4);
+        let out = runner.run(0..64, |i| i * 2);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn evaluates_every_point_exactly_once() {
+        let runner = SweepRunner::with_threads(8);
+        let hits = AtomicUsize::new(0);
+        let out = runner.run(0..100, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(out.iter().copied().collect::<HashSet<_>>().len(), 100);
+    }
+
+    #[test]
+    fn try_run_reports_earliest_error() {
+        let runner = SweepRunner::with_threads(4);
+        let result: Result<Vec<usize>, String> = runner.try_run(0..32, |i| {
+            if i == 20 || i == 5 {
+                Err(format!("point {i} failed"))
+            } else {
+                Ok(i)
+            }
+        });
+        // Two points fail; the sequential-equivalent error is the lower
+        // index regardless of which thread finished first.
+        assert_eq!(result.unwrap_err(), "point 5 failed");
+    }
+
+    #[test]
+    fn try_run_ok_keeps_order() {
+        let runner = SweepRunner::with_threads(3);
+        let result: Result<Vec<usize>, ()> = runner.try_run(0..10, Ok);
+        assert_eq!(result.unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runner_is_sequential_and_correct() {
+        let runner = SweepRunner::with_threads(1);
+        assert_eq!(runner.threads(), 1);
+        let out = runner.run(0..5, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(SweepRunner::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn empty_sweep_returns_empty() {
+        let runner = SweepRunner::new();
+        let out: Vec<u8> = runner.run(std::iter::empty::<u8>(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let work = |i: usize| (i * 31 + 7) % 97;
+        let seq = SweepRunner::with_threads(1).run(0..200, work);
+        let par = SweepRunner::with_threads(8).run(0..200, work);
+        assert_eq!(seq, par);
+    }
+}

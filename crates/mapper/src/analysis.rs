@@ -86,7 +86,10 @@ impl LayerAnalysis {
 
     /// Sum of conversions over all converter levels and tensors.
     pub fn total_conversions(&self) -> f64 {
-        self.levels.iter().map(LevelTraffic::total_conversions).sum()
+        self.levels
+            .iter()
+            .map(LevelTraffic::total_conversions)
+            .sum()
     }
 }
 
@@ -372,8 +375,7 @@ impl<'a> Nest<'a> {
         for c in self.arch.converter_levels() {
             let keep = self.arch.levels()[c].keep();
             for t in keep.iter() {
-                let inner = self
-                    .keepers[t]
+                let inner = self.keepers[t]
                     .iter()
                     .copied()
                     .find(|&k| k > c)

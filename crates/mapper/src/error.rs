@@ -107,8 +107,13 @@ mod tests {
     #[test]
     fn messages_render() {
         let samples = vec![
-            MappingError::LevelCountMismatch { mapping: 2, arch: 3 },
-            MappingError::TemporalAtConverter { level: "dac".into() },
+            MappingError::LevelCountMismatch {
+                mapping: 2,
+                arch: 3,
+            },
+            MappingError::TemporalAtConverter {
+                level: "dac".into(),
+            },
             MappingError::FanoutExceeded {
                 level: "pe".into(),
                 used: 9,

@@ -144,12 +144,18 @@ impl Mapping {
     /// Product of every temporal bound: the steady-state cycle count of one
     /// channel group.
     pub fn total_temporal_product(&self) -> u64 {
-        self.levels.iter().map(LevelLoops::temporal_product).product()
+        self.levels
+            .iter()
+            .map(LevelLoops::temporal_product)
+            .product()
     }
 
     /// Product of every spatial bound: parallel lanes used per cycle.
     pub fn total_spatial_product(&self) -> u64 {
-        self.levels.iter().map(LevelLoops::spatial_product).product()
+        self.levels
+            .iter()
+            .map(LevelLoops::spatial_product)
+            .product()
     }
 
     /// Checks this mapping against an architecture and layer.
@@ -328,7 +334,10 @@ mod tests {
         m.push_spatial(1, Dim::Q, 2);
         // Q requires unit stride on this fanout.
         let err = m.validate(&arch(), &strided).unwrap_err();
-        assert!(matches!(err, MappingError::DimNotAllowed { dim: Dim::Q, .. }));
+        assert!(matches!(
+            err,
+            MappingError::DimNotAllowed { dim: Dim::Q, .. }
+        ));
     }
 
     #[test]

@@ -107,8 +107,7 @@ impl TemporalPlan {
 
     /// Builds the complete mapping from a spatially-packed prefix.
     pub fn apply(&self, mut mapping: Mapping, leftover: &DimMap<usize>) -> Mapping {
-        const DEFAULT_ORDER: [Dim; 7] =
-            [Dim::N, Dim::P, Dim::Q, Dim::M, Dim::C, Dim::R, Dim::S];
+        const DEFAULT_ORDER: [Dim; 7] = [Dim::N, Dim::P, Dim::Q, Dim::M, Dim::C, Dim::R, Dim::S];
         let mut placed = [false; 7];
         for (level, dims) in &self.assignments {
             for &d in dims {
@@ -196,8 +195,7 @@ pub fn random_search(
     for _ in 0..config.iterations {
         let mut candidate = base.clone();
         // Randomly split each leftover extent across storage levels.
-        let mut per_level_loops: Vec<Vec<(Dim, usize)>> =
-            vec![Vec::new(); arch.levels().len()];
+        let mut per_level_loops: Vec<Vec<(Dim, usize)>> = vec![Vec::new(); arch.levels().len()];
         for d in Dim::ALL {
             let mut remaining = leftover[d];
             if remaining <= 1 {

@@ -71,8 +71,7 @@ mod tests {
 
     #[test]
     fn accumulation() {
-        let total: Area = std::iter::repeat_n(Area::from_square_micrometers(10.0), 100)
-            .sum();
+        let total: Area = std::iter::repeat_n(Area::from_square_micrometers(10.0), 100).sum();
         assert!((total.square_micrometers() - 1000.0).abs() < 1e-9);
     }
 }

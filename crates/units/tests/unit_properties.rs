@@ -69,6 +69,36 @@ proptest! {
     }
 
     #[test]
+    fn decibel_linear_round_trip(db in -60.0f64..60.0) {
+        let back = Decibel::from_linear(Decibel::new(db).linear());
+        prop_assert!((back.db() - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_shift_matches_decibel_gain(dbm in -40.0f64..20.0, gain in -20.0f64..20.0) {
+        // Adding `gain` dB to a dBm level multiplies the power by the
+        // gain's linear ratio — the identity link budgets rely on.
+        let shifted = Power::from_dbm(dbm + gain);
+        let scaled = Power::from_dbm(dbm).watts() * Decibel::new(gain).linear();
+        prop_assert!((shifted.watts() - scaled).abs() / scaled < 1e-9);
+    }
+
+    #[test]
+    fn power_prefix_accessors_agree(v in magnitude()) {
+        let p = Power::from_milliwatts(v);
+        prop_assert!((p.microwatts() / 1000.0 - v).abs() / v < 1e-12);
+        prop_assert!((Power::from_microwatts(p.microwatts()).watts() - p.watts()).abs()
+            <= p.watts() * 1e-12);
+    }
+
+    #[test]
+    fn energy_prefix_accessors_agree(v in magnitude()) {
+        let e = Energy::from_millijoules(v);
+        prop_assert!((e.microjoules() / 1000.0 - v).abs() / v < 1e-12);
+        prop_assert!((e.nanojoules() / 1e6 - v).abs() / v < 1e-12);
+    }
+
+    #[test]
     fn sum_matches_fold(values in proptest::collection::vec(magnitude(), 0..20)) {
         let energies: Vec<Energy> = values.iter().map(|&v| Energy::from_joules(v)).collect();
         let summed: Energy = energies.iter().sum();

@@ -45,7 +45,9 @@ pub enum LayerError {
 impl fmt::Display for LayerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LayerError::ZeroParameter(what) => write!(f, "layer parameter `{what}` must be nonzero"),
+            LayerError::ZeroParameter(what) => {
+                write!(f, "layer parameter `{what}` must be nonzero")
+            }
             LayerError::BadGrouping { m, c, groups } => write!(
                 f,
                 "channels (M={m}, C={c}) are not divisible by groups={groups}"
@@ -303,9 +305,7 @@ impl Layer {
     pub fn tensor_elements(&self, tensor: TensorKind) -> u64 {
         let s = &self.shape;
         let per_group: u64 = match tensor {
-            TensorKind::Weight => {
-                (s[Dim::M] * s[Dim::C] * s[Dim::R] * s[Dim::S]) as u64
-            }
+            TensorKind::Weight => (s[Dim::M] * s[Dim::C] * s[Dim::R] * s[Dim::S]) as u64,
             TensorKind::Output => (s[Dim::N] * s[Dim::M] * s[Dim::P] * s[Dim::Q]) as u64,
             TensorKind::Input => {
                 let h = self.input_rows(s[Dim::P], s[Dim::R]);
@@ -319,7 +319,10 @@ impl Layer {
     /// Arithmetic intensity: MACs per element moved if every tensor were
     /// touched exactly once (an upper bound on achievable reuse).
     pub fn ideal_arithmetic_intensity(&self) -> f64 {
-        let moved: u64 = TensorKind::ALL.iter().map(|&t| self.tensor_elements(t)).sum();
+        let moved: u64 = TensorKind::ALL
+            .iter()
+            .map(|&t| self.tensor_elements(t))
+            .sum();
         self.macs() as f64 / moved as f64
     }
 }

@@ -58,7 +58,11 @@ impl Network {
     pub fn with_batch(&self, n: usize) -> Network {
         Network {
             name: self.name.clone(),
-            layers: self.layers.iter().map(|l| l.clone().with_batch(n)).collect(),
+            layers: self
+                .layers
+                .iter()
+                .map(|l| l.clone().with_batch(n))
+                .collect(),
         }
     }
 

@@ -79,6 +79,9 @@ mod tests {
             .filter(|l| l.kind() == LayerKind::FullyConnected)
             .map(|l| l.tensor_elements(TensorKind::Weight))
             .sum();
-        assert!(fc_weights * 10 > net.total_weights() * 9, "FC >90% of weights");
+        assert!(
+            fc_weights * 10 > net.total_weights() * 9,
+            "FC >90% of weights"
+        );
     }
 }

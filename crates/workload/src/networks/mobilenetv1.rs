@@ -89,7 +89,10 @@ mod tests {
             .collect();
         assert_eq!(dw.len(), 13);
         for layer in dw {
-            assert_eq!(layer.groups(), layer.tensor_elements(TensorKind::Weight) as usize / 9);
+            assert_eq!(
+                layer.groups(),
+                layer.tensor_elements(TensorKind::Weight) as usize / 9
+            );
         }
     }
 

@@ -48,16 +48,46 @@ pub fn resnet18() -> Network {
     for (stage, m, c_in, pq) in stages {
         // Block 0 (downsampling).
         net = net
-            .push(Layer::conv2d(format!("{stage}.0.conv1"), 1, m, c_in, pq, pq, 3, 3).with_stride(2, 2))
-            .push(Layer::conv2d(format!("{stage}.0.conv2"), 1, m, m, pq, pq, 3, 3))
+            .push(
+                Layer::conv2d(format!("{stage}.0.conv1"), 1, m, c_in, pq, pq, 3, 3)
+                    .with_stride(2, 2),
+            )
+            .push(Layer::conv2d(
+                format!("{stage}.0.conv2"),
+                1,
+                m,
+                m,
+                pq,
+                pq,
+                3,
+                3,
+            ))
             .push(
                 Layer::conv2d(format!("{stage}.0.downsample"), 1, m, c_in, pq, pq, 1, 1)
                     .with_stride(2, 2),
             );
         // Block 1.
         net = net
-            .push(Layer::conv2d(format!("{stage}.1.conv1"), 1, m, m, pq, pq, 3, 3))
-            .push(Layer::conv2d(format!("{stage}.1.conv2"), 1, m, m, pq, pq, 3, 3));
+            .push(Layer::conv2d(
+                format!("{stage}.1.conv1"),
+                1,
+                m,
+                m,
+                pq,
+                pq,
+                3,
+                3,
+            ))
+            .push(Layer::conv2d(
+                format!("{stage}.1.conv2"),
+                1,
+                m,
+                m,
+                pq,
+                pq,
+                3,
+                3,
+            ));
     }
 
     net.push(Layer::fully_connected("fc", 1, 1000, 512))
@@ -100,7 +130,11 @@ mod tests {
     #[test]
     fn downsample_convs_are_1x1_strided() {
         let net = resnet18();
-        for l in net.layers().iter().filter(|l| l.name().contains("downsample")) {
+        for l in net
+            .layers()
+            .iter()
+            .filter(|l| l.name().contains("downsample"))
+        {
             assert_eq!(l.shape()[Dim::R], 1);
             assert_eq!(l.stride(), (2, 2));
         }
@@ -112,6 +146,9 @@ mod tests {
         let max_layer = net.layers().iter().map(Layer::macs).max().unwrap();
         // No layer is more than 10% of... actually conv stages are balanced;
         // the stem is ~6.5% and block convs ~6.4% each.
-        assert!(max_layer * 5 < net.total_macs(), "layers reasonably balanced");
+        assert!(
+            max_layer * 5 < net.total_macs(),
+            "layers reasonably balanced"
+        );
     }
 }

@@ -179,7 +179,9 @@ impl TensorSet {
 
     /// Iterates members in canonical order.
     pub fn iter(self) -> impl Iterator<Item = TensorKind> {
-        TensorKind::ALL.into_iter().filter(move |k| self.contains(*k))
+        TensorKind::ALL
+            .into_iter()
+            .filter(move |k| self.contains(*k))
     }
 }
 
@@ -273,7 +275,9 @@ mod tests {
     #[test]
     fn weight_projection() {
         let w = TensorKind::Weight.relevant_dims();
-        assert!(w.contains(Dim::M) && w.contains(Dim::C) && w.contains(Dim::R) && w.contains(Dim::S));
+        assert!(
+            w.contains(Dim::M) && w.contains(Dim::C) && w.contains(Dim::R) && w.contains(Dim::S)
+        );
         assert!(!w.contains(Dim::N) && !w.contains(Dim::P) && !w.contains(Dim::Q));
     }
 

@@ -20,7 +20,11 @@ fn main() {
     // --- Sweep 1: memory technology x global-buffer size ---
     let net = networks::resnet18();
     let mut points = Vec::new();
-    for (dram_name, dram) in [("lpddr4", DramKind::Lpddr4), ("ddr4", DramKind::Ddr4), ("hbm2", DramKind::Hbm2)] {
+    for (dram_name, dram) in [
+        ("lpddr4", DramKind::Lpddr4),
+        ("ddr4", DramKind::Ddr4),
+        ("hbm2", DramKind::Hbm2),
+    ] {
         for glb_mib in [2usize, 4, 8] {
             let system = AlbireoConfig::new(ScalingProfile::Aggressive)
                 .with_dram(dram)
@@ -62,7 +66,9 @@ fn main() {
             seed: 2024,
         }),
     );
-    let hand = albireo.evaluate_layer(&probe).expect("albireo dataflow maps");
+    let hand = albireo
+        .evaluate_layer(&probe)
+        .expect("albireo dataflow maps");
     let searched = random.evaluate_layer(&probe).expect("random search maps");
     println!("\nmapping strategy on {probe}:");
     println!(

@@ -23,7 +23,9 @@ fn main() {
 
     // 3. Evaluate: the mapper finds the dataflow, the nest analysis counts
     //    every access and conversion, the energy model prices them.
-    let eval = system.evaluate_layer(layer).expect("layer maps onto Albireo");
+    let eval = system
+        .evaluate_layer(layer)
+        .expect("layer maps onto Albireo");
 
     println!("\nmapping:\n{}", eval.mapping);
     println!("energy breakdown:");

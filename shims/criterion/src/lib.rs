@@ -1,0 +1,171 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no crates.io access, so this path crate
+//! shadows the registry package. Bench targets keep their upstream shape
+//! (`criterion_group!` / `criterion_main!` with `harness = false`), and
+//! this harness times each `bench_function` with a warmup pass followed
+//! by a fixed measurement budget, printing mean iteration time. It does
+//! none of criterion's statistics (no outlier analysis, no HTML reports,
+//! no baseline comparison).
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in
+/// favor of `std::hint::black_box`, which is what this forwards to).
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Per-function measurement budget.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness uses a time budget,
+    /// not a sample count, so the value is ignored.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.criterion.measurement_time, f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op shim).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    result: Option<Measurement>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one warmup call, then as many iterations as fit
+    /// in the measurement budget (at least 10).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        hint::black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            hint::black_box(routine());
+            iters += 1;
+            if iters >= 10 && start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.result = Some(Measurement {
+            iters,
+            total: start.elapsed(),
+        });
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, budget: Duration, mut f: F) {
+    let mut bencher = Bencher {
+        budget,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(m) => {
+            let mean = m.total / u32::try_from(m.iters).unwrap_or(u32::MAX);
+            println!("  {id:<44} {mean:>12.2?}/iter  ({} iters)", m.iters);
+        }
+        None => println!("  {id:<44} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Mirrors `criterion_group!`: bundles benchmark functions into one
+/// runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls >= 10, "at least warmup + 10 measured iterations");
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}

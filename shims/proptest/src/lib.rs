@@ -1,0 +1,276 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so this path crate
+//! shadows the registry package. It implements the pieces the test
+//! suites rely on — the [`proptest!`] macro with an optional
+//! `#![proptest_config(..)]` header, [`strategy::Strategy`] for numeric
+//! ranges / tuples / `prop_map`, [`collection::vec`], and the
+//! `prop_assert*` macros — with two simplifications relative to the real
+//! crate: the RNG seed is fixed (every run exercises the same cases, so
+//! CI is deterministic) and failing cases are reported without input
+//! shrinking.
+
+pub mod test_runner {
+    //! Case-count configuration and the deterministic test RNG.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Mirrors `proptest::test_runner::Config` for the `cases` knob.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic RNG handed to strategies while generating cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Fixed-seed generator: every test run sees the same cases.
+        pub fn deterministic() -> Self {
+            TestRng {
+                inner: StdRng::seed_from_u64(0x5EED_CA5E),
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.inner.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform `usize` in `[lo, hi)`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            self.inner.gen_range(lo..hi)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (mirrors `proptest::strategy`).
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(self.start, self.end)
+        }
+    }
+
+    impl Strategy for RangeInclusive<usize> {
+        type Value = usize;
+
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(*self.start(), *self.end() + 1)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident => $v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A => a);
+    tuple_strategy!(A => a, B => b);
+    tuple_strategy!(A => a, B => b, C => c);
+    tuple_strategy!(A => a, B => b, C => c, D => d);
+    tuple_strategy!(A => a, B => b, C => c, D => d, E => e);
+    tuple_strategy!(A => a, B => b, C => c, D => d, E => e, F => f);
+    tuple_strategy!(A => a, B => b, C => c, D => d, E => e, F => f, G => g);
+    tuple_strategy!(A => a, B => b, C => c, D => d, E => e, F => f, G => g, H => h);
+}
+
+pub mod collection {
+    //! Collection strategies (mirrors `proptest::collection`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy drawing a length from `size`, then that many elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface (mirrors `proptest::prelude`).
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Property-test entry point. Each `#[test] fn name(arg in strategy, ..)`
+/// item becomes a plain `#[test]` that draws `cases` random inputs and
+/// runs the body on each. Failures panic with the case index (no
+/// shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                for case in 0..config.cases {
+                    $( let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng); )+
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {case}/{total} failed in `{name}`",
+                            total = config.cases,
+                            name = stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assertion inside a [`proptest!`] body (panics, no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a [`proptest!`] body (panics, no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn decade() -> impl Strategy<Value = f64> {
+        (-3.0f64..3.0).prop_map(|exp| 10f64.powf(exp))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 2usize..=5, y in 0.5f64..2.0) {
+            prop_assert!((2..=5).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+        }
+
+        #[test]
+        fn mapped_strategy_applies_function(v in decade()) {
+            prop_assert!(v > 0.0);
+            prop_assert!((1e-3..1e3).contains(&v));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(values in crate::collection::vec(0usize..10, 0..7)) {
+            prop_assert!(values.len() < 7);
+            prop_assert!(values.iter().all(|&v| v < 10));
+        }
+
+        #[test]
+        fn tuples_generate_componentwise(pair in (1usize..=2, 0.0f64..1.0)) {
+            let (a, b) = pair;
+            prop_assert!(a == 1 || a == 2);
+            prop_assert!((0.0..1.0).contains(&b));
+        }
+    }
+}

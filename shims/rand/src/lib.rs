@@ -1,0 +1,112 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace
+//! uses: a seedable deterministic generator (`rngs::StdRng`), the
+//! [`SeedableRng`] constructor trait and [`Rng::gen_range`] over integer
+//! ranges.
+//!
+//! The build environment has no crates.io access, so this path crate
+//! shadows the registry package. The generator is splitmix64 — not the
+//! ChaCha stream the real `StdRng` wraps — so sequences differ from
+//! upstream `rand`, but all workspace uses only require determinism for a
+//! fixed seed, which splitmix64 provides.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Seed-construction trait (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling trait (mirrors the used subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// Panics if the range is empty, like the real `rand`.
+    fn gen_range<R: RangeBounds<usize>>(&mut self, range: R) -> usize {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v.checked_add(1).expect("range end overflows"),
+            Bound::Excluded(&v) => v,
+            Bound::Unbounded => usize::MAX,
+        };
+        assert!(lo < hi, "cannot sample empty range");
+        let span = (hi - lo) as u64;
+        // Multiply-shift bounded sampling; bias is < 2^-64 * span, far
+        // below what mapping-search reproducibility can observe.
+        let x = self.next_u64();
+        lo + (((x as u128 * span as u128) >> 64) as u64) as usize
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators (mirrors `rand::rngs`).
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea, Flood 2014): full-period, passes
+            // BigCrush when used as a stream like this.
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0..=4);
+            assert!(w <= 4);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

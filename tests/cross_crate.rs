@@ -124,9 +124,7 @@ fn bigger_global_buffer_trades_access_energy_for_dram() {
             > small.arch().level_named("glb").unwrap().read_energy()
     );
     // ...and never increases DRAM traffic energy (tiles only get bigger).
-    assert!(
-        large_eval.energy.by_label("dram") <= small_eval.energy.by_label("dram") * 1.0001
-    );
+    assert!(large_eval.energy.by_label("dram") <= small_eval.energy.by_label("dram") * 1.0001);
 }
 
 #[test]

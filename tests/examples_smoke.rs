@@ -1,0 +1,114 @@
+//! Smoke tests mirroring the `examples/` programs.
+//!
+//! `cargo check --examples` (enforced in CI) proves the examples compile;
+//! these tests additionally exercise the core logic each example runs, so
+//! an API change that keeps an example compiling but breaks its output
+//! path still fails the suite.
+
+use lumen::albireo::{experiments, AlbireoConfig, ScalingProfile, WeightReuse};
+use lumen::core::dse::{pareto_front, sweep, DesignPoint};
+use lumen::core::report::breakdown_table;
+use lumen::core::NetworkOptions;
+use lumen::units::Energy;
+use lumen::workload::networks;
+
+/// The `quickstart` example's pipeline: build the conservative Albireo
+/// system, evaluate a ResNet-18 layer, and check the headline quantities
+/// it prints are physical.
+#[test]
+fn quickstart_layer_evaluation_returns_positive_energy() {
+    let system = AlbireoConfig::new(ScalingProfile::Conservative).build_system();
+    let net = networks::resnet18();
+    let layer = &net.layers()[1];
+    let eval = system
+        .evaluate_layer(layer)
+        .expect("layer maps onto Albireo");
+
+    assert!(
+        eval.energy.total() > Energy::ZERO,
+        "total energy is positive"
+    );
+    assert!(
+        eval.energy_per_mac().picojoules() > 0.0,
+        "per-MAC energy is positive"
+    );
+    assert!(eval.analysis.utilization > 0.0 && eval.analysis.utilization <= 1.0 + 1e-9);
+    assert!(eval.analysis.cycles > 0);
+
+    let rendered = breakdown_table(&eval.energy).render();
+    assert!(!rendered.is_empty(), "breakdown table renders");
+}
+
+/// The `design_space` example's pipeline: sweep named variants and take a
+/// Pareto front over (energy, cycles).
+#[test]
+fn design_space_sweep_and_pareto_run() {
+    let net = networks::alexnet();
+    let points = vec![
+        DesignPoint::new(
+            "conservative",
+            AlbireoConfig::new(ScalingProfile::Conservative).build_system(),
+        ),
+        DesignPoint::new(
+            "aggressive",
+            AlbireoConfig::new(ScalingProfile::Aggressive).build_system(),
+        ),
+    ];
+    let entries = sweep(points, &net).expect("sweep evaluates");
+    assert_eq!(entries.len(), 2);
+    assert_eq!(entries[0].label, "conservative");
+
+    let objectives: Vec<(f64, f64)> = entries
+        .iter()
+        .map(|e| (e.evaluation.energy.total().joules(), e.evaluation.cycles))
+        .collect();
+    let front = pareto_front(&objectives);
+    assert!(!front.is_empty(), "at least one non-dominated point");
+}
+
+/// The `full_system_dram` example's pipeline: batching amortizes DRAM
+/// weight traffic, so batched energy per inference is lower.
+#[test]
+fn full_system_batching_reduces_per_inference_energy() {
+    let net = networks::resnet18();
+    let system = AlbireoConfig::new(ScalingProfile::Aggressive).build_system();
+    let base = system
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .expect("baseline evaluates");
+    let batched = system
+        .evaluate_network(&net, &NetworkOptions::baseline().with_batch(16))
+        .expect("batched evaluates");
+    let base_per_inf = base.energy.total().joules();
+    let batched_per_inf = batched.energy.total().joules() / 16.0;
+    assert!(
+        batched_per_inf < base_per_inf,
+        "batching reduces per-inference energy ({batched_per_inf} vs {base_per_inf})"
+    );
+}
+
+/// The `reuse_exploration` example's pipeline: the Fig. 5 sweep finds a
+/// configuration at least as good as the published one.
+#[test]
+fn reuse_exploration_finds_no_worse_than_original() {
+    let result = experiments::fig5_reuse_exploration().expect("fig5 evaluates");
+    assert!(result.best().total_pj() <= result.original().total_pj());
+    assert!(result
+        .rows
+        .iter()
+        .any(|r| r.weight_reuse == WeightReuse::More));
+}
+
+/// The `throughput_study` example's pipeline: modeled throughput never
+/// exceeds the architecture's peak parallelism.
+#[test]
+fn throughput_study_stays_below_peak() {
+    let result = experiments::fig3_throughput().expect("fig3 evaluates");
+    for row in &result.rows {
+        assert!(
+            row.modeled <= row.ideal + 1e-9,
+            "{}: modeled above ideal",
+            row.network
+        );
+        assert!(row.modeled > 0.0);
+    }
+}

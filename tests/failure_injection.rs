@@ -5,7 +5,9 @@ use lumen::arch::{ArchBuilder, ArchError, Domain, Fanout};
 use lumen::core::{MappingStrategy, System, SystemError};
 use lumen::mapper::{analyze, Mapping, MappingError};
 use lumen::units::{Energy, Frequency};
-use lumen::workload::{networks, Dim, DimSet, Layer, LayerError, LayerKind, Shape, TensorKind, TensorSet};
+use lumen::workload::{
+    networks, Dim, DimSet, Layer, LayerError, LayerKind, Shape, TensorKind, TensorSet,
+};
 
 #[test]
 fn zero_dimension_layer_is_rejected() {
@@ -94,7 +96,13 @@ fn wrong_level_count_is_reported() {
     let layer = Layer::conv2d("l", 1, 4, 4, 4, 4, 1, 1);
     let mapping = Mapping::new(2); // arch has 3 levels
     let err = analyze(&arch, &layer, &mapping).unwrap_err();
-    assert!(matches!(err, MappingError::LevelCountMismatch { mapping: 2, arch: 3 }));
+    assert!(matches!(
+        err,
+        MappingError::LevelCountMismatch {
+            mapping: 2,
+            arch: 3
+        }
+    ));
 }
 
 #[test]
@@ -108,7 +116,11 @@ fn uncovered_dimension_is_reported_with_numbers() {
     mapping.push_temporal(1, Dim::Q, 4);
     let err = analyze(&arch, &layer, &mapping).unwrap_err();
     match err {
-        MappingError::Uncovered { dim, mapped, needed } => {
+        MappingError::Uncovered {
+            dim,
+            mapped,
+            needed,
+        } => {
             assert_eq!(dim, Dim::C);
             assert_eq!((mapped, needed), (2, 4));
         }

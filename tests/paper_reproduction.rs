@@ -4,7 +4,7 @@
 //! These are *shape assertions*, not exact-number assertions — our
 //! substrate is a reimplemented analytical model, so absolute values may
 //! drift, but who wins, by roughly what factor, and where crossovers fall
-//! must match the paper (see DESIGN.md §6).
+//! must match the paper (see "Reproduction policy" in README.md).
 
 use lumen::albireo::{experiments, ScalingProfile, WeightReuse};
 
@@ -19,7 +19,10 @@ fn fig2_validation_reproduces_sub_percent_error() {
     );
     // Scaling corners are ordered and roughly 3.5 / 1.5 / 0.55 pJ/MAC.
     let totals: Vec<f64> = result.rows.iter().map(|r| r.modeled_total()).collect();
-    assert!(totals[0] > 3.0 && totals[0] < 4.0, "conservative {totals:?}");
+    assert!(
+        totals[0] > 3.0 && totals[0] < 4.0,
+        "conservative {totals:?}"
+    );
     assert!(totals[1] > 1.2 && totals[1] < 1.8, "moderate {totals:?}");
     assert!(totals[2] > 0.4 && totals[2] < 0.8, "aggressive {totals:?}");
 }
@@ -46,9 +49,17 @@ fn fig3_vgg_near_ideal_alexnet_degraded() {
     let vgg = result.rows.iter().find(|r| r.network == "vgg16").unwrap();
     let alex = result.rows.iter().find(|r| r.network == "alexnet").unwrap();
     // VGG16 (all unit-stride 3x3 convs) stays near ideal.
-    assert!(vgg.modeled / vgg.ideal >= 0.85, "vgg {:.2}", vgg.modeled / vgg.ideal);
+    assert!(
+        vgg.modeled / vgg.ideal >= 0.85,
+        "vgg {:.2}",
+        vgg.modeled / vgg.ideal
+    );
     // AlexNet (stride-4 conv1 + three FC layers) degrades significantly.
-    assert!(alex.modeled / alex.ideal <= 0.45, "alex {:.2}", alex.modeled / alex.ideal);
+    assert!(
+        alex.modeled / alex.ideal <= 0.45,
+        "alex {:.2}",
+        alex.modeled / alex.ideal
+    );
     // The reported numbers are near ideal for BOTH — the paper's point is
     // that a throughput-accurate model disagrees for AlexNet.
     assert!(alex.reported / alex.ideal >= 0.90);
@@ -65,8 +76,16 @@ fn fig4_dram_dominates_aggressive_scaling_only() {
     let conservative = result.row(ScalingProfile::Conservative, false, false);
     // Paper: DRAM ~75% of the aggressively-scaled system, small for the
     // conservative one.
-    assert!(aggressive.dram_share() >= 0.60, "aggressive {:.2}", aggressive.dram_share());
-    assert!(conservative.dram_share() <= 0.30, "conservative {:.2}", conservative.dram_share());
+    assert!(
+        aggressive.dram_share() >= 0.60,
+        "aggressive {:.2}",
+        aggressive.dram_share()
+    );
+    assert!(
+        conservative.dram_share() <= 0.30,
+        "conservative {:.2}",
+        conservative.dram_share()
+    );
     assert!(aggressive.dram_share() > 2.0 * conservative.dram_share());
 }
 
@@ -77,14 +96,23 @@ fn fig4_batching_plus_fusion_restore_aggressive_benefits() {
     let reduction = result.combined_reduction(ScalingProfile::Aggressive);
     assert!(reduction >= 0.55, "combined reduction {:.2}", reduction);
     // Each lever alone helps at the aggressive corner.
-    let base = result.row(ScalingProfile::Aggressive, false, false).total_mj();
-    let batched = result.row(ScalingProfile::Aggressive, true, false).total_mj();
-    let fused = result.row(ScalingProfile::Aggressive, false, true).total_mj();
+    let base = result
+        .row(ScalingProfile::Aggressive, false, false)
+        .total_mj();
+    let batched = result
+        .row(ScalingProfile::Aggressive, true, false)
+        .total_mj();
+    let fused = result
+        .row(ScalingProfile::Aggressive, false, true)
+        .total_mj();
     assert!(batched < base, "batching helps");
     assert!(fused < base, "fusion helps");
     // And the conservative corner barely moves (its DRAM share is small).
     let cons_reduction = result.combined_reduction(ScalingProfile::Conservative);
-    assert!(cons_reduction < reduction / 2.0, "conservative gains are modest");
+    assert!(
+        cons_reduction < reduction / 2.0,
+        "conservative gains are modest"
+    );
 }
 
 #[test]

@@ -23,7 +23,11 @@ fn toy_arch(fanout: usize, dims: &[Dim]) -> Architecture {
         .write_energy(Energy::from_picojoules(1.0))
         .fanout(Fanout::new(fanout).allow(DimSet::from_dims(dims)))
         .done()
-        .compute("mac", Domain::DigitalElectrical, Energy::from_picojoules(0.1))
+        .compute(
+            "mac",
+            Domain::DigitalElectrical,
+            Energy::from_picojoules(0.1),
+        )
         .build()
         .expect("toy architecture is valid")
 }
