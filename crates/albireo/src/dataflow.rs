@@ -226,6 +226,40 @@ mod tests {
     }
 
     #[test]
+    fn maps_every_layer_of_all_transformers() {
+        let a = arch();
+        for net in [
+            networks::bert_base(),
+            networks::gpt2_small(),
+            networks::vit_b16(),
+        ] {
+            for layer in net.layers() {
+                let m = albireo_mapping(&a, layer, 8, 3, 9, 3, (3, 3));
+                let analysis = analyze(&a, layer, &m)
+                    .unwrap_or_else(|e| panic!("layer {} failed: {e}", layer.name()));
+                assert_eq!(analysis.macs, layer.macs());
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_layer_underutilizes_like_fc() {
+        // A BERT-shaped projection matmul idles the kernel fabric and the
+        // Q window, like FC layers: the photonic fabric's weakness on
+        // GEMM-shaped work.
+        let mm = Layer::matmul("proj", 1, 768, 768, 128);
+        let (a, m) = map(&mm);
+        let analysis = analyze(&a, &mm, &m).unwrap();
+        assert!(
+            analysis.utilization < 0.15,
+            "matmul should badly underutilize: {}",
+            analysis.utilization
+        );
+        let wdac = a.level_index("weight-dac").unwrap();
+        assert_eq!(m.level(wdac).spatial_product(), 1, "q-window idle (Q=1)");
+    }
+
+    #[test]
     fn strided_layer_loses_column_window() {
         let alexnet = networks::alexnet();
         let conv1 = &alexnet.layers()[0]; // 11x11 stride 4

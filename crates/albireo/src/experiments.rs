@@ -543,6 +543,147 @@ pub fn fig5_reuse_exploration() -> Result<Fig5Result, SystemError> {
     Ok(Fig5Result { rows })
 }
 
+// ---------------------------------------------------------------------
+// Transformer study — beyond the paper: attention/matmul workloads
+// ---------------------------------------------------------------------
+
+/// One workload of the transformer study.
+#[derive(Debug, Clone)]
+pub struct TransformerRow {
+    /// Workload name.
+    pub network: String,
+    /// Total GMACs per inference.
+    pub gmacs: f64,
+    /// Fraction of MACs in GEMM-shaped layers.
+    pub gemm_fraction: f64,
+    /// Photonic (Albireo) energy per MAC in pJ.
+    pub photonic_pj_per_mac: f64,
+    /// Digital-baseline energy per MAC in pJ.
+    pub digital_pj_per_mac: f64,
+    /// Photonic MAC-weighted compute utilization (0, 1].
+    pub photonic_utilization: f64,
+    /// Digital MAC-weighted compute utilization (0, 1].
+    pub digital_utilization: f64,
+    /// Photonic throughput in GMAC/s (MACs/cycle × symbol rate).
+    pub photonic_gmacs_per_s: f64,
+    /// Digital throughput in GMAC/s.
+    pub digital_gmacs_per_s: f64,
+}
+
+impl TransformerRow {
+    /// Photonic energy advantage (>1 favors photonics).
+    pub fn energy_advantage(&self) -> f64 {
+        self.digital_pj_per_mac / self.photonic_pj_per_mac
+    }
+
+    /// Photonic throughput advantage (>1 favors photonics).
+    pub fn throughput_advantage(&self) -> f64 {
+        self.photonic_gmacs_per_s / self.digital_gmacs_per_s
+    }
+}
+
+/// The transformer study: photonic vs digital on attention-dominated
+/// workloads at one scaling corner.
+#[derive(Debug, Clone)]
+pub struct TransformerStudyResult {
+    /// The photonic system's scaling corner.
+    pub scaling: ScalingProfile,
+    /// One row per transformer workload.
+    pub rows: Vec<TransformerRow>,
+}
+
+impl TransformerStudyResult {
+    /// The row for a named workload.
+    pub fn row(&self, network: &str) -> &TransformerRow {
+        self.rows
+            .iter()
+            .find(|r| r.network == network)
+            .expect("every transformer workload evaluated")
+    }
+
+    /// Renders the study as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "network".into(),
+            "GMACs".into(),
+            "gemm share".into(),
+            "photonic pJ/MAC".into(),
+            "digital pJ/MAC".into(),
+            "energy adv".into(),
+            "photonic util".into(),
+            "digital util".into(),
+            "throughput adv".into(),
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.network.clone(),
+                format!("{:.2}", row.gmacs),
+                format!("{:.0}%", 100.0 * row.gemm_fraction),
+                format!("{:.3}", row.photonic_pj_per_mac),
+                format!("{:.3}", row.digital_pj_per_mac),
+                format!("{:.2}x", row.energy_advantage()),
+                format!("{:.1}%", 100.0 * row.photonic_utilization),
+                format!("{:.1}%", 100.0 * row.digital_utilization),
+                format!("{:.2}x", row.throughput_advantage()),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for TransformerStudyResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Transformer study — photonic ({}) vs digital baseline, full system incl. DRAM",
+            self.scaling
+        )?;
+        write!(f, "{}", self.table().render())?;
+        writeln!(
+            f,
+            "matmul workloads idle the sliding-window fabric (no R/S window, \
+             no Q sharing): photonics keep the energy edge only where \
+             conversion scaling pays for it, and lose the throughput edge \
+             that convolutions enjoy"
+        )
+    }
+}
+
+/// Runs the transformer study: evaluates every transformer workload on
+/// the Albireo system at `scaling` and on the digital baseline, and
+/// reports per-MAC energy, utilization and throughput side by side.
+///
+/// This extends the paper's methodology (unchanged — the same
+/// architecture, mapper and nest analysis) to the workload class the
+/// very-large-scale photonic literature targets: attention and MLP
+/// matmuls, whose reuse comes from the sequence dimension rather than a
+/// sliding window, and whose K/V operands must be converted like weights.
+pub fn transformer_study(scaling: ScalingProfile) -> Result<TransformerStudyResult, SystemError> {
+    use crate::DigitalBaseline;
+
+    let photonic = AlbireoConfig::new(scaling).build_system();
+    let digital = DigitalBaseline::new().build_system();
+    let photonic_clock = photonic.arch().clock().gigahertz();
+    let digital_clock = digital.arch().clock().gigahertz();
+    let rows = SweepRunner::new().try_run(networks::TRANSFORMER_NAMES, |name| {
+        let net = networks::by_name(name).expect("transformer networks exist");
+        let p = photonic.evaluate_network(&net, &NetworkOptions::baseline())?;
+        let d = digital.evaluate_network(&net, &NetworkOptions::baseline())?;
+        Ok(TransformerRow {
+            network: name.to_string(),
+            gmacs: net.total_macs() as f64 / 1e9,
+            gemm_fraction: net.gemm_mac_fraction(),
+            photonic_pj_per_mac: p.energy_per_mac().picojoules(),
+            digital_pj_per_mac: d.energy_per_mac().picojoules(),
+            photonic_utilization: p.average_utilization(),
+            digital_utilization: d.average_utilization(),
+            photonic_gmacs_per_s: p.throughput_macs_per_cycle() * photonic_clock,
+            digital_gmacs_per_s: d.throughput_macs_per_cycle() * digital_clock,
+        })
+    })?;
+    Ok(TransformerStudyResult { scaling, rows })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,6 +743,50 @@ mod tests {
         // Normalization anchors the baselines at 1.0.
         assert!((aggr.normalized_total - 1.0).abs() < 1e-12);
         assert!((cons.normalized_total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transformer_study_shapes_hold() {
+        let result = transformer_study(ScalingProfile::Aggressive).unwrap();
+        assert_eq!(result.rows.len(), 3);
+        for row in &result.rows {
+            // Aggressive photonics keep the energy edge on matmuls...
+            assert!(
+                row.energy_advantage() > 1.0,
+                "{}: energy advantage {:.2}",
+                row.network,
+                row.energy_advantage()
+            );
+            // ...but the sliding-window fabric starves: the digital
+            // array's utilization edge flips the throughput comparison.
+            assert!(
+                row.photonic_utilization < 0.2,
+                "{}: photonic util {:.2}",
+                row.network,
+                row.photonic_utilization
+            );
+            assert!(row.digital_utilization > 0.5);
+            assert!(
+                row.throughput_advantage() < 1.0,
+                "{}: throughput advantage {:.2}",
+                row.network,
+                row.throughput_advantage()
+            );
+            assert!(row.gemm_fraction > 0.9, "transformers are GEMM-bound");
+        }
+    }
+
+    #[test]
+    fn transformer_energy_edge_needs_scaling() {
+        // At the conservative corner the conversion chain dominates and
+        // the digital baseline wins energy on matmuls — the same crossover
+        // logic as the paper's Fig. 2/4, now visible on a new workload.
+        let cons = transformer_study(ScalingProfile::Conservative).unwrap();
+        let aggr = transformer_study(ScalingProfile::Aggressive).unwrap();
+        for name in networks::TRANSFORMER_NAMES {
+            assert!(cons.row(name).energy_advantage() < 1.0, "{name}");
+            assert!(aggr.row(name).energy_advantage() > 1.0, "{name}");
+        }
     }
 
     #[test]

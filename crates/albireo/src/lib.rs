@@ -30,6 +30,7 @@
 //! | Fig. 3 throughput (ideal/reported/modeled) | [`experiments::fig3_throughput`] |
 //! | Fig. 4 full-system memory exploration | [`experiments::fig4_memory_exploration`] |
 //! | Fig. 5 reuse-factor exploration | [`experiments::fig5_reuse_exploration`] |
+//! | Transformer study (beyond the paper) | [`experiments::transformer_study`] |
 //!
 //! # Examples
 //!

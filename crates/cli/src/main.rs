@@ -10,8 +10,9 @@
 //! lumen fig5                 # analog/optical reuse exploration
 //! lumen all                  # everything above
 //! lumen arch --scaling aggressive
-//! lumen layers --network alexnet
-//! lumen networks             # workload inventory
+//! lumen layers --network bert-base
+//! lumen networks             # workload inventory (CNNs + transformers)
+//! lumen transformers         # photonic vs digital on attention workloads
 //! lumen components           # component library report
 //! ```
 
@@ -42,6 +43,7 @@ fn main() -> ExitCode {
         "arch" => arch(&args),
         "layers" => layers(&args),
         "networks" => networks_cmd(),
+        "transformers" => transformers_cmd(&args),
         "components" => components_cmd(),
         "baseline" => baseline(&args),
         "precision" => precision(&args),
@@ -73,7 +75,8 @@ fn print_help() {
     println!("  all         run all four figures");
     println!("  arch        print the Albireo hierarchy  [--scaling <corner>]");
     println!("  layers      per-layer utilization report [--network <name>] [--scaling <corner>]");
-    println!("  networks    list the built-in DNN workloads");
+    println!("  networks    list the built-in DNN workloads (CNNs + transformers)");
+    println!("  transformers  photonic vs digital on transformer workloads [--scaling <corner>]");
     println!("  components  print the component library report");
     println!("  baseline    photonic vs digital-electronic comparison [--scaling <corner>]");
     println!("  precision   noise-limited analog resolution vs received optical power");
@@ -170,26 +173,36 @@ fn networks_cmd() -> Result<(), String> {
         "Mweights".into(),
         "strided".into(),
         "fc".into(),
+        "matmul".into(),
+        // GEMM share counts matmul + fully-connected MACs together.
+        "gemm MAC %".into(),
     ]);
     for name in networks::NAMES {
         let net = networks::by_name(name).expect("built-in networks resolve");
         let stats = net.stats();
         let strided = net.layers().iter().filter(|l| !l.is_unit_stride()).count();
-        let fc = net
-            .layers()
-            .iter()
-            .filter(|l| l.kind() == lumen_workload::LayerKind::FullyConnected)
-            .count();
+        let count_kind = |kind: lumen_workload::LayerKind| {
+            net.layers().iter().filter(|l| l.kind() == kind).count()
+        };
         table.row(vec![
             name.to_string(),
             stats.layers.to_string(),
             format!("{:.2}", stats.total_macs as f64 / 1e9),
             format!("{:.1}", stats.total_weights as f64 / 1e6),
             strided.to_string(),
-            fc.to_string(),
+            count_kind(lumen_workload::LayerKind::FullyConnected).to_string(),
+            count_kind(lumen_workload::LayerKind::Matmul).to_string(),
+            format!("{:.0}%", 100.0 * net.gemm_mac_fraction()),
         ]);
     }
     print!("{}", table.render());
+    Ok(())
+}
+
+fn transformers_cmd(args: &[String]) -> Result<(), String> {
+    let scaling = parse_scaling(args)?;
+    let result = experiments::transformer_study(scaling).map_err(|e| e.to_string())?;
+    println!("{result}");
     Ok(())
 }
 

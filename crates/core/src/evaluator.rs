@@ -3,7 +3,7 @@
 use crate::{CostCategory, EnergyBreakdown};
 use lumen_arch::Architecture;
 use lumen_mapper::search::{
-    greedy_mapping, random_search, SearchConfig, TemporalPlan, DEFAULT_SPATIAL_PRIORITY,
+    greedy_mapping, random_search, spatial_priority_for, SearchConfig, TemporalPlan,
 };
 use lumen_mapper::{analyze, LayerAnalysis, Mapping, MappingError};
 use lumen_units::Energy;
@@ -163,10 +163,12 @@ impl System {
     /// mapping.
     pub fn map_layer(&self, layer: &Layer) -> Result<Mapping, SystemError> {
         let mapping = match &self.strategy {
+            // Spatial priority follows the operator class: matmuls
+            // parallelize sequence rows before the reduction dimension.
             MappingStrategy::Greedy { temporal_level } => greedy_mapping(
                 &self.arch,
                 layer,
-                &DEFAULT_SPATIAL_PRIORITY,
+                spatial_priority_for(layer),
                 &TemporalPlan::all_at(*temporal_level),
             ),
             MappingStrategy::Planned { priority, plan } => {
@@ -398,7 +400,7 @@ mod tests {
             greedy_mapping(
                 arch,
                 layer,
-                &DEFAULT_SPATIAL_PRIORITY,
+                spatial_priority_for(layer),
                 &TemporalPlan::all_at(0),
             )
         }));

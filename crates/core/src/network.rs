@@ -295,6 +295,27 @@ mod tests {
     }
 
     #[test]
+    fn transformer_block_totals_sum_layers() {
+        use lumen_workload::{Attention, Network};
+        let system = toy_system();
+        let mut net = Network::new("mini-attn");
+        for layer in Attention::new("attn", 16, 64, 4).lower() {
+            net = net.push(layer);
+        }
+        let eval = system
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .unwrap();
+        assert_eq!(eval.per_layer.len(), 6);
+        assert_eq!(eval.macs, net.total_macs());
+        for layer_eval in &eval.per_layer {
+            assert!(layer_eval.energy.total().is_finite());
+            assert!(layer_eval.analysis.utilization > 0.0);
+        }
+        let layer_macs: u64 = eval.per_layer.iter().map(|l| l.analysis.macs).sum();
+        assert_eq!(layer_macs, net.total_macs());
+    }
+
+    #[test]
     fn throughput_is_macs_over_cycles() {
         let system = toy_system();
         let eval = system

@@ -26,6 +26,29 @@ use std::num::NonZeroUsize;
 use std::sync::{Mutex, OnceLock};
 use std::thread;
 
+/// Largest worker count the `LUMEN_SWEEP_THREADS` override accepts.
+/// Anything larger is a typo or a unit confusion (sweeps are
+/// coarse-grained; thousands of workers would only thrash), so such
+/// values fall back to available parallelism rather than spawning an
+/// absurd pool.
+pub const MAX_FORCED_THREADS: usize = 512;
+
+/// Validates a `LUMEN_SWEEP_THREADS` value: a whole number in
+/// `1..=MAX_FORCED_THREADS`. Returns the reason it was rejected
+/// otherwise.
+fn parse_thread_override(value: &str) -> Result<usize, &'static str> {
+    let Ok(n) = value.trim().parse::<usize>() else {
+        return Err("expected a whole-number thread count");
+    };
+    if n == 0 {
+        return Err("thread count must be at least 1");
+    }
+    if n > MAX_FORCED_THREADS {
+        return Err("thread count is implausibly large");
+    }
+    Ok(n)
+}
+
 /// Runs independent evaluation points across worker threads, preserving
 /// input order in the results.
 #[derive(Debug, Clone)]
@@ -43,18 +66,22 @@ impl SweepRunner {
     /// A runner sized to the machine's available parallelism, or to the
     /// `LUMEN_SWEEP_THREADS` environment variable when set (useful to
     /// force sequential execution for profiling or flaky-CI bisection).
+    ///
+    /// Invalid overrides — non-numeric values, `0`, or counts above
+    /// [`MAX_FORCED_THREADS`] — are ignored with a one-time warning and
+    /// the runner falls back to available parallelism.
     pub fn new() -> SweepRunner {
         // The override is resolved (and any parse warning printed) once
         // per process: sweeps are constructed inside bench iteration
         // loops, where a per-construction warning would flood stderr.
         static FORCED: OnceLock<Option<usize>> = OnceLock::new();
         let forced = *FORCED.get_or_init(|| match std::env::var("LUMEN_SWEEP_THREADS") {
-            Ok(value) => match value.trim().parse::<usize>() {
+            Ok(value) => match parse_thread_override(&value) {
                 Ok(n) => Some(n),
-                Err(_) => {
+                Err(reason) => {
                     eprintln!(
-                        "warning: ignoring unparsable LUMEN_SWEEP_THREADS={value:?} \
-                         (expected a thread count); using available parallelism"
+                        "warning: ignoring LUMEN_SWEEP_THREADS={value:?} ({reason}); \
+                         using available parallelism"
                     );
                     None
                 }
@@ -238,6 +265,37 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(SweepRunner::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn thread_override_accepts_sane_counts() {
+        assert_eq!(parse_thread_override("1"), Ok(1));
+        assert_eq!(parse_thread_override(" 8 "), Ok(8));
+        assert_eq!(
+            parse_thread_override(&MAX_FORCED_THREADS.to_string()),
+            Ok(MAX_FORCED_THREADS)
+        );
+    }
+
+    #[test]
+    fn thread_override_rejects_zero() {
+        assert!(parse_thread_override("0").is_err());
+        assert!(parse_thread_override(" 0 ").is_err());
+    }
+
+    #[test]
+    fn thread_override_rejects_non_numeric() {
+        for bad in ["", "auto", "four", "2.5", "-3", "8x", "0x10"] {
+            assert!(parse_thread_override(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn thread_override_rejects_huge_values() {
+        assert!(parse_thread_override("513").is_err());
+        assert!(parse_thread_override("4294967296").is_err());
+        // Larger than usize::MAX: must not panic, just reject.
+        assert!(parse_thread_override("99999999999999999999999999").is_err());
     }
 
     #[test]

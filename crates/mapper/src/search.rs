@@ -13,7 +13,7 @@
 
 use crate::{analyze, LayerAnalysis, Mapping};
 use lumen_arch::Architecture;
-use lumen_workload::{Dim, DimMap, Layer};
+use lumen_workload::{Dim, DimMap, Layer, LayerKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,6 +22,27 @@ use rand::{Rng, SeedableRng};
 /// photonic dataflows), batch last.
 pub const DEFAULT_SPATIAL_PRIORITY: [Dim; 7] =
     [Dim::M, Dim::C, Dim::R, Dim::S, Dim::Q, Dim::P, Dim::N];
+
+/// Spatial packing priority for GEMM-shaped layers: there is no sliding
+/// window to exploit (`Q = R = S = 1`), so after output features the
+/// independent output rows (`P`, the sequence dimension) are the
+/// broadcast-friendly axis — parallelizing rows multicasts the stationary
+/// operand without creating a spatial reduction, whereas `C` lanes need
+/// partial-sum merging.
+pub const MATMUL_SPATIAL_PRIORITY: [Dim; 7] =
+    [Dim::M, Dim::P, Dim::C, Dim::N, Dim::Q, Dim::R, Dim::S];
+
+/// The spatial packing priority suited to `layer`'s operator class:
+/// [`MATMUL_SPATIAL_PRIORITY`] for [`LayerKind::Matmul`],
+/// [`DEFAULT_SPATIAL_PRIORITY`] otherwise. (Fully-connected layers keep
+/// the default: with `P = 1` the two orders coincide, and existing
+/// dataflows depend on the default.)
+pub fn spatial_priority_for(layer: &Layer) -> &'static [Dim; 7] {
+    match layer.kind() {
+        LayerKind::Matmul => &MATMUL_SPATIAL_PRIORITY,
+        _ => &DEFAULT_SPATIAL_PRIORITY,
+    }
+}
 
 /// Greedily packs every fan-out of `arch` with spatial loops for `layer`.
 ///
@@ -181,7 +202,7 @@ pub fn random_search(
     mut cost: impl FnMut(&LayerAnalysis) -> f64,
 ) -> Option<SearchResult> {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let (base, leftover) = greedy_spatial(arch, layer, &DEFAULT_SPATIAL_PRIORITY);
+    let (base, leftover) = greedy_spatial(arch, layer, spatial_priority_for(layer));
     let storage_levels: Vec<usize> = arch
         .levels()
         .iter()
@@ -258,7 +279,7 @@ pub fn exhaustive_search(
     layer: &Layer,
     mut cost: impl FnMut(&LayerAnalysis) -> f64,
 ) -> Option<SearchResult> {
-    let (base, leftover) = greedy_spatial(arch, layer, &DEFAULT_SPATIAL_PRIORITY);
+    let (base, leftover) = greedy_spatial(arch, layer, spatial_priority_for(layer));
     let storage_levels: Vec<usize> = arch
         .levels()
         .iter()
@@ -452,6 +473,53 @@ mod tests {
         .unwrap();
         assert!(ex.cost <= rand.cost * 1.001);
         assert!(ex.evaluated > 0);
+    }
+
+    #[test]
+    fn matmul_priority_prefers_rows_over_reduction() {
+        // Fanout wired for {M, C, P}: a matmul should spend lanes on the
+        // sequence dimension before the reduction dimension.
+        let a = ArchBuilder::new("mm", Frequency::from_gigahertz(1.0))
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .done()
+            .storage("buf", Domain::DigitalElectrical, TensorSet::all())
+            .fanout(Fanout::new(64).allow(DimSet::from_dims(&[Dim::M, Dim::C, Dim::P])))
+            .done()
+            .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+            .build()
+            .unwrap();
+        let mm = Layer::matmul("mm", 1, 8, 16, 32);
+        let (m, leftover) = greedy_spatial(&a, &mm, spatial_priority_for(&mm));
+        // M=8 then P=8 fill the 64 lanes; C stays temporal.
+        assert_eq!(m.total_bound(Dim::M), 8);
+        assert_eq!(m.total_bound(Dim::P), 8);
+        assert_eq!(m.total_bound(Dim::C), 1);
+        assert_eq!(leftover[Dim::C], 16);
+        assert_eq!(leftover[Dim::P], 4);
+    }
+
+    #[test]
+    fn priority_selection_by_kind() {
+        let mm = Layer::matmul("mm", 1, 4, 4, 4);
+        assert_eq!(spatial_priority_for(&mm), &MATMUL_SPATIAL_PRIORITY);
+        assert_eq!(spatial_priority_for(&layer()), &DEFAULT_SPATIAL_PRIORITY);
+        let fc = Layer::fully_connected("fc", 1, 8, 8);
+        assert_eq!(spatial_priority_for(&fc), &DEFAULT_SPATIAL_PRIORITY);
+    }
+
+    #[test]
+    fn greedy_matmul_mapping_is_legal_and_counts_macs() {
+        let mm = Layer::matmul("mm", 2, 24, 12, 40);
+        let m = greedy_mapping(
+            &arch(),
+            &mm,
+            spatial_priority_for(&mm),
+            &TemporalPlan::all_at(1),
+        );
+        assert!(m.validate(&arch(), &mm).is_ok());
+        let a = analyze(&arch(), &mm, &m).unwrap();
+        assert_eq!(a.macs, mm.macs());
+        assert!(a.utilization > 0.0 && a.utilization <= 1.0 + 1e-9);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Multi-head attention lowered onto [`Matmul`](crate::LayerKind::Matmul)
+//! layers.
+//!
+//! Architecture-level models see a transformer block as a sequence of
+//! batched GEMMs; softmax, layer norm and residual adds carry no MACs and
+//! are omitted, matching how the CNN builders drop pooling and
+//! normalization. The lowering of one multi-head attention (MHA) block
+//! with sequence length `S`, model width `D` and `H` heads of width
+//! `d = D/H` is:
+//!
+//! | layer | GEMM | stationary ("weight") operand |
+//! |---|---|---|
+//! | `query`/`key`/`value` | `[S,D] x [D,D]` | projection weights |
+//! | `logits` | per head `[S,d] x [d,S]` | K activations |
+//! | `attend` | per head `[S,S] x [S,d]` | V activations |
+//! | `out` | `[S,D] x [D,D]` | projection weights |
+//!
+//! The per-head matmuls stack heads as [`Layer::with_groups`] groups:
+//! heads share no data, exactly like grouped convolutions. Note that for
+//! `logits`/`attend` the stationary operand is itself an activation
+//! (K resp. V), so "weight" traffic for those layers models K/V reuse —
+//! the distinction that makes attention memory behavior differ from
+//! convolutions and motivates evaluating transformers at all.
+
+use crate::{Layer, Network};
+
+/// Shape of one multi-head attention block, plus lowering helpers.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::Attention;
+///
+/// let mha = Attention::new("enc0.attn", 128, 768, 12);
+/// let layers = mha.lower();
+/// assert_eq!(layers.len(), 6);
+/// let total: u64 = layers.iter().map(|l| l.macs()).sum();
+/// assert_eq!(total, mha.macs());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Attention {
+    prefix: String,
+    seq: usize,
+    d_model: usize,
+    heads: usize,
+    batch: usize,
+}
+
+impl Attention {
+    /// Builds an MHA block description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `d_model` is not divisible by
+    /// `heads`.
+    pub fn new(prefix: impl Into<String>, seq: usize, d_model: usize, heads: usize) -> Attention {
+        assert!(
+            seq > 0 && d_model > 0 && heads > 0,
+            "attention dimensions must be nonzero"
+        );
+        assert!(
+            d_model.is_multiple_of(heads),
+            "d_model={d_model} not divisible by heads={heads}"
+        );
+        Attention {
+            prefix: prefix.into(),
+            seq,
+            d_model,
+            heads,
+            batch: 1,
+        }
+    }
+
+    /// Sets the batch size (builder style).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Attention {
+        assert!(batch > 0, "batch must be nonzero");
+        self.batch = batch;
+        self
+    }
+
+    /// Per-head width `d_model / heads`.
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.heads
+    }
+
+    /// Lowers the block into its six matmul layers, execution order:
+    /// `query`, `key`, `value`, `logits`, `attend`, `out`.
+    ///
+    /// The projection layers carry the batch in `N` (their weights are
+    /// batch-shared); `logits`/`attend` are marked per-sample-stationary,
+    /// so batching replicates their K/V operands instead of sharing them.
+    pub fn lower(&self) -> Vec<Layer> {
+        let (s, d, h, n) = (self.seq, self.d_model, self.heads, self.batch);
+        let name = |suffix: &str| format!("{}.{suffix}", self.prefix);
+        // Per head (and per sample): the stationary operand is K / V.
+        let per_head = |name: String, m: usize, c: usize| {
+            Layer::matmul(name, 1, m, c, s)
+                .with_groups(h)
+                .with_per_sample_stationary()
+                .with_batch(n)
+        };
+        vec![
+            Layer::matmul(name("query"), n, d, d, s),
+            Layer::matmul(name("key"), n, d, d, s),
+            Layer::matmul(name("value"), n, d, d, s),
+            // Per head: Q[s, d/h] x K^T[d/h, s] -> logits[s, s].
+            per_head(name("logits"), h * s, d),
+            // Per head: probs[s, s] x V[s, d/h] -> context[s, d/h].
+            per_head(name("attend"), d, h * s),
+            Layer::matmul(name("out"), n, d, d, s),
+        ]
+    }
+
+    /// Closed-form MAC count of the block:
+    /// `batch · (4·S·D² + 2·S²·D)`.
+    pub fn macs(&self) -> u64 {
+        let (s, d, n) = (self.seq as u64, self.d_model as u64, self.batch as u64);
+        n * (4 * s * d * d + 2 * s * s * d)
+    }
+}
+
+/// Appends one pre-norm transformer encoder block (MHA + 2-layer MLP with
+/// hidden width `d_ff`) to `net`.
+pub fn push_encoder_block(
+    net: Network,
+    prefix: &str,
+    seq: usize,
+    d_model: usize,
+    heads: usize,
+    d_ff: usize,
+) -> Network {
+    let mut net = net;
+    for layer in Attention::new(format!("{prefix}.attn"), seq, d_model, heads).lower() {
+        net = net.push(layer);
+    }
+    net.push(Layer::matmul(
+        format!("{prefix}.mlp.fc1"),
+        1,
+        d_ff,
+        d_model,
+        seq,
+    ))
+    .push(Layer::matmul(
+        format!("{prefix}.mlp.fc2"),
+        1,
+        d_model,
+        d_ff,
+        seq,
+    ))
+}
+
+/// Closed-form MAC count of [`push_encoder_block`]:
+/// `4·S·D² + 2·S²·D + 2·S·D·D_ff`.
+pub fn encoder_block_macs(seq: usize, d_model: usize, d_ff: usize) -> u64 {
+    let (s, d, f) = (seq as u64, d_model as u64, d_ff as u64);
+    4 * s * d * d + 2 * s * s * d + 2 * s * d * f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dim, LayerKind, TensorKind};
+
+    #[test]
+    fn lowering_macs_match_closed_form() {
+        for (seq, d, h) in [(128, 768, 12), (197, 768, 12), (64, 256, 4)] {
+            let mha = Attention::new("a", seq, d, h);
+            let sum: u64 = mha.lower().iter().map(Layer::macs).sum();
+            assert_eq!(sum, mha.macs(), "seq={seq} d={d} h={h}");
+        }
+    }
+
+    #[test]
+    fn logits_layer_is_per_head_grouped() {
+        let mha = Attention::new("a", 128, 768, 12);
+        let layers = mha.lower();
+        let logits = layers.iter().find(|l| l.name() == "a.logits").unwrap();
+        assert_eq!(logits.kind(), LayerKind::Matmul);
+        assert_eq!(logits.groups(), 12);
+        assert_eq!(logits.shape()[Dim::M], 128); // per-head seq
+        assert_eq!(logits.shape()[Dim::C], 64); // per-head width
+
+        // Stationary operand = all of K: seq x d_model elements.
+        assert_eq!(
+            logits.tensor_elements(TensorKind::Weight),
+            128 * 768,
+            "K activations counted once"
+        );
+    }
+
+    #[test]
+    fn attend_layer_reduces_over_sequence() {
+        let layers = Attention::new("a", 128, 768, 12).lower();
+        let attend = layers.iter().find(|l| l.name() == "a.attend").unwrap();
+        assert_eq!(attend.groups(), 12);
+        assert_eq!(attend.shape()[Dim::M], 64);
+        assert_eq!(attend.shape()[Dim::C], 128);
+        assert_eq!(attend.macs(), 12 * 64 * 128 * 128);
+    }
+
+    #[test]
+    fn batch_scales_all_layers() {
+        let base = Attention::new("a", 64, 256, 4);
+        let batched = base.clone().with_batch(8);
+        assert_eq!(batched.macs(), 8 * base.macs());
+        let sum: u64 = batched.lower().iter().map(Layer::macs).sum();
+        assert_eq!(sum, batched.macs());
+    }
+
+    #[test]
+    fn batching_replicates_kv_but_shares_projection_weights() {
+        let layers = Attention::new("a", 64, 256, 4).with_batch(8).lower();
+        let by_name = |n: &str| layers.iter().find(|l| l.name() == n).unwrap();
+        // K is per-sample: 8x the batch-1 footprint, whether reached via
+        // Attention::with_batch or re-batched through Layer::with_batch.
+        let logits = by_name("a.logits");
+        assert_eq!(logits.tensor_elements(TensorKind::Weight), 8 * 64 * 256);
+        let rebatched = logits.clone().with_batch(16);
+        assert_eq!(rebatched.tensor_elements(TensorKind::Weight), 16 * 64 * 256);
+        // Projection weights are batch-shared.
+        let query = by_name("a.query");
+        assert_eq!(query.tensor_elements(TensorKind::Weight), 256 * 256);
+        assert_eq!(query.shape()[Dim::N], 8);
+    }
+
+    #[test]
+    fn encoder_block_macs_match() {
+        let net = push_encoder_block(Network::new("t"), "b0", 128, 768, 12, 3072);
+        assert_eq!(net.layers().len(), 8);
+        assert_eq!(net.total_macs(), encoder_block_macs(128, 768, 3072));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_heads_panic() {
+        let _ = Attention::new("a", 16, 100, 7);
+    }
+}

@@ -13,6 +13,11 @@ pub enum LayerKind {
     /// Depthwise convolution: `groups == input channels`, one filter per
     /// channel.
     DepthwiseConv2d,
+    /// Batched matrix multiply `O[n,p,m] = Σ_c A[n,p,c] · B[c,m]`:
+    /// a conv with `Q=R=S=1` whose `P` dimension carries the row
+    /// (sequence) extent. Transformer attention and MLP blocks lower to
+    /// this kind, with heads folded onto [`Layer::groups`].
+    Matmul,
 }
 
 impl fmt::Display for LayerKind {
@@ -21,6 +26,7 @@ impl fmt::Display for LayerKind {
             LayerKind::Conv2d => "conv2d",
             LayerKind::FullyConnected => "fc",
             LayerKind::DepthwiseConv2d => "dwconv2d",
+            LayerKind::Matmul => "matmul",
         };
         write!(f, "{s}")
     }
@@ -84,6 +90,11 @@ pub struct Layer {
     stride: (usize, usize),
     dilation: (usize, usize),
     groups: usize,
+    /// Batch-sample replicas of the whole nest, for layers whose
+    /// stationary operand is a per-sample activation (attention K/V).
+    /// Always 1 for ordinary layers, whose batch lives in `N`.
+    batch_replicas: usize,
+    per_sample_stationary: bool,
 }
 
 impl Layer {
@@ -129,6 +140,49 @@ impl Layer {
             1,
         )
         .expect("fc bounds must be nonzero")
+    }
+
+    /// Builds a batched matrix multiply with `rows` output rows of `m`
+    /// features each, reducing over `k` — `O[n,rows,m] = Σ_k A[n,rows,k]
+    /// · B[k,m]`.
+    ///
+    /// The GEMM folds onto the convolution nest as `P = rows` (sequence /
+    /// token positions), `M = m` (output features), `C = k` (reduction)
+    /// and `Q = R = S = 1`: the B operand projects onto the weight tensor
+    /// `W[M,C]`, the A operand onto the input tensor (whose sliding-window
+    /// footprint degenerates to exactly `N·C·P` elements at `R = 1`) and
+    /// the result onto the output tensor `O[N,M,P]`. Per-head attention
+    /// matmuls stack heads with [`Layer::with_groups`], which matches
+    /// their execution: heads share no data, so a mapper schedules one at
+    /// a time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lumen_workload::{Dim, Layer, TensorKind};
+    ///
+    /// // BERT-base attention logits: 12 heads of Q[128,64] x K^T[64,128].
+    /// let logits = Layer::matmul("logits", 1, 12 * 128, 12 * 64, 128).with_groups(12);
+    /// assert_eq!(logits.shape()[Dim::M], 128); // per-head seq
+    /// assert_eq!(logits.shape()[Dim::C], 64); // per-head d_head
+    /// assert_eq!(logits.macs(), 12 * 128 * 64 * 128);
+    /// // The stationary operand (K) counts as the layer's weight tensor.
+    /// assert_eq!(logits.tensor_elements(TensorKind::Weight), 12 * 128 * 64);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound is zero.
+    pub fn matmul(name: impl Into<String>, n: usize, m: usize, k: usize, rows: usize) -> Layer {
+        Layer::try_new(
+            name,
+            LayerKind::Matmul,
+            Shape::new(n, m, k, rows, 1, 1, 1),
+            (1, 1),
+            (1, 1),
+            1,
+        )
+        .expect("matmul bounds must be nonzero")
     }
 
     /// Builds a depthwise convolution over `c` channels.
@@ -198,6 +252,8 @@ impl Layer {
             stride,
             dilation,
             groups,
+            batch_replicas: 1,
+            per_sample_stationary: false,
         })
     }
 
@@ -241,10 +297,36 @@ impl Layer {
     }
 
     /// Returns this layer with a new batch size (builder style).
+    ///
+    /// For ordinary layers the batch is the nest's `N` bound, and every
+    /// loop dimension outside a tensor's projection reuses it — weights
+    /// in particular are shared across the batch. For layers marked
+    /// [`Layer::with_per_sample_stationary`] the batch instead replicates
+    /// the whole nest (like extra groups), because their stationary
+    /// operand is a per-sample activation that batching must *not* share.
     #[must_use]
     pub fn with_batch(mut self, n: usize) -> Layer {
         assert!(n > 0, "batch must be nonzero");
-        self.shape = self.shape.with_bound(Dim::N, n);
+        if self.per_sample_stationary {
+            self.batch_replicas = n;
+        } else {
+            self.shape = self.shape.with_bound(Dim::N, n);
+        }
+        self
+    }
+
+    /// Marks the layer's stationary ("weight") operand as a per-sample
+    /// activation — attention K/V rather than model weights (builder
+    /// style). Any batch currently carried by `N` moves into whole-nest
+    /// replicas, and future [`Layer::with_batch`] calls set the replica
+    /// count, so the stationary tensor's footprint and traffic scale
+    /// with the batch instead of being modeled as batch-shared.
+    #[must_use]
+    pub fn with_per_sample_stationary(mut self) -> Layer {
+        let n = self.shape[Dim::N];
+        self.shape = self.shape.with_bound(Dim::N, 1);
+        self.batch_replicas *= n;
+        self.per_sample_stationary = true;
         self
     }
 
@@ -273,9 +355,16 @@ impl Layer {
         self.dilation
     }
 
-    /// Number of independent channel groups.
+    /// Number of independent nest repetitions: channel groups times the
+    /// batch replicas of a per-sample-stationary layer.
     pub fn groups(&self) -> usize {
-        self.groups
+        self.groups * self.batch_replicas
+    }
+
+    /// `true` if the stationary operand is a per-sample activation (see
+    /// [`Layer::with_per_sample_stationary`]).
+    pub fn per_sample_stationary(&self) -> bool {
+        self.per_sample_stationary
     }
 
     /// `true` if both strides are 1 (many photonic dataflows require this
@@ -284,9 +373,10 @@ impl Layer {
         self.stride == (1, 1)
     }
 
-    /// Total multiply-accumulates for the full layer (all groups).
+    /// Total multiply-accumulates for the full layer (all groups and
+    /// batch replicas).
     pub fn macs(&self) -> u64 {
-        self.shape.volume() * self.groups as u64
+        self.shape.volume() * self.groups() as u64
     }
 
     /// Input feature-map height consumed by `p_extent` output rows with
@@ -313,7 +403,7 @@ impl Layer {
                 (s[Dim::N] * s[Dim::C] * h * w) as u64
             }
         };
-        per_group * self.groups as u64
+        per_group * self.groups() as u64
     }
 
     /// Arithmetic intensity: MACs per element moved if every tensor were
@@ -332,7 +422,11 @@ impl fmt::Display for Layer {
         write!(
             f,
             "{} ({}) {} stride={:?} groups={}",
-            self.name, self.kind, self.shape, self.stride, self.groups
+            self.name,
+            self.kind,
+            self.shape,
+            self.stride,
+            self.groups()
         )
     }
 }
@@ -420,6 +514,67 @@ mod tests {
         let l = Layer::conv2d("c", 1, 8, 8, 8, 8, 3, 3).with_batch(16);
         assert_eq!(l.shape()[Dim::N], 16);
         assert_eq!(l.macs(), 16 * 8 * 8 * 8 * 8 * 9);
+    }
+
+    #[test]
+    fn matmul_folds_onto_the_conv_nest() {
+        let l = Layer::matmul("mm", 2, 64, 32, 128);
+        assert_eq!(l.kind(), LayerKind::Matmul);
+        assert_eq!(l.shape()[Dim::M], 64);
+        assert_eq!(l.shape()[Dim::C], 32);
+        assert_eq!(l.shape()[Dim::P], 128);
+        assert_eq!(l.shape()[Dim::Q], 1);
+        assert_eq!(l.macs(), 2 * 64 * 32 * 128);
+        // Operand footprints are exact (no sliding-window halo at R=S=1).
+        assert_eq!(l.tensor_elements(TensorKind::Weight), 64 * 32);
+        assert_eq!(l.tensor_elements(TensorKind::Input), 2 * 32 * 128);
+        assert_eq!(l.tensor_elements(TensorKind::Output), 2 * 64 * 128);
+    }
+
+    #[test]
+    fn grouped_matmul_models_per_head_attention() {
+        // 4 heads of probs[16,16] x V[16,8]: per-head M=8, C=16, P=16.
+        let l = Layer::matmul("attend", 1, 4 * 8, 4 * 16, 16).with_groups(4);
+        assert_eq!(l.groups(), 4);
+        assert_eq!(l.shape()[Dim::M], 8);
+        assert_eq!(l.shape()[Dim::C], 16);
+        assert_eq!(l.macs(), 4 * 8 * 16 * 16);
+        // Heads do not share the stationary operand.
+        assert_eq!(l.tensor_elements(TensorKind::Weight), 4 * 8 * 16);
+    }
+
+    #[test]
+    fn per_sample_stationary_batches_via_replicas() {
+        let l = Layer::matmul("attn", 1, 4 * 8, 4 * 16, 16)
+            .with_groups(4)
+            .with_per_sample_stationary()
+            .with_batch(8);
+        // Batch lives in replicas, not N.
+        assert_eq!(l.shape()[Dim::N], 1);
+        assert_eq!(l.groups(), 4 * 8);
+        assert_eq!(l.macs(), 8 * 4 * 8 * 16 * 16);
+        // The stationary operand is replicated per sample, not shared.
+        assert_eq!(l.tensor_elements(TensorKind::Weight), 8 * 4 * 8 * 16);
+        // `with_batch` stays absolute: re-batching replaces the count.
+        let rebatched = l.with_batch(2);
+        assert_eq!(rebatched.groups(), 4 * 2);
+    }
+
+    #[test]
+    fn per_sample_stationary_absorbs_existing_batch() {
+        let l = Layer::matmul("attn", 8, 4, 4, 4).with_per_sample_stationary();
+        assert_eq!(l.shape()[Dim::N], 1);
+        assert_eq!(l.groups(), 8);
+        assert_eq!(l.macs(), 8 * 4 * 4 * 4);
+        assert!(l.per_sample_stationary());
+    }
+
+    #[test]
+    fn ordinary_layers_share_weights_across_batch() {
+        let l = Layer::matmul("proj", 1, 8, 8, 4).with_batch(8);
+        assert_eq!(l.shape()[Dim::N], 8);
+        assert_eq!(l.tensor_elements(TensorKind::Weight), 8 * 8);
+        assert!(!l.per_sample_stationary());
     }
 
     #[test]

@@ -15,9 +15,16 @@
 //! out of this nest ([`TensorKind`]): weights `W[M,C,R,S]`, inputs
 //! `I[N,C,H,W]` (sliding-window footprint) and outputs `O[N,M,P,Q]`.
 //!
-//! The [`networks`] module provides the three networks evaluated by the
-//! paper: [`networks::alexnet`], [`networks::vgg16`] and
-//! [`networks::resnet18`].
+//! Batched GEMMs ([`LayerKind::Matmul`]) fold onto the same nest with
+//! `P` carrying the row/sequence extent and `Q = R = S = 1`; multi-head
+//! attention lowers onto grouped matmuls via [`Attention`], with heads as
+//! channel groups.
+//!
+//! The [`networks`] module provides the four CNNs evaluated by the paper
+//! ([`networks::alexnet`], [`networks::vgg16`], [`networks::resnet18`],
+//! [`networks::mobilenetv1`]) plus three transformer workloads
+//! ([`networks::bert_base`], [`networks::gpt2_small`],
+//! [`networks::vit_b16`]).
 //!
 //! # Examples
 //!
@@ -31,12 +38,14 @@
 //! assert!(net.total_macs() > 1_700_000_000);
 //! ```
 
+mod attention;
 mod dims;
 mod layer;
 mod network;
 pub mod networks;
 mod tensor;
 
+pub use attention::{encoder_block_macs, push_encoder_block, Attention};
 pub use dims::{Dim, DimMap, DimSet, Shape};
 pub use layer::{Layer, LayerError, LayerKind};
 pub use network::{Network, NetworkStats};

@@ -1,6 +1,6 @@
 //! Whole-network workloads: ordered layers plus inter-layer linkage.
 
-use crate::{Layer, TensorKind};
+use crate::{Layer, LayerKind, TensorKind};
 use std::fmt;
 
 /// An ordered sequence of layers forming one inference workload.
@@ -69,6 +69,28 @@ impl Network {
     /// Total MACs over all layers.
     pub fn total_macs(&self) -> u64 {
         self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total MACs over layers of one operator class.
+    pub fn macs_of_kind(&self, kind: LayerKind) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| l.kind() == kind)
+            .map(Layer::macs)
+            .sum()
+    }
+
+    /// Fraction of MACs spent in GEMM-shaped layers (matmul +
+    /// fully-connected) — near 0 for the paper's CNNs, near 1 for
+    /// transformers. Returns 0 for an empty network.
+    pub fn gemm_mac_fraction(&self) -> f64 {
+        let total = self.total_macs();
+        if total == 0 {
+            return 0.0;
+        }
+        let gemm =
+            self.macs_of_kind(LayerKind::Matmul) + self.macs_of_kind(LayerKind::FullyConnected);
+        gemm as f64 / total as f64
     }
 
     /// Total weight elements over all layers (the model size).
@@ -195,6 +217,24 @@ mod tests {
         let net = Network::new("empty");
         assert_eq!(net.total_macs(), 0);
         assert_eq!(net.max_fused_activation_elements(), 0);
+        assert_eq!(net.gemm_mac_fraction(), 0.0);
+    }
+
+    #[test]
+    fn kind_totals_partition_macs() {
+        let net = tiny().push(Layer::matmul("mm", 1, 8, 8, 4));
+        let by_kind: u64 = [
+            LayerKind::Conv2d,
+            LayerKind::FullyConnected,
+            LayerKind::DepthwiseConv2d,
+            LayerKind::Matmul,
+        ]
+        .iter()
+        .map(|&k| net.macs_of_kind(k))
+        .sum();
+        assert_eq!(by_kind, net.total_macs());
+        let frac = net.gemm_mac_fraction();
+        assert!(frac > 0.0 && frac < 1.0);
     }
 
     #[test]

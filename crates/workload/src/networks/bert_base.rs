@@ -1,0 +1,79 @@
+//! BERT-base encoder (Devlin et al., NAACL 2019) at sequence length 128.
+
+use crate::attention::{encoder_block_macs, push_encoder_block};
+use crate::Network;
+
+/// Sequence length used for the built-in BERT-base workload.
+pub const BERT_BASE_SEQ: usize = 128;
+/// Model width.
+pub const BERT_BASE_D_MODEL: usize = 768;
+/// Attention heads per layer.
+pub const BERT_BASE_HEADS: usize = 12;
+/// MLP hidden width.
+pub const BERT_BASE_D_FF: usize = 3072;
+/// Encoder layers.
+pub const BERT_BASE_LAYERS: usize = 12;
+
+/// Builds batch-1 BERT-base: 12 encoder blocks of 768-wide, 12-head
+/// attention plus a 3072-wide MLP, at sequence length 128 (96 matmul
+/// layers). Embedding lookups and the pooler carry no steady-state MACs
+/// and are omitted.
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::networks::bert_base;
+/// let net = bert_base();
+/// assert_eq!(net.layers().len(), 96);
+/// // ~11.2 GMACs at sequence length 128.
+/// assert!(net.total_macs() > 11_000_000_000);
+/// ```
+pub fn bert_base() -> Network {
+    let mut net = Network::new("bert-base");
+    for block in 0..BERT_BASE_LAYERS {
+        net = push_encoder_block(
+            net,
+            &format!("encoder.{block}"),
+            BERT_BASE_SEQ,
+            BERT_BASE_D_MODEL,
+            BERT_BASE_HEADS,
+            BERT_BASE_D_FF,
+        );
+    }
+    net
+}
+
+/// Closed-form MAC count of [`bert_base`], for cross-checking the
+/// layer-by-layer construction.
+pub fn bert_base_macs() -> u64 {
+    BERT_BASE_LAYERS as u64 * encoder_block_macs(BERT_BASE_SEQ, BERT_BASE_D_MODEL, BERT_BASE_D_FF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn totals_match_closed_form() {
+        assert_eq!(bert_base().total_macs(), bert_base_macs());
+        // 12 * (4*768^2*128 + 2*128^2*768 + 2*768*3072*128).
+        assert_eq!(bert_base_macs(), 11_173_625_856);
+    }
+
+    #[test]
+    fn every_layer_is_a_matmul() {
+        assert!(bert_base()
+            .layers()
+            .iter()
+            .all(|l| l.kind() == LayerKind::Matmul));
+    }
+
+    #[test]
+    fn attention_layers_are_grouped_per_head() {
+        let net = bert_base();
+        let grouped = net.layers().iter().filter(|l| l.groups() == 12).count();
+        // logits + attend per block.
+        assert_eq!(grouped, 2 * BERT_BASE_LAYERS);
+    }
+}

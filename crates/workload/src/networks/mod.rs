@@ -1,19 +1,27 @@
-//! Prebuilt networks used in the paper's evaluation.
+//! Prebuilt networks used in the paper's evaluation, plus the
+//! transformer extensions.
 //!
 //! All shapes follow the original publications (AlexNet with its two-group
 //! convolutions, VGG16 configuration D, ResNet-18 with projection
-//! shortcuts). Pooling and normalization layers carry no MACs and are
-//! omitted, matching Timeloop-family modeling practice.
+//! shortcuts, BERT-base / GPT-2 small / ViT-B/16 at their published
+//! widths). Pooling, normalization, softmax and residual adds carry no
+//! MACs and are omitted, matching Timeloop-family modeling practice.
 
 mod alexnet;
+mod bert_base;
+mod gpt2_small;
 mod mobilenetv1;
 mod resnet18;
 mod vgg16;
+mod vit_b16;
 
 pub use alexnet::alexnet;
+pub use bert_base::{bert_base, bert_base_macs};
+pub use gpt2_small::{gpt2_small, gpt2_small_macs};
 pub use mobilenetv1::mobilenetv1;
 pub use resnet18::resnet18;
 pub use vgg16::vgg16;
+pub use vit_b16::{vit_b16, vit_b16_macs};
 
 use crate::Network;
 
@@ -24,6 +32,7 @@ use crate::Network;
 /// ```
 /// use lumen_workload::networks;
 /// assert!(networks::by_name("VGG16").is_some());
+/// assert!(networks::by_name("bert-base").is_some());
 /// assert!(networks::by_name("mystery-net").is_none());
 /// ```
 pub fn by_name(name: &str) -> Option<Network> {
@@ -32,12 +41,30 @@ pub fn by_name(name: &str) -> Option<Network> {
         "vgg16" | "vgg-16" => Some(vgg16()),
         "resnet18" | "resnet-18" => Some(resnet18()),
         "mobilenetv1" | "mobilenet-v1" | "mobilenet" => Some(mobilenetv1()),
+        "bert-base" | "bert_base" | "bert" => Some(bert_base()),
+        "gpt2-small" | "gpt2_small" | "gpt2" => Some(gpt2_small()),
+        "vit-b16" | "vit_b16" | "vit" => Some(vit_b16()),
         _ => None,
     }
 }
 
-/// Names accepted by [`by_name`].
-pub const NAMES: [&str; 4] = ["alexnet", "vgg16", "resnet18", "mobilenetv1"];
+/// Names accepted by [`by_name`]: the paper's CNNs first, then the
+/// transformer workloads.
+pub const NAMES: [&str; 7] = [
+    "alexnet",
+    "vgg16",
+    "resnet18",
+    "mobilenetv1",
+    "bert-base",
+    "gpt2-small",
+    "vit-b16",
+];
+
+/// The CNN subset of [`NAMES`] (the paper's original evaluation).
+pub const CNN_NAMES: [&str; 4] = ["alexnet", "vgg16", "resnet18", "mobilenetv1"];
+
+/// The transformer subset of [`NAMES`].
+pub const TRANSFORMER_NAMES: [&str; 3] = ["bert-base", "gpt2-small", "vit-b16"];
 
 #[cfg(test)]
 mod tests {
@@ -92,6 +119,33 @@ mod tests {
         // The three FC layers hold most of VGG16's ~138M weights.
         let w = vgg16().total_weights();
         assert!((130_000_000..145_000_000).contains(&w), "weights: {w}");
+    }
+
+    #[test]
+    fn name_subsets_partition_the_inventory() {
+        assert_eq!(CNN_NAMES.len() + TRANSFORMER_NAMES.len(), NAMES.len());
+        for name in CNN_NAMES.iter().chain(TRANSFORMER_NAMES.iter()) {
+            assert!(NAMES.contains(name), "{name} missing from NAMES");
+        }
+    }
+
+    #[test]
+    fn transformer_aliases_resolve() {
+        for alias in ["bert", "gpt2", "vit", "BERT-Base", "vit_b16"] {
+            assert!(by_name(alias).is_some(), "alias {alias} should resolve");
+        }
+    }
+
+    #[test]
+    fn transformer_mac_counts_match_literature() {
+        // BERT-base @128: ~11.2 GMACs; GPT-2 prefill @1024: ~106 GMACs;
+        // ViT-B/16: ~17.6 GMACs.
+        let bert = bert_base().total_macs();
+        assert!((11_000_000_000..11_500_000_000).contains(&bert), "{bert}");
+        let gpt2 = gpt2_small().total_macs();
+        assert!((100_000_000_000..110_000_000_000).contains(&gpt2), "{gpt2}");
+        let vit = vit_b16().total_macs();
+        assert!((17_000_000_000..18_000_000_000).contains(&vit), "{vit}");
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! ViT-B/16 (Dosovitskiy et al., ICLR 2021): a vision transformer whose
+//! first layer is a genuine (non-overlapping) convolution, followed by a
+//! pure-matmul encoder — it exercises the CNN and transformer paths of
+//! the model in one workload.
+
+use crate::attention::{encoder_block_macs, push_encoder_block};
+use crate::{Layer, Network};
+
+/// Token count: 14x14 patches + 1 class token.
+pub const VIT_B16_SEQ: usize = 197;
+/// Model width.
+pub const VIT_B16_D_MODEL: usize = 768;
+/// Attention heads per layer.
+pub const VIT_B16_HEADS: usize = 12;
+/// MLP hidden width.
+pub const VIT_B16_D_FF: usize = 3072;
+/// Encoder layers.
+pub const VIT_B16_LAYERS: usize = 12;
+
+/// Builds batch-1 ViT-B/16 at 224x224 input: a 16x16/16 patch-embedding
+/// convolution (3 -> 768 channels over a 14x14 grid), 12 encoder blocks
+/// at 197 tokens, and the 1000-way classifier head (98 layers).
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::networks::vit_b16;
+/// let net = vit_b16();
+/// assert_eq!(net.layers().len(), 98);
+/// // ~17.6 GMACs, the commonly quoted ViT-B/16 figure.
+/// assert!(net.total_macs() > 17_000_000_000);
+/// ```
+pub fn vit_b16() -> Network {
+    let mut net = Network::new("vit-b16").push(
+        Layer::conv2d("patch-embed", 1, VIT_B16_D_MODEL, 3, 14, 14, 16, 16).with_stride(16, 16),
+    );
+    for block in 0..VIT_B16_LAYERS {
+        net = push_encoder_block(
+            net,
+            &format!("encoder.{block}"),
+            VIT_B16_SEQ,
+            VIT_B16_D_MODEL,
+            VIT_B16_HEADS,
+            VIT_B16_D_FF,
+        );
+    }
+    // Classification head reads the class token only.
+    net.push(Layer::matmul("head", 1, 1000, VIT_B16_D_MODEL, 1))
+}
+
+/// Closed-form MAC count of [`vit_b16`].
+pub fn vit_b16_macs() -> u64 {
+    let patch = (VIT_B16_D_MODEL * 3 * 14 * 14 * 16 * 16) as u64;
+    let encoder =
+        VIT_B16_LAYERS as u64 * encoder_block_macs(VIT_B16_SEQ, VIT_B16_D_MODEL, VIT_B16_D_FF);
+    let head = (1000 * VIT_B16_D_MODEL) as u64;
+    patch + encoder + head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn totals_match_closed_form() {
+        assert_eq!(vit_b16().total_macs(), vit_b16_macs());
+        assert_eq!(vit_b16_macs(), 17_563_828_224);
+    }
+
+    #[test]
+    fn patch_embed_is_a_nonoverlapping_conv() {
+        let net = vit_b16();
+        let patch = net.layers().first().unwrap();
+        assert_eq!(patch.kind(), LayerKind::Conv2d);
+        assert_eq!(patch.stride(), (16, 16));
+        assert!(!patch.is_unit_stride());
+        // 224 = 14 patches x 16 pixels: the footprint tiles exactly.
+        assert_eq!(
+            patch.tensor_elements(crate::TensorKind::Input),
+            3 * 224 * 224
+        );
+    }
+
+    #[test]
+    fn encoder_is_matmul_only() {
+        let net = vit_b16();
+        assert!(net.layers()[1..]
+            .iter()
+            .all(|l| l.kind() == LayerKind::Matmul));
+    }
+}

@@ -1,0 +1,70 @@
+//! Transformer study: the paper's methodology applied beyond CNNs.
+//!
+//! Evaluates the three transformer workloads (BERT-base encoder, GPT-2
+//! small prefill, ViT-B/16) on the photonic Albireo model and the
+//! matched digital baseline, then breaks one BERT encoder block down
+//! layer by layer to show where attention spends energy on a photonic
+//! system: the K/V operands of the `logits`/`attend` matmuls convert
+//! like weights, so conversion cost per MAC rises exactly where
+//! arithmetic intensity falls.
+//!
+//! Run with: `cargo run --release --example transformer_study`
+
+use lumen::albireo::{experiments, AlbireoConfig, ScalingProfile};
+use lumen::core::report::Table;
+use lumen::core::NetworkOptions;
+use lumen::workload::networks;
+
+fn main() {
+    // The headline comparison at two corners: conservative photonics lose
+    // on matmuls outright; aggressive scaling restores the energy edge
+    // but not the throughput edge.
+    for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
+        println!(
+            "{}",
+            experiments::transformer_study(scaling).expect("study evaluates")
+        );
+    }
+
+    // Per-layer anatomy of one BERT-base encoder block.
+    let system = AlbireoConfig::new(ScalingProfile::Aggressive).build_system();
+    let net = networks::bert_base();
+    let eval = system
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .expect("bert-base maps");
+    let mut table = Table::new(vec![
+        "layer".into(),
+        "role".into(),
+        "utilization".into(),
+        "pJ/MAC".into(),
+    ]);
+    for layer_eval in eval.per_layer.iter().take(8) {
+        let layer = net
+            .layers()
+            .iter()
+            .find(|l| l.name() == layer_eval.layer_name)
+            .expect("evaluated layer exists");
+        let role = if layer.groups() > 1 {
+            "per-head attention (K/V stationary)"
+        } else if layer.name().contains("mlp") {
+            "MLP projection"
+        } else {
+            "QKV/output projection"
+        };
+        table.row(vec![
+            layer_eval.layer_name.clone(),
+            role.into(),
+            format!("{:.1}%", 100.0 * layer_eval.analysis.utilization),
+            format!("{:.3}", layer_eval.energy_per_mac().picojoules()),
+        ]);
+    }
+    println!("== bert-base encoder block 0 on albireo-aggressive ==");
+    print!("{}", table.render());
+    println!(
+        "network: {:.3} pJ/MAC at {:.1}% utilization ({:.0} of {} peak MACs/cycle)",
+        eval.energy_per_mac().picojoules(),
+        100.0 * eval.average_utilization(),
+        eval.throughput_macs_per_cycle(),
+        system.arch().peak_parallelism(),
+    );
+}

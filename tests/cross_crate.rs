@@ -37,6 +37,38 @@ fn every_network_maps_on_every_corner() {
 }
 
 #[test]
+fn transformer_mapped_macs_match_analytic_totals() {
+    // Per-layer MAC counts that come back from the full stack (network
+    // builder -> albireo dataflow -> nest analysis) must equal both the
+    // layer shapes' own counts and the closed-form totals computed from
+    // the architecture hyperparameters — three independent code paths.
+    let system = AlbireoConfig::new(ScalingProfile::Conservative).build_system();
+    let analytic: [(&str, u64); 3] = [
+        ("bert-base", networks::bert_base_macs()),
+        ("gpt2-small", networks::gpt2_small_macs()),
+        ("vit-b16", networks::vit_b16_macs()),
+    ];
+    for (name, expected) in analytic {
+        let net = networks::by_name(name).unwrap();
+        let eval = system
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut mapped_total = 0u64;
+        for (layer, layer_eval) in net.layers().iter().zip(eval.per_layer.iter()) {
+            assert_eq!(
+                layer_eval.analysis.macs,
+                layer.macs(),
+                "{name}/{}: mapped MACs disagree with the layer shape",
+                layer.name()
+            );
+            mapped_total += layer_eval.analysis.macs;
+        }
+        assert_eq!(mapped_total, expected, "{name}: total disagrees");
+        assert_eq!(eval.macs, expected, "{name}: evaluation total disagrees");
+    }
+}
+
+#[test]
 fn dram_traffic_conservation_on_toy_system() {
     // Parent reads x multicast >= child fills; both sides computed by the
     // nest analysis through independent code paths.

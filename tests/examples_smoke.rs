@@ -98,6 +98,32 @@ fn reuse_exploration_finds_no_worse_than_original() {
         .any(|r| r.weight_reuse == WeightReuse::More));
 }
 
+/// The `transformer_study` example's pipeline: the study evaluates, and
+/// the per-head attention matmuls (K/V stationary, worst arithmetic
+/// intensity) cost more per MAC than the projection matmuls.
+#[test]
+fn transformer_study_attention_costs_more_per_mac() {
+    let result = experiments::transformer_study(ScalingProfile::Aggressive)
+        .expect("transformer study evaluates");
+    assert_eq!(result.rows.len(), 3);
+
+    let system = AlbireoConfig::new(ScalingProfile::Aggressive).build_system();
+    let net = networks::bert_base();
+    let eval = system
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .expect("bert-base maps");
+    let pj = |name: &str| {
+        eval.per_layer
+            .iter()
+            .find(|l| l.layer_name == name)
+            .expect("layer evaluated")
+            .energy_per_mac()
+            .picojoules()
+    };
+    assert!(pj("encoder.0.attn.logits") > pj("encoder.0.attn.query"));
+    assert!(pj("encoder.0.attn.attend") > pj("encoder.0.mlp.fc1"));
+}
+
 /// The `throughput_study` example's pipeline: modeled throughput never
 /// exceeds the architecture's peak parallelism.
 #[test]

@@ -1,0 +1,103 @@
+//! Golden-file regression suite: every paper figure (and the transformer
+//! study) renders to a string and must match its checked-in snapshot
+//! under `tests/golden/`.
+//!
+//! The reproduction tests in `paper_reproduction.rs` assert *shapes*
+//! (who wins, by what factor); this suite locks the *exact* rendered
+//! numbers, so any drift in the model — a changed device constant, a
+//! mapper tweak, a refactor that silently moves a decimal — fails loudly
+//! even when the shape assertions still pass.
+//!
+//! When a change is intentional, regenerate the snapshots and review the
+//! diff like any other code change:
+//!
+//! ```sh
+//! LUMEN_BLESS=1 cargo test --test golden
+//! git diff tests/golden/
+//! ```
+//!
+//! The rendered tables are pure functions of the model (fixed-seed,
+//! platform-independent f64 arithmetic), so snapshots are stable across
+//! machines and thread counts.
+
+use lumen::albireo::{experiments, ScalingProfile};
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Compares `actual` against the snapshot `tests/golden/<name>.txt`,
+/// rewriting the snapshot instead when `LUMEN_BLESS=1` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("LUMEN_BLESS").as_deref() == Ok("1") {
+        fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create tests/golden");
+        fs::write(&path, actual).expect("write snapshot");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {path:?} ({e}); generate it with \
+             `LUMEN_BLESS=1 cargo test --test golden`"
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "rendered `{name}` drifted from its snapshot; if the change is \
+         intentional, regenerate with `LUMEN_BLESS=1 cargo test --test \
+         golden` and review the diff"
+    );
+}
+
+#[test]
+fn fig2_energy_breakdown_matches_snapshot() {
+    let result = experiments::fig2_energy_breakdown().expect("fig2 evaluates");
+    assert_golden("fig2", &result.to_string());
+}
+
+#[test]
+fn fig3_throughput_matches_snapshot() {
+    let result = experiments::fig3_throughput().expect("fig3 evaluates");
+    assert_golden("fig3", &result.to_string());
+}
+
+#[test]
+fn fig4_memory_exploration_matches_snapshot() {
+    let result = experiments::fig4_memory_exploration().expect("fig4 evaluates");
+    assert_golden("fig4", &result.to_string());
+}
+
+#[test]
+fn fig5_reuse_exploration_matches_snapshot() {
+    let result = experiments::fig5_reuse_exploration().expect("fig5 evaluates");
+    assert_golden("fig5", &result.to_string());
+}
+
+#[test]
+fn transformer_study_matches_snapshot() {
+    // Both corners: the conservative one pins the "digital wins" side of
+    // the crossover, the aggressive one the "photonics win" side.
+    let mut rendered = String::new();
+    for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
+        rendered.push_str(
+            &experiments::transformer_study(scaling)
+                .expect("study evaluates")
+                .to_string(),
+        );
+        rendered.push('\n');
+    }
+    assert_golden("transformer_study", &rendered);
+}
+
+#[test]
+fn csv_rendering_matches_snapshot() {
+    // The CSV path is the machine-readable export surface; lock one
+    // figure's CSV too so escaping/format changes cannot slip through.
+    let result = experiments::fig3_throughput().expect("fig3 evaluates");
+    assert_golden("fig3_csv", &result.table().to_csv());
+}

@@ -1,0 +1,186 @@
+//! Property and invariant tests for the matmul / transformer path.
+//!
+//! Random matmul shapes drive the mapper + evaluator on toy hardware;
+//! the built-in transformer networks drive the full Albireo and digital
+//! baseline systems. The properties: mapped spatial factors never exceed
+//! hardware instance counts, energy is finite and non-negative, and the
+//! deterministic mapping strategies are reproducible run to run.
+
+use lumen::albireo::{AlbireoConfig, DigitalBaseline, ScalingProfile};
+use lumen::arch::{ArchBuilder, Architecture, Domain, Fanout};
+use lumen::core::{MappingStrategy, NetworkOptions, System};
+use lumen::mapper::analyze;
+use lumen::mapper::search::{greedy_mapping, spatial_priority_for, TemporalPlan};
+use lumen::units::{Energy, Frequency};
+use lumen::workload::{networks, Dim, DimSet, Layer, Network, TensorSet};
+use proptest::prelude::*;
+
+fn toy_arch(fanout: usize, dims: &[Dim]) -> Architecture {
+    ArchBuilder::new("prop", Frequency::from_gigahertz(1.0))
+        .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+        .read_energy(Energy::from_picojoules(100.0))
+        .write_energy(Energy::from_picojoules(100.0))
+        .done()
+        .storage("buf", Domain::DigitalElectrical, TensorSet::all())
+        .read_energy(Energy::from_picojoules(1.0))
+        .write_energy(Energy::from_picojoules(1.0))
+        .fanout(Fanout::new(fanout).allow(DimSet::from_dims(dims)))
+        .done()
+        .compute(
+            "mac",
+            Domain::DigitalElectrical,
+            Energy::from_picojoules(0.1),
+        )
+        .build()
+        .expect("toy architecture is valid")
+}
+
+/// Strategy: a small random (possibly grouped / batched) matmul.
+fn matmul_strategy() -> impl Strategy<Value = Layer> {
+    (
+        1usize..=2,  // batch
+        1usize..=4,  // heads (groups)
+        1usize..=24, // per-head m
+        1usize..=24, // per-head k
+        1usize..=48, // rows (sequence)
+    )
+        .prop_map(|(n, h, m, k, rows)| {
+            Layer::matmul("prop-mm", n, h * m, h * k, rows).with_groups(h)
+        })
+}
+
+/// Asserts the per-level invariant behind "spatial factors never exceed
+/// hardware instance counts" for one mapped evaluation.
+fn assert_spatial_within_fanouts(arch: &Architecture, mapping: &lumen::mapper::Mapping) {
+    for (x, level) in arch.levels().iter().enumerate() {
+        let used = mapping.level(x).spatial_product();
+        let available = level.fanout().size() as u64;
+        assert!(
+            used <= available,
+            "level `{}` uses {used} of {available} instances",
+            level.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn greedy_matmul_mapping_is_legal(layer in matmul_strategy(), fanout in 1usize..=16) {
+        let arch = toy_arch(fanout, &[Dim::M, Dim::C, Dim::P]);
+        let mapping = greedy_mapping(&arch, &layer, spatial_priority_for(&layer), &TemporalPlan::all_at(1));
+        prop_assert!(mapping.validate(&arch, &layer).is_ok());
+        let analysis = analyze(&arch, &layer, &mapping).unwrap();
+        prop_assert_eq!(analysis.macs, layer.macs());
+        prop_assert!(analysis.padded_macs >= analysis.macs);
+        prop_assert!(analysis.utilization > 0.0 && analysis.utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn matmul_spatial_factors_bounded_by_fanout(layer in matmul_strategy(), fanout in 1usize..=16) {
+        let arch = toy_arch(fanout, &[Dim::M, Dim::C, Dim::P]);
+        let mapping = greedy_mapping(&arch, &layer, spatial_priority_for(&layer), &TemporalPlan::all_at(1));
+        for (x, level) in arch.levels().iter().enumerate() {
+            prop_assert!(mapping.level(x).spatial_product() <= level.fanout().size() as u64);
+        }
+    }
+
+    #[test]
+    fn matmul_energy_finite_and_nonnegative(layer in matmul_strategy()) {
+        let arch = toy_arch(8, &[Dim::M, Dim::C, Dim::P]);
+        let system = System::new(arch, MappingStrategy::default());
+        let eval = system.evaluate_layer(&layer).unwrap();
+        prop_assert!(eval.energy.total().is_finite());
+        prop_assert!(eval.energy.total() > Energy::ZERO);
+        for item in eval.energy.items() {
+            prop_assert!(item.energy.raw() >= 0.0, "no negative energy items");
+        }
+    }
+}
+
+fn transformer_networks() -> Vec<Network> {
+    networks::TRANSFORMER_NAMES
+        .iter()
+        .map(|name| networks::by_name(name).expect("built-in transformer"))
+        .collect()
+}
+
+#[test]
+fn transformer_spatial_factors_within_albireo_fanouts() {
+    let system = AlbireoConfig::new(ScalingProfile::Conservative).build_system();
+    for net in transformer_networks() {
+        let eval = system
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+        for layer_eval in &eval.per_layer {
+            assert_spatial_within_fanouts(system.arch(), &layer_eval.mapping);
+        }
+    }
+}
+
+#[test]
+fn transformer_spatial_factors_within_digital_fanouts() {
+    let system = DigitalBaseline::new().build_system();
+    for net in transformer_networks() {
+        let eval = system
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+        for layer_eval in &eval.per_layer {
+            assert_spatial_within_fanouts(system.arch(), &layer_eval.mapping);
+        }
+    }
+}
+
+#[test]
+fn transformer_energy_finite_on_every_corner() {
+    for scaling in ScalingProfile::ALL {
+        let system = AlbireoConfig::new(scaling).build_system();
+        for net in transformer_networks() {
+            let eval = system
+                .evaluate_network(&net, &NetworkOptions::baseline())
+                .unwrap_or_else(|e| panic!("{} on {scaling}: {e}", net.name()));
+            assert!(eval.energy.total().is_finite());
+            assert!(eval.energy.total() > Energy::ZERO);
+            for layer_eval in &eval.per_layer {
+                assert!(layer_eval.energy.total().is_finite());
+                for item in layer_eval.energy.items() {
+                    assert!(item.energy.raw() >= 0.0, "negative item in {}", net.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn transformer_greedy_energy_reproducible_run_to_run() {
+    // Two independently constructed systems must produce bit-identical
+    // per-layer energies for every transformer network: the mapping
+    // cascade is deterministic and the nest analysis is pure arithmetic.
+    for net in transformer_networks() {
+        let first = AlbireoConfig::new(ScalingProfile::Moderate)
+            .build_system()
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .unwrap();
+        let second = AlbireoConfig::new(ScalingProfile::Moderate)
+            .build_system()
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .unwrap();
+        assert_eq!(
+            first.energy.total().raw(),
+            second.energy.total().raw(),
+            "{}: total energy must be bit-identical",
+            net.name()
+        );
+        for (a, b) in first.per_layer.iter().zip(second.per_layer.iter()) {
+            assert_eq!(a.layer_name, b.layer_name);
+            assert_eq!(a.mapping, b.mapping, "{}: mapping drifted", a.layer_name);
+            assert_eq!(
+                a.energy.total().raw(),
+                b.energy.total().raw(),
+                "{}: layer energy drifted",
+                a.layer_name
+            );
+        }
+    }
+}
