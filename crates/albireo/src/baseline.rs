@@ -104,10 +104,17 @@ impl DigitalBaseline {
 
     /// Builds the system with a capacity-aware greedy dataflow (spatial
     /// packing, batch at the global buffer, weight loops at compute).
+    ///
+    /// The dataflow is a parameterless pure function, so the strategy is
+    /// keyed on a version tag alone: every `DigitalBaseline` system
+    /// shares one evaluation-cache fingerprint.
     pub fn build_system(&self) -> System {
         System::new(
             self.build_arch(),
-            MappingStrategy::Custom(Arc::new(baseline_mapping)),
+            MappingStrategy::custom_keyed(
+                lumen_workload::fnv1a(b"digital-baseline-dataflow-v1", &[]),
+                Arc::new(baseline_mapping),
+            ),
         )
     }
 }

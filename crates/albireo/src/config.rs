@@ -344,17 +344,36 @@ impl AlbireoConfig {
 
     /// Builds the system: the architecture coupled with the Albireo
     /// dataflow mapper.
+    ///
+    /// The mapper is a keyed custom strategy: its cache fingerprint
+    /// hashes exactly the parameters the closure captures, so two
+    /// systems built from equal configurations share evaluation-cache
+    /// entries even though each call allocates a fresh closure.
     pub fn build_system(&self) -> System {
         let kernel = (self.kernel_rows, self.kernel_cols);
         let clusters = self.clusters;
         let ir = self.input_reuse;
         let or = self.output_reuse;
         let qwin = self.weight_reuse.factor();
+        let key = lumen_workload::fnv1a(
+            b"albireo-dataflow-v1",
+            &[
+                clusters as u64,
+                qwin as u64,
+                ir as u64,
+                or as u64,
+                kernel.0 as u64,
+                kernel.1 as u64,
+            ],
+        );
         System::new(
             self.build_arch(),
-            MappingStrategy::Custom(Arc::new(move |arch, layer| {
-                albireo_mapping(arch, layer, clusters, qwin, ir, or, kernel)
-            })),
+            MappingStrategy::custom_keyed(
+                key,
+                Arc::new(move |arch, layer| {
+                    albireo_mapping(arch, layer, clusters, qwin, ir, or, kernel)
+                }),
+            ),
         )
     }
 }
@@ -362,6 +381,21 @@ impl AlbireoConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rebuilt_systems_share_strategy_fingerprints() {
+        // Keyed custom strategies: equal configs fingerprint equally
+        // across separate `build_system` calls (each allocates a fresh
+        // closure), so shared evaluation caches actually reuse entries;
+        // a changed reuse knob changes the key.
+        let a = AlbireoConfig::new(ScalingProfile::Aggressive).build_system();
+        let b = AlbireoConfig::new(ScalingProfile::Aggressive).build_system();
+        assert_eq!(a.strategy().fingerprint(), b.strategy().fingerprint());
+        let c = AlbireoConfig::new(ScalingProfile::Aggressive)
+            .with_input_reuse(27)
+            .build_system();
+        assert_ne!(a.strategy().fingerprint(), c.strategy().fingerprint());
+    }
 
     #[test]
     fn base_structure() {

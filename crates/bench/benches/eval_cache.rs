@@ -1,0 +1,186 @@
+//! Content-addressed evaluation: cached vs uncached `evaluate_network`.
+//!
+//! Pins the performance claim of the evaluation-cache refactor: on
+//! transformer workloads (bert-base repeats one encoder block 12x — 96
+//! layers, 5 unique signatures) the [`lumen_core::EvalSession`] path must
+//! be at least 3x faster than the sequential uncached path, and on the
+//! Fig. 4 sweep the cached drivers must not regress. Besides the
+//! criterion timings, the bench emits `BENCH_eval.json` at the repo root
+//! with wall times and cache hit rates, so the perf trajectory is
+//! tracked as an artifact.
+//!
+//! Run `cargo bench -p lumen-bench --bench eval_cache` for timings, or
+//! append `-- --test` for the CI smoke profile (one iteration per bench,
+//! bit-identity asserted, no timing artifact written).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_albireo::{experiments, AlbireoConfig, ScalingProfile};
+use lumen_bench::print_once;
+use lumen_core::{EvalSession, NetworkOptions, System};
+use lumen_workload::networks;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn albireo_system() -> System {
+    AlbireoConfig::new(ScalingProfile::Aggressive).build_system()
+}
+
+/// Best-of-`runs` wall time of `f`, in seconds.
+fn best_seconds<O>(runs: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Asserts the cached path reproduces the sequential path bit for bit on
+/// `name`, and returns `(unique evals, cache hits)`.
+fn assert_bit_identical(system: &System, name: &str) -> (u64, u64) {
+    let net = networks::by_name(name).expect("bundled network");
+    let sequential = system
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .expect("sequential path maps");
+    let session = EvalSession::new(system.clone());
+    let cached = session
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .expect("cached path maps");
+    assert_eq!(
+        sequential.energy.total().picojoules().to_bits(),
+        cached.energy.total().picojoules().to_bits(),
+        "{name}: cached energy drifted from the sequential path"
+    );
+    assert_eq!(
+        sequential.cycles.to_bits(),
+        cached.cycles.to_bits(),
+        "{name}: cached cycles drifted from the sequential path"
+    );
+    let stats = session.cache_stats();
+    (stats.misses, stats.hits)
+}
+
+fn write_json(path: &std::path::Path, entries: &[(&str, f64)], extras: &[(&str, f64)]) {
+    let mut body = String::from("{\n  \"bench\": \"eval_cache\",\n");
+    for (key, value) in entries {
+        body.push_str(&format!("  \"{key}_ms\": {:.3},\n", value * 1e3));
+    }
+    for (key, value) in extras {
+        body.push_str(&format!("  \"{key}\": {value:.4},\n"));
+    }
+    // Trim the trailing comma for strict JSON.
+    let body = body.trim_end_matches(",\n").to_string() + "\n}\n";
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("warning: could not write {path:?}: {e}");
+    }
+}
+
+fn bench_eval_cache(c: &mut Criterion) {
+    let system = albireo_system();
+    let net = networks::bert_base();
+    let options = NetworkOptions::baseline();
+
+    // Correctness gate (runs in smoke mode too): cached == sequential,
+    // and bert-base maps exactly its unique signature count.
+    let (unique, hits) = assert_bit_identical(&system, "bert-base");
+    assert_eq!(unique, 5, "bert-base has 5 unique layer signatures");
+    assert_eq!(hits, 91, "96 layers - 5 unique = 91 cache answers");
+    for name in ["gpt2-small", "vit-b16", "resnet18"] {
+        assert_bit_identical(&system, name);
+    }
+
+    print_once("Eval cache — cached vs uncached evaluate_network", || {
+        println!("bert-base: {unique} unique signatures, {hits} of 96 layers from cache");
+    });
+
+    // Timing assertions and the JSON artifact run only on developer
+    // machines: shared CI runners (the `CI` env var is the Actions
+    // convention) are too noisy for a hard wall-time gate, and the smoke
+    // step above already covers bit-identity there.
+    if !c.is_smoke() && std::env::var_os("CI").is_none() {
+        // Wall-time artifact: sequential uncached vs content-addressed,
+        // cold (fresh cache) and warm (cache primed).
+        let uncached = best_seconds(3, || system.evaluate_network(&net, &options).unwrap());
+        let cold = best_seconds(3, || {
+            EvalSession::new(system.clone())
+                .evaluate_network(&net, &options)
+                .unwrap()
+        });
+        let warm_session = EvalSession::new(system.clone());
+        warm_session.evaluate_network(&net, &options).unwrap();
+        let warm = best_seconds(3, || warm_session.evaluate_network(&net, &options).unwrap());
+        let fig4 = best_seconds(2, || experiments::fig4_memory_exploration().unwrap());
+        let speedup_cold = uncached / cold;
+        let speedup_warm = uncached / warm;
+        println!(
+            "bert-base: uncached {:.1} ms, cached cold {:.1} ms ({speedup_cold:.1}x), \
+             warm {:.2} ms ({speedup_warm:.0}x); fig4 sweep {:.0} ms",
+            uncached * 1e3,
+            cold * 1e3,
+            warm * 1e3,
+            fig4 * 1e3,
+        );
+        assert!(
+            speedup_cold >= 3.0,
+            "content-addressed evaluation must be >= 3x faster on transformers \
+             (got {speedup_cold:.2}x)"
+        );
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        write_json(
+            &root.join("BENCH_eval.json"),
+            &[
+                ("bert_base_uncached", uncached),
+                ("bert_base_cached_cold", cold),
+                ("bert_base_cached_warm", warm),
+                ("fig4_sweep_cached", fig4),
+            ],
+            &[
+                ("bert_base_speedup_cold", speedup_cold),
+                ("bert_base_speedup_warm", speedup_warm),
+                ("bert_base_unique_signatures", unique as f64),
+                ("bert_base_hit_rate", hits as f64 / (hits + unique) as f64),
+            ],
+        );
+    }
+
+    let mut group = c.benchmark_group("eval_cache");
+    group.bench_function("bert_base_uncached_sequential", |b| {
+        b.iter(|| {
+            system
+                .evaluate_network(black_box(&net), &options)
+                .unwrap()
+                .energy
+                .total()
+        })
+    });
+    group.bench_function("bert_base_cached_cold", |b| {
+        b.iter(|| {
+            EvalSession::new(system.clone())
+                .evaluate_network(black_box(&net), &options)
+                .unwrap()
+                .energy
+                .total()
+        })
+    });
+    let warm = EvalSession::new(system.clone());
+    group.bench_function("bert_base_cached_warm", |b| {
+        b.iter(|| {
+            warm.evaluate_network(black_box(&net), &options)
+                .unwrap()
+                .energy
+                .total()
+        })
+    });
+    group.bench_function("fig4_sweep_cached", |b| {
+        b.iter(|| {
+            experiments::fig4_memory_exploration()
+                .unwrap()
+                .combined_reduction(ScalingProfile::Aggressive)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval_cache);
+criterion_main!(benches);

@@ -22,14 +22,23 @@ use lumen_components::{
     Adc, ComponentCatalog, Dac, DigitalMac, Dram, DramKind, MachZehnder, Microring, NocLink,
     Photodiode, RegisterFile, SampleAndHold, Sram, StarCoupler, Waveguide,
 };
-use lumen_core::report::{network_table, Table};
-use lumen_core::NetworkOptions;
+use lumen_core::report::{network_table, network_table_deduped, Table};
+use lumen_core::{EvalSession, NetworkOptions};
 use lumen_units::{Frequency, Power};
 use lumen_workload::networks;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Global flags may appear anywhere, including before the subcommand;
+    // strip them so dispatch sees only the command and its options.
+    let args = match apply_global_flags(&raw) {
+        Ok(rest) => rest,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let command = args.first().map(String::as_str).unwrap_or("help");
     let result = match command {
         "fig2" => fig2(),
@@ -62,6 +71,42 @@ fn main() -> ExitCode {
     }
 }
 
+/// Applies and strips the flags every subcommand honors: `--threads N`
+/// forces the sweep/eval worker count (the `LUMEN_SWEEP_THREADS`
+/// override made reachable) and `--no-cache` disables the
+/// content-addressed evaluation cache for A/B debugging
+/// (`LUMEN_EVAL_CACHE=0`). Both work by setting the corresponding
+/// environment variable before any evaluation starts — the knobs are
+/// resolved once per process, so this must run first. Returns the
+/// remaining arguments (command + per-command options), so the global
+/// flags are position-independent.
+fn apply_global_flags(args: &[String]) -> Result<Vec<String>, String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let Some(threads) = iter.next() else {
+                    return Err("--threads expects a worker count".to_string());
+                };
+                let n: usize = threads
+                    .parse()
+                    .map_err(|_| format!("--threads expects a whole number, got `{threads}`"))?;
+                if n == 0 || n > lumen_core::sweep::MAX_FORCED_THREADS {
+                    return Err(format!(
+                        "--threads must be in 1..={} (got {n})",
+                        lumen_core::sweep::MAX_FORCED_THREADS
+                    ));
+                }
+                std::env::set_var("LUMEN_SWEEP_THREADS", n.to_string());
+            }
+            "--no-cache" => std::env::set_var("LUMEN_EVAL_CACHE", "0"),
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok(rest)
+}
+
 fn print_help() {
     println!("lumen — architecture-level modeling of photonic DNN accelerators");
     println!();
@@ -82,8 +127,13 @@ fn print_help() {
     println!("  precision   noise-limited analog resolution vs received optical power");
     println!("  help        show this message");
     println!();
+    println!("GLOBAL OPTIONS:");
+    println!("  --threads N   force the evaluation worker count (default: machine parallelism)");
+    println!("  --no-cache    disable the content-addressed evaluation cache (A/B debugging)");
+    println!();
     println!("Corners: conservative | moderate | aggressive");
     println!("Networks: {}", networks::NAMES.join(" | "));
+    println!("`layers` also takes --dedup to collapse identical layers into one xN row");
 }
 
 fn option_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -150,18 +200,34 @@ fn layers(args: &[String]) -> Result<(), String> {
             networks::NAMES.join(", ")
         )
     })?;
-    let system = AlbireoConfig::new(scaling).build_system();
-    let eval = system
+    let session = EvalSession::new(AlbireoConfig::new(scaling).build_system());
+    let eval = session
         .evaluate_network(&net, &NetworkOptions::baseline())
         .map_err(|e| e.to_string())?;
     println!("{name} on albireo-{scaling}:");
-    print!("{}", network_table(&eval).render());
+    // Opt-in deduplicated rendering: one row per unique layer with an
+    // xN multiplicity column (12 identical encoder blocks -> x12).
+    if args.iter().any(|a| a == "--dedup") {
+        print!("{}", network_table_deduped(&eval).render());
+    } else {
+        print!("{}", network_table(&eval).render());
+    }
+    let peak = session.system().arch().peak_parallelism();
     println!(
         "throughput {:.0} MACs/cycle ({:.1}% of the {} peak)",
         eval.throughput_macs_per_cycle(),
-        100.0 * eval.throughput_macs_per_cycle() / system.arch().peak_parallelism() as f64,
-        system.arch().peak_parallelism()
+        100.0 * eval.throughput_macs_per_cycle() / peak as f64,
+        peak
     );
+    let stats = session.cache_stats();
+    if stats.hits > 0 {
+        println!(
+            "eval cache: {} unique layer evaluations, {} served from cache ({:.0}% hit rate)",
+            stats.misses,
+            stats.hits,
+            100.0 * stats.hit_rate()
+        );
+    }
     Ok(())
 }
 

@@ -5,8 +5,11 @@
 //! are the programmatic entry point: name a set of system variants, run a
 //! workload over all of them, compare.
 
-use crate::{NetworkEvaluation, NetworkOptions, SweepRunner, System, SystemError};
+use crate::{
+    EvalCache, EvalSession, NetworkEvaluation, NetworkOptions, SweepRunner, System, SystemError,
+};
 use lumen_workload::Network;
+use std::sync::Arc;
 
 /// One named design point: a system variant plus evaluation options.
 pub struct DesignPoint {
@@ -47,13 +50,26 @@ pub struct SweepEntry {
 /// Evaluates `network` on every design point, in parallel, returning the
 /// entries in the points' input order.
 ///
+/// Every point runs through a content-addressed [`EvalSession`] backed by
+/// one cache shared across the whole sweep: identical layers within a
+/// point's network evaluate once, and points that share an architecture
+/// and strategy (e.g. the same system under different batching options)
+/// reuse each other's layer evaluations. Results are bit-identical to the
+/// uncached sequential loop.
+///
 /// # Errors
 ///
 /// Fails on the first (by input order) design point whose mapping fails,
 /// exactly as the sequential loop this replaced did.
 pub fn sweep(points: Vec<DesignPoint>, network: &Network) -> Result<Vec<SweepEntry>, SystemError> {
+    let cache = EvalCache::shared();
     SweepRunner::new().try_run(points, |point| {
-        let evaluation = point.system.evaluate_network(network, &point.options)?;
+        // Points are already fanned out across the runner's threads, so
+        // each session evaluates its unique layers on one thread.
+        let session = EvalSession::new(point.system)
+            .with_cache(Arc::clone(&cache))
+            .with_runner(SweepRunner::with_threads(1));
+        let evaluation = session.evaluate_network(network, &point.options)?;
         Ok(SweepEntry {
             label: point.label,
             evaluation,

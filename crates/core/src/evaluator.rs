@@ -37,6 +37,22 @@ pub enum MappingStrategy {
     /// Caller-provided mapping constructor (e.g. an architecture-specific
     /// dataflow like Albireo's).
     Custom(Arc<MappingFn>),
+    /// A caller-provided mapping constructor with a caller-vouched
+    /// content fingerprint — build with
+    /// [`MappingStrategy::custom_keyed`]. Unlike [`Custom`], whose
+    /// closures are opaque and fingerprint by identity, a keyed strategy
+    /// participates fully in cross-session evaluation caching: two
+    /// strategies with equal keys are promised to produce identical
+    /// mappings for identical inputs.
+    ///
+    /// [`Custom`]: MappingStrategy::Custom
+    CustomKeyed {
+        /// Content hash of everything the constructor's behavior depends
+        /// on (captured configuration, algorithm version).
+        key: u64,
+        /// The mapping constructor.
+        mapper: Arc<MappingFn>,
+    },
 }
 
 impl Default for MappingStrategy {
@@ -44,6 +60,60 @@ impl Default for MappingStrategy {
     /// compute — a sensible output-stationary default.
     fn default() -> Self {
         MappingStrategy::Greedy { temporal_level: 1 }
+    }
+}
+
+impl MappingStrategy {
+    /// Wraps a mapping constructor with a caller-vouched content `key`
+    /// (hash it from the captured configuration with
+    /// [`lumen_workload::fnv1a`] / [`lumen_workload::fnv1a_bytes`]).
+    /// The caller promises that two constructors given equal keys behave
+    /// identically — the key becomes the strategy's cache fingerprint,
+    /// so evaluations are shared across sessions and rebuilt systems.
+    pub fn custom_keyed(key: u64, mapper: Arc<MappingFn>) -> MappingStrategy {
+        MappingStrategy::CustomKeyed { key, mapper }
+    }
+
+    /// A 64-bit content fingerprint of the strategy, for evaluation-cache
+    /// keys: equal fingerprints guarantee the strategy produces the same
+    /// mapping for the same *(architecture, layer)* input.
+    ///
+    /// Every built-in strategy is a pure function of its configuration —
+    /// [`MappingStrategy::RandomSearch`] included, since [`SearchConfig`]
+    /// seeds the RNG ([`SearchConfig`]'s `Eq`/`Hash` make that a typed
+    /// guarantee) — so the fingerprint hashes the configuration itself.
+    /// [`MappingStrategy::CustomKeyed`] hashes its caller-vouched key.
+    /// Plain [`MappingStrategy::Custom`] closures are opaque; they
+    /// fingerprint by `Arc` address, which is only sound while the `Arc`
+    /// stays alive — [`crate::EvalCache`] therefore pins every `Custom`
+    /// `Arc` it has cached under, so a freed-and-reallocated closure can
+    /// never impersonate an old fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        use lumen_workload::fnv1a;
+        match self {
+            MappingStrategy::Greedy { temporal_level } => {
+                fnv1a(b"strategy-greedy", &[*temporal_level as u64])
+            }
+            MappingStrategy::Planned { priority, plan } => {
+                let mut words: Vec<u64> = vec![priority.len() as u64];
+                words.extend(priority.iter().map(|d| d.index() as u64));
+                words.push(plan.default_level as u64);
+                for (level, dims) in &plan.assignments {
+                    words.push(*level as u64);
+                    words.push(dims.len() as u64);
+                    words.extend(dims.iter().map(|d| d.index() as u64));
+                }
+                fnv1a(b"strategy-planned", &words)
+            }
+            MappingStrategy::RandomSearch(cfg) => {
+                fnv1a(b"strategy-random", &[cfg.iterations as u64, cfg.seed])
+            }
+            MappingStrategy::Custom(f) => fnv1a(
+                b"strategy-custom",
+                &[Arc::as_ptr(f) as *const () as usize as u64],
+            ),
+            MappingStrategy::CustomKeyed { key, .. } => fnv1a(b"strategy-keyed", &[*key]),
+        }
     }
 }
 
@@ -61,6 +131,10 @@ impl fmt::Debug for MappingStrategy {
                 .finish(),
             MappingStrategy::RandomSearch(cfg) => f.debug_tuple("RandomSearch").field(cfg).finish(),
             MappingStrategy::Custom(_) => f.write_str("Custom(..)"),
+            MappingStrategy::CustomKeyed { key, .. } => f
+                .debug_struct("CustomKeyed")
+                .field("key", &format_args!("{key:#018x}"))
+                .finish_non_exhaustive(),
         }
     }
 }
@@ -98,6 +172,9 @@ impl std::error::Error for SystemError {}
 pub struct LayerEvaluation {
     /// The evaluated layer's name.
     pub layer_name: String,
+    /// The evaluated layer's content signature (its identity for
+    /// caching and deduplicated reporting; independent of the name).
+    pub signature: lumen_workload::LayerSignature,
     /// The mapping used.
     pub mapping: Mapping,
     /// Access/conversion/cycle analysis.
@@ -116,7 +193,10 @@ impl LayerEvaluation {
 /// Traffic rerouting for fused-layer dataflows: charge a tensor's traffic
 /// at one level using another level's energetics (e.g. inter-layer
 /// activations that stay in the global buffer instead of DRAM).
-#[derive(Debug, Clone, Default)]
+///
+/// Hashable because the reroute is part of a layer evaluation's cache
+/// identity: the same layer fused and unfused costs differently.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub(crate) struct Reroute {
     /// `(tensor, from level index, to level index)` entries.
     pub entries: Vec<(TensorKind, usize, usize)>,
@@ -188,6 +268,7 @@ impl System {
                 return Ok(result.mapping);
             }
             MappingStrategy::Custom(f) => f(&self.arch, layer),
+            MappingStrategy::CustomKeyed { mapper, .. } => mapper(&self.arch, layer),
         };
         Ok(mapping)
     }
@@ -221,6 +302,7 @@ impl System {
         let energy = energy_from_analysis(&self.arch, &analysis, &Reroute::default());
         Ok(LayerEvaluation {
             layer_name: layer.name().to_string(),
+            signature: layer.signature(),
             mapping,
             analysis,
             energy,
@@ -241,6 +323,7 @@ impl System {
         let energy = energy_from_analysis(&self.arch, &analysis, reroute);
         Ok(LayerEvaluation {
             layer_name: layer.name().to_string(),
+            signature: layer.signature(),
             mapping,
             analysis,
             energy,

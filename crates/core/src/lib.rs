@@ -19,6 +19,12 @@
 //! * [`SweepRunner`] fans independent sweep points out over worker
 //!   threads (order-preserving, deterministic error selection); the
 //!   Fig. 2–5 experiment drivers and [`dse::sweep`] run on it.
+//! * [`EvalSession`] adds the content-addressed fast path: layer
+//!   evaluations memoized in a shared [`EvalCache`] keyed by
+//!   *(architecture fingerprint, strategy fingerprint,
+//!   [`lumen_workload::LayerSignature`], reroute)*, with
+//!   [`EvalSession::evaluate_network`] evaluating each unique layer
+//!   signature once — bit-identical to the sequential path.
 //!
 //! # Examples
 //!
@@ -49,6 +55,7 @@
 //! assert!(eval.analysis.utilization > 0.0);
 //! ```
 
+pub mod cache;
 pub mod dse;
 mod energy;
 mod evaluator;
@@ -56,6 +63,7 @@ mod network;
 pub mod report;
 pub mod sweep;
 
+pub use cache::{arch_fingerprint, CacheStats, EvalCache, EvalSession};
 pub use energy::{CostCategory, EnergyBreakdown, EnergyItem};
 pub use evaluator::{LayerEvaluation, MappingFn, MappingStrategy, System, SystemError};
 pub use network::{FusionConfig, NetworkEvaluation, NetworkOptions};

@@ -2,6 +2,7 @@
 
 use crate::evaluator::Reroute;
 use crate::{EnergyBreakdown, LayerEvaluation, System, SystemError};
+use lumen_arch::Architecture;
 use lumen_units::Energy;
 use lumen_workload::{Network, TensorKind};
 
@@ -77,6 +78,40 @@ pub struct NetworkEvaluation {
     pub batch: usize,
 }
 
+/// The traffic reroute the fused-layer dataflow applies to the layer at
+/// `index` of a network whose last layer sits at `last`: inputs of all
+/// but the first layer and outputs of all but the last move from the
+/// backing store to the fusion buffer. Returns the empty reroute when
+/// fusion is off or the named levels do not exist.
+///
+/// Shared by the sequential [`System::evaluate_network`] path and the
+/// content-addressed [`crate::EvalSession`] so both charge fused traffic
+/// identically.
+pub(crate) fn fusion_reroute(
+    arch: &Architecture,
+    fusion: Option<&FusionConfig>,
+    index: usize,
+    last: usize,
+) -> Reroute {
+    let Some(fusion) = fusion else {
+        return Reroute::default();
+    };
+    let Some(from) = arch.level_index(&fusion.backing_store) else {
+        return Reroute::default();
+    };
+    let Some(to) = arch.level_index(&fusion.buffer) else {
+        return Reroute::default();
+    };
+    let mut entries = Vec::new();
+    if index > 0 {
+        entries.push((TensorKind::Input, from, to));
+    }
+    if index < last {
+        entries.push((TensorKind::Output, from, to));
+    }
+    Reroute { entries }
+}
+
 impl NetworkEvaluation {
     /// Per-inference energy per MAC.
     pub fn energy_per_mac(&self) -> Energy {
@@ -124,32 +159,13 @@ impl System {
             network.clone()
         };
 
-        let reroute_for = |index: usize, last: usize| -> Reroute {
-            let Some(fusion) = &options.fusion else {
-                return Reroute::default();
-            };
-            let Some(from) = self.arch().level_index(&fusion.backing_store) else {
-                return Reroute::default();
-            };
-            let Some(to) = self.arch().level_index(&fusion.buffer) else {
-                return Reroute::default();
-            };
-            let mut entries = Vec::new();
-            if index > 0 {
-                entries.push((TensorKind::Input, from, to));
-            }
-            if index < last {
-                entries.push((TensorKind::Output, from, to));
-            }
-            Reroute { entries }
-        };
-
         let last = batched.layers().len().saturating_sub(1);
         let mut per_layer = Vec::with_capacity(batched.layers().len());
         let mut energy = EnergyBreakdown::new();
         let mut cycles = 0u64;
         for (i, layer) in batched.layers().iter().enumerate() {
-            let eval = self.evaluate_layer_rerouted(layer, &reroute_for(i, last))?;
+            let reroute = fusion_reroute(self.arch(), options.fusion.as_ref(), i, last);
+            let eval = self.evaluate_layer_rerouted(layer, &reroute)?;
             cycles += eval.analysis.cycles;
             energy.merge(&eval.energy);
             per_layer.push(eval);

@@ -160,6 +160,67 @@ pub fn network_table(eval: &NetworkEvaluation) -> Table {
     t
 }
 
+/// Renders a per-layer summary with identical layers collapsed into one
+/// row carrying a multiplicity column (`x12` for the twelve copies of a
+/// BERT encoder layer), instead of twelve duplicate rows.
+///
+/// Rows are grouped by [`lumen_workload::LayerSignature`] *and*
+/// bit-equal results — layers whose signatures match but whose energies
+/// differ (e.g. the fused first/last layers of a network) keep separate
+/// rows. Display is opt-in: [`network_table`] keeps the one-row-per-layer
+/// rendering the golden drivers pin.
+pub fn network_table_deduped(eval: &NetworkEvaluation) -> Table {
+    let mut t = Table::new(vec![
+        "layer".into(),
+        "mult".into(),
+        "macs".into(),
+        "cycles".into(),
+        "util".into(),
+        "energy".into(),
+        "pJ/MAC".into(),
+    ]);
+    // (signature, cycles, energy bits) -> row index; first-occurrence order.
+    let mut groups: Vec<(usize, usize)> = Vec::new(); // (first layer idx, count)
+    for (i, layer) in eval.per_layer.iter().enumerate() {
+        let key_of = |l: &crate::LayerEvaluation| {
+            (
+                l.signature,
+                l.analysis.cycles,
+                l.energy.total().picojoules().to_bits(),
+            )
+        };
+        match groups
+            .iter_mut()
+            .find(|(first, _)| key_of(&eval.per_layer[*first]) == key_of(layer))
+        {
+            Some((_, count)) => *count += 1,
+            None => groups.push((i, 1)),
+        }
+    }
+    for (first, count) in groups {
+        let layer = &eval.per_layer[first];
+        t.row(vec![
+            layer.layer_name.clone(),
+            format!("x{count}"),
+            layer.analysis.macs.to_string(),
+            layer.analysis.cycles.to_string(),
+            format!("{:.1}%", 100.0 * layer.analysis.utilization),
+            format!("{}", layer.energy.total()),
+            format!("{:.4}", layer.energy_per_mac().picojoules()),
+        ]);
+    }
+    t.row(vec![
+        "TOTAL/inference".into(),
+        format!("x{}", eval.per_layer.len()),
+        eval.macs.to_string(),
+        format!("{:.0}", eval.cycles),
+        format!("{:.1}%", 100.0 * eval.average_utilization()),
+        format!("{}", eval.energy.total()),
+        format!("{:.4}", eval.energy_per_mac().picojoules()),
+    ]);
+    t
+}
+
 /// Formats an energy as `pJ` with fixed decimals (for figure-style rows).
 pub fn pj(e: Energy) -> String {
     format!("{:.4}", e.picojoules())
@@ -199,6 +260,46 @@ mod tests {
         assert!(!t.is_empty());
         let s = t.render();
         assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn deduped_table_collapses_identical_layers() {
+        use crate::{MappingStrategy, NetworkOptions, System};
+        use lumen_arch::{ArchBuilder, Domain, Fanout};
+        use lumen_units::Frequency;
+        use lumen_workload::{Dim, DimSet, Layer, Network, TensorSet};
+        let arch = ArchBuilder::new("toy", Frequency::from_gigahertz(1.0))
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .read_energy(Energy::from_picojoules(100.0))
+            .write_energy(Energy::from_picojoules(100.0))
+            .done()
+            .storage("glb", Domain::DigitalElectrical, TensorSet::all())
+            .read_energy(Energy::from_picojoules(1.0))
+            .write_energy(Energy::from_picojoules(1.0))
+            .fanout(Fanout::new(8).allow(DimSet::from_dims(&[Dim::M, Dim::C])))
+            .done()
+            .compute(
+                "mac",
+                Domain::DigitalElectrical,
+                Energy::from_picojoules(0.05),
+            )
+            .build()
+            .unwrap();
+        let system = System::new(arch, MappingStrategy::default());
+        let net = Network::new("n")
+            .push(Layer::conv2d("a0", 1, 8, 8, 8, 8, 3, 3))
+            .push(Layer::conv2d("b", 1, 16, 8, 8, 8, 3, 3))
+            .push(Layer::conv2d("a1", 1, 8, 8, 8, 8, 3, 3));
+        let eval = system
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .unwrap();
+        let plain = network_table(&eval);
+        assert_eq!(plain.len(), 4, "3 layers + total");
+        let deduped = network_table_deduped(&eval);
+        assert_eq!(deduped.len(), 3, "2 unique rows + total");
+        let s = deduped.render();
+        assert!(s.contains("x2") && s.contains("x1") && s.contains("x3"));
+        assert!(s.contains("a0") && !s.contains("a1"), "first name kept");
     }
 
     #[test]

@@ -160,7 +160,14 @@ pub fn greedy_mapping(
 }
 
 /// Configuration for [`random_search`].
-#[derive(Debug, Clone, Copy)]
+///
+/// A `SearchConfig` fully determines the candidate sequence: the search
+/// draws from an [`StdRng`] seeded with `seed`, so equal configs produce
+/// bit-identical winning mappings on equal *(architecture, layer)*
+/// inputs. The derived `Eq` / `Hash` make that guarantee a typed one —
+/// content-addressed evaluation caches key on the config itself, which is
+/// sound precisely because the search is a pure function of its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SearchConfig {
     /// Number of random candidates to draw.
     pub iterations: usize,

@@ -361,6 +361,17 @@ impl Layer {
         self.groups * self.batch_replicas
     }
 
+    /// Channel groups alone (no batch replicas folded in).
+    pub fn channel_groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Whole-nest batch replicas of a per-sample-stationary layer (1 for
+    /// ordinary layers, whose batch lives in `N`).
+    pub fn batch_replicas(&self) -> usize {
+        self.batch_replicas
+    }
+
     /// `true` if the stationary operand is a per-sample activation (see
     /// [`Layer::with_per_sample_stationary`]).
     pub fn per_sample_stationary(&self) -> bool {

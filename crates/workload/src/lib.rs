@@ -43,10 +43,12 @@ mod dims;
 mod layer;
 mod network;
 pub mod networks;
+mod signature;
 mod tensor;
 
 pub use attention::{encoder_block_macs, push_encoder_block, Attention};
 pub use dims::{Dim, DimMap, DimSet, Shape};
 pub use layer::{Layer, LayerError, LayerKind};
 pub use network::{Network, NetworkStats};
+pub use signature::{fnv1a, fnv1a_bytes, LayerSignature};
 pub use tensor::{TensorKind, TensorMap, TensorSet};

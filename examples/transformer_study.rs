@@ -11,8 +11,8 @@
 //! Run with: `cargo run --release --example transformer_study`
 
 use lumen::albireo::{experiments, AlbireoConfig, ScalingProfile};
-use lumen::core::report::Table;
-use lumen::core::NetworkOptions;
+use lumen::core::report::{network_table_deduped, Table};
+use lumen::core::{EvalSession, NetworkOptions};
 use lumen::workload::networks;
 
 fn main() {
@@ -26,10 +26,12 @@ fn main() {
         );
     }
 
-    // Per-layer anatomy of one BERT-base encoder block.
-    let system = AlbireoConfig::new(ScalingProfile::Aggressive).build_system();
+    // Per-layer anatomy of one BERT-base encoder block, evaluated through
+    // the content-addressed pipeline: the 96 layers collapse to 5 unique
+    // signatures, so mapping search runs five times, not ninety-six.
+    let session = EvalSession::new(AlbireoConfig::new(ScalingProfile::Aggressive).build_system());
     let net = networks::bert_base();
-    let eval = system
+    let eval = session
         .evaluate_network(&net, &NetworkOptions::baseline())
         .expect("bert-base maps");
     let mut table = Table::new(vec![
@@ -65,6 +67,18 @@ fn main() {
         eval.energy_per_mac().picojoules(),
         100.0 * eval.average_utilization(),
         eval.throughput_macs_per_cycle(),
-        system.arch().peak_parallelism(),
+        session.system().arch().peak_parallelism(),
+    );
+
+    // The whole network, deduplicated: one row per unique layer shape
+    // with a multiplicity column, plus the cache's accounting.
+    println!("\n== bert-base, unique layers (x multiplicity) ==");
+    print!("{}", network_table_deduped(&eval).render());
+    let stats = session.cache_stats();
+    println!(
+        "eval cache: {} mapping searches for {} layers ({:.0}% served from cache)",
+        stats.misses,
+        eval.per_layer.len(),
+        100.0 * stats.hit_rate(),
     );
 }

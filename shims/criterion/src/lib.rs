@@ -22,12 +22,19 @@ pub fn black_box<T>(value: T) -> T {
 pub struct Criterion {
     /// Per-function measurement budget.
     measurement_time: Duration,
+    /// Smoke mode: run each benchmark once to prove it works, skip
+    /// timing. Mirrors upstream criterion's `--test` profile
+    /// (`cargo bench -- --test`), which CI uses to gate the bench
+    /// harnesses without timing flakiness.
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
         Criterion {
             measurement_time: Duration::from_millis(300),
+            smoke,
         }
     }
 }
@@ -44,8 +51,15 @@ impl Criterion {
 
     /// Benchmarks `f` outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        run_one(id, self.measurement_time, f);
+        run_one(id, self.measurement_time, self.smoke, f);
         self
+    }
+
+    /// `true` when running under `-- --test` (smoke mode: one iteration
+    /// per benchmark, no timing). Benches that emit timing artifacts
+    /// check this to skip writing misleading numbers.
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
     }
 }
 
@@ -65,7 +79,12 @@ impl BenchmarkGroup<'_> {
     /// Benchmarks `f` under `id` within this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
         let full = format!("{}/{id}", self.name);
-        run_one(&full, self.criterion.measurement_time, f);
+        run_one(
+            &full,
+            self.criterion.measurement_time,
+            self.criterion.smoke,
+            f,
+        );
         self
     }
 
@@ -76,6 +95,7 @@ impl BenchmarkGroup<'_> {
 /// Timing loop handle passed to each benchmark closure.
 pub struct Bencher {
     budget: Duration,
+    smoke: bool,
     result: Option<Measurement>,
 }
 
@@ -87,9 +107,17 @@ struct Measurement {
 
 impl Bencher {
     /// Times `routine`: one warmup call, then as many iterations as fit
-    /// in the measurement budget (at least 10).
+    /// in the measurement budget (at least 10). In smoke mode the warmup
+    /// call is the whole run — correctness is proven, timing skipped.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         hint::black_box(routine());
+        if self.smoke {
+            self.result = Some(Measurement {
+                iters: 1,
+                total: Duration::ZERO,
+            });
+            return;
+        }
         let start = Instant::now();
         let mut iters = 0u64;
         loop {
@@ -106,13 +134,15 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(id: &str, budget: Duration, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, budget: Duration, smoke: bool, mut f: F) {
     let mut bencher = Bencher {
         budget,
+        smoke,
         result: None,
     };
     f(&mut bencher);
     match bencher.result {
+        Some(_) if smoke => println!("  {id:<44} ok (smoke)"),
         Some(m) => {
             let mean = m.total / u32::try_from(m.iters).unwrap_or(u32::MAX);
             println!("  {id:<44} {mean:>12.2?}/iter  ({} iters)", m.iters);
@@ -151,6 +181,7 @@ mod tests {
     fn bencher_records_iterations() {
         let mut c = Criterion {
             measurement_time: Duration::from_millis(5),
+            smoke: false,
         };
         let mut group = c.benchmark_group("shim");
         let mut calls = 0u64;
@@ -167,5 +198,22 @@ mod tests {
     #[test]
     fn black_box_is_identity() {
         assert_eq!(black_box(42), 42);
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_bench_once() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            smoke: true,
+        };
+        assert!(c.is_smoke());
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert_eq!(calls, 1, "smoke mode: warmup call only, no timing loop");
     }
 }

@@ -1,0 +1,275 @@
+//! Cross-crate guarantees of the content-addressed evaluation pipeline:
+//! cached and uncached evaluation are **bit-identical** across every
+//! bundled network and both deterministic mapping-strategy families, and
+//! mapping search runs exactly once per unique layer signature.
+
+use lumen::arch::{ArchBuilder, Architecture, Domain, Fanout};
+use lumen::core::{EvalCache, EvalSession, MappingStrategy, NetworkOptions, SweepRunner, System};
+use lumen::mapper::search::{greedy_mapping, spatial_priority_for, SearchConfig, TemporalPlan};
+use lumen::units::{Energy, Frequency};
+use lumen::workload::{networks, Dim, DimSet, LayerSignature, TensorSet};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A small generic hierarchy that maps every bundled network: DRAM, a
+/// generously sized global buffer with a wide fanout, digital MACs.
+fn generic_arch() -> Architecture {
+    ArchBuilder::new("generic", Frequency::from_gigahertz(1.0))
+        .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+        .read_energy(Energy::from_picojoules(100.0))
+        .write_energy(Energy::from_picojoules(100.0))
+        .done()
+        .storage("glb", Domain::DigitalElectrical, TensorSet::all())
+        .read_energy(Energy::from_picojoules(1.0))
+        .write_energy(Energy::from_picojoules(1.0))
+        .fanout(Fanout::new(256).allow(DimSet::from_dims(&[Dim::M, Dim::C, Dim::P, Dim::Q])))
+        .done()
+        .compute(
+            "mac",
+            Domain::DigitalElectrical,
+            Energy::from_picojoules(0.05),
+        )
+        .build()
+        .expect("generic arch is valid")
+}
+
+fn strategies() -> Vec<(&'static str, MappingStrategy)> {
+    vec![
+        ("greedy", MappingStrategy::default()),
+        (
+            "random-search",
+            MappingStrategy::RandomSearch(SearchConfig {
+                iterations: 25,
+                seed: 0xC0FFEE,
+            }),
+        ),
+    ]
+}
+
+/// The property at the heart of the refactor: for every bundled network
+/// and both mapping-strategy families, the content-addressed pipeline
+/// reproduces the sequential path bit for bit — totals, cycles, and every
+/// per-layer mapping, analysis and energy item.
+#[test]
+fn cached_evaluation_is_bit_identical_for_all_networks_and_strategies() {
+    for (strategy_name, strategy) in strategies() {
+        for name in networks::NAMES {
+            let net = networks::by_name(name).expect("bundled network");
+            let system = System::new(generic_arch(), strategy.clone());
+            let sequential = system
+                .evaluate_network(&net, &NetworkOptions::baseline())
+                .unwrap_or_else(|e| panic!("{name}/{strategy_name}: sequential fails: {e}"));
+            let session = EvalSession::new(system);
+            let cached = session
+                .evaluate_network(&net, &NetworkOptions::baseline())
+                .unwrap_or_else(|e| panic!("{name}/{strategy_name}: cached fails: {e}"));
+
+            let ctx = format!("{name}/{strategy_name}");
+            assert_eq!(
+                sequential.energy.total().picojoules().to_bits(),
+                cached.energy.total().picojoules().to_bits(),
+                "{ctx}: total energy drifted"
+            );
+            assert_eq!(
+                sequential.cycles.to_bits(),
+                cached.cycles.to_bits(),
+                "{ctx}: cycles drifted"
+            );
+            assert_eq!(sequential.macs, cached.macs, "{ctx}: macs drifted");
+            assert_eq!(sequential.per_layer.len(), cached.per_layer.len());
+            for (s, c) in sequential.per_layer.iter().zip(&cached.per_layer) {
+                assert_eq!(s.layer_name, c.layer_name, "{ctx}: layer order");
+                assert_eq!(
+                    s.signature, c.signature,
+                    "{ctx}: {0} signature",
+                    s.layer_name
+                );
+                assert_eq!(s.mapping, c.mapping, "{ctx}: {0} mapping", s.layer_name);
+                assert_eq!(
+                    s.analysis.cycles, c.analysis.cycles,
+                    "{ctx}: {0} cycles",
+                    s.layer_name
+                );
+                assert_eq!(
+                    s.energy.total().picojoules().to_bits(),
+                    c.energy.total().picojoules().to_bits(),
+                    "{ctx}: {0} energy",
+                    s.layer_name
+                );
+            }
+
+            // The session searched only the unique signatures.
+            let unique: HashSet<LayerSignature> =
+                net.layers().iter().map(|l| l.signature()).collect();
+            assert_eq!(
+                session.cache_stats().misses,
+                unique.len() as u64,
+                "{ctx}: one mapping search per unique signature"
+            );
+        }
+    }
+}
+
+/// Batching and fusion go through the same dedup path; check one
+/// representative workload under every option combination.
+#[test]
+fn cached_evaluation_is_bit_identical_under_batching_and_fusion() {
+    let options = [
+        NetworkOptions::baseline(),
+        NetworkOptions::baseline().with_batch(8),
+        NetworkOptions::baseline().with_fusion("dram", "glb"),
+        NetworkOptions::baseline()
+            .with_batch(8)
+            .with_fusion("dram", "glb"),
+    ];
+    let net = networks::resnet18();
+    for options in &options {
+        let system = System::new(generic_arch(), MappingStrategy::default());
+        let sequential = system.evaluate_network(&net, options).unwrap();
+        let cached = EvalSession::new(system)
+            .evaluate_network(&net, options)
+            .unwrap();
+        assert_eq!(
+            sequential.energy.total().picojoules().to_bits(),
+            cached.energy.total().picojoules().to_bits(),
+            "batch={} fusion={}",
+            options.batch,
+            options.fusion.is_some()
+        );
+        assert_eq!(sequential.cycles.to_bits(), cached.cycles.to_bits());
+    }
+}
+
+/// The acceptance criterion made literal: a counting `Custom` strategy
+/// proves that evaluating bert-base through an [`EvalSession`] invokes
+/// mapping construction exactly once per *unique* signature — 5 times
+/// for the 96-layer network — and that the result still matches the
+/// uncached path bit for bit.
+#[test]
+fn bert_base_maps_once_per_unique_signature() {
+    let net = networks::bert_base();
+    let unique: HashSet<LayerSignature> = net.layers().iter().map(|l| l.signature()).collect();
+    assert_eq!(
+        unique.len(),
+        5,
+        "bert-base: 4x proj, logits, attend, fc1, fc2"
+    );
+
+    let searches = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&searches);
+    let counting = MappingStrategy::Custom(Arc::new(move |arch, layer| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        greedy_mapping(
+            arch,
+            layer,
+            spatial_priority_for(layer),
+            &TemporalPlan::all_at(1),
+        )
+    }));
+
+    let session = EvalSession::new(System::new(generic_arch(), counting.clone()));
+    let cached = session
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .expect("bert-base maps");
+    assert_eq!(
+        searches.load(Ordering::Relaxed),
+        unique.len(),
+        "mapping construction ran once per unique signature"
+    );
+    assert_eq!(session.cache_stats().misses, unique.len() as u64);
+    assert_eq!(
+        session.cache_stats().hits,
+        (net.layers().len() - unique.len()) as u64
+    );
+
+    let uncached = System::new(generic_arch(), counting)
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .expect("bert-base maps");
+    assert_eq!(
+        searches.load(Ordering::Relaxed),
+        unique.len() + net.layers().len(),
+        "uncached path maps every layer"
+    );
+    assert_eq!(
+        uncached.energy.total().picojoules().to_bits(),
+        cached.energy.total().picojoules().to_bits()
+    );
+}
+
+/// A cache shared across sweep-style sessions answers repeated
+/// (architecture, layer) pairs without re-evaluating, and a
+/// single-threaded runner changes nothing about the results.
+#[test]
+fn shared_cache_reuses_across_sessions_and_thread_counts() {
+    let cache = EvalCache::shared();
+    let net = networks::bert_base();
+    let first = EvalSession::new(System::new(generic_arch(), MappingStrategy::default()))
+        .with_cache(Arc::clone(&cache));
+    let a = first
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .unwrap();
+    assert_eq!(cache.stats().misses, 5);
+
+    let second = EvalSession::new(System::new(generic_arch(), MappingStrategy::default()))
+        .with_cache(Arc::clone(&cache))
+        .with_runner(SweepRunner::with_threads(1));
+    let b = second
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .unwrap();
+    assert_eq!(
+        cache.stats().misses,
+        5,
+        "second session re-evaluated nothing"
+    );
+    assert_eq!(
+        a.energy.total().picojoules().to_bits(),
+        b.energy.total().picojoules().to_bits(),
+        "thread count and cache state do not affect results"
+    );
+}
+
+/// `without_cache` is the A/B escape hatch: same results, no memoization.
+#[test]
+fn uncached_session_matches_cached_session() {
+    let net = networks::gpt2_small();
+    let cached = EvalSession::new(System::new(generic_arch(), MappingStrategy::default()));
+    let uncached =
+        EvalSession::new(System::new(generic_arch(), MappingStrategy::default())).without_cache();
+    let a = cached
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .unwrap();
+    let b = uncached
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .unwrap();
+    assert_eq!(
+        a.energy.total().picojoules().to_bits(),
+        b.energy.total().picojoules().to_bits()
+    );
+    assert_eq!(uncached.cache_stats().hits, 0);
+    assert_eq!(uncached.cache_stats().misses, 0);
+}
+
+/// Albireo's bespoke dataflow (a `Custom` strategy) rides the same
+/// pipeline: the figure drivers moved onto sessions, so the golden suite
+/// already pins their exact output; here we pin the per-layer identity.
+#[test]
+fn albireo_transformer_evaluation_is_bit_identical() {
+    use lumen::albireo::{AlbireoConfig, ScalingProfile};
+    let net = networks::vit_b16();
+    let system = AlbireoConfig::new(ScalingProfile::Aggressive).build_system();
+    let sequential = system
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .unwrap();
+    let cached = EvalSession::new(system)
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .unwrap();
+    for (s, c) in sequential.per_layer.iter().zip(&cached.per_layer) {
+        assert_eq!(
+            s.energy.total().picojoules().to_bits(),
+            c.energy.total().picojoules().to_bits(),
+            "{}",
+            s.layer_name
+        );
+    }
+}

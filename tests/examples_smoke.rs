@@ -7,8 +7,8 @@
 
 use lumen::albireo::{experiments, AlbireoConfig, ScalingProfile, WeightReuse};
 use lumen::core::dse::{pareto_front, sweep, DesignPoint};
-use lumen::core::report::breakdown_table;
-use lumen::core::NetworkOptions;
+use lumen::core::report::{breakdown_table, network_table_deduped};
+use lumen::core::{EvalSession, NetworkOptions};
 use lumen::units::Energy;
 use lumen::workload::networks;
 
@@ -107,9 +107,11 @@ fn transformer_study_attention_costs_more_per_mac() {
         .expect("transformer study evaluates");
     assert_eq!(result.rows.len(), 3);
 
-    let system = AlbireoConfig::new(ScalingProfile::Aggressive).build_system();
+    // The example evaluates bert-base through the content-addressed
+    // session and renders the deduplicated per-layer table.
+    let session = EvalSession::new(AlbireoConfig::new(ScalingProfile::Aggressive).build_system());
     let net = networks::bert_base();
-    let eval = system
+    let eval = session
         .evaluate_network(&net, &NetworkOptions::baseline())
         .expect("bert-base maps");
     let pj = |name: &str| {
@@ -122,6 +124,9 @@ fn transformer_study_attention_costs_more_per_mac() {
     };
     assert!(pj("encoder.0.attn.logits") > pj("encoder.0.attn.query"));
     assert!(pj("encoder.0.attn.attend") > pj("encoder.0.mlp.fc1"));
+    assert_eq!(session.cache_stats().misses, 5, "5 unique signatures");
+    let deduped = network_table_deduped(&eval).render();
+    assert!(deduped.contains("x48") && deduped.contains("x12"));
 }
 
 /// The `throughput_study` example's pipeline: modeled throughput never
