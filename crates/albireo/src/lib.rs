@@ -31,6 +31,7 @@
 //! | Fig. 4 full-system memory exploration | [`experiments::fig4_memory_exploration`] |
 //! | Fig. 5 reuse-factor exploration | [`experiments::fig5_reuse_exploration`] |
 //! | Transformer study (beyond the paper) | [`experiments::transformer_study`] |
+//! | Decode study (beyond the paper) | [`experiments::decode_study`] |
 //!
 //! # Examples
 //!

@@ -13,6 +13,7 @@
 //! lumen layers --network bert-base
 //! lumen networks             # workload inventory (CNNs + transformers)
 //! lumen transformers         # photonic vs digital on attention workloads
+//! lumen decode               # autoregressive decode vs KV length
 //! lumen components           # component library report
 //! ```
 
@@ -53,6 +54,7 @@ fn main() -> ExitCode {
         "layers" => layers(&args),
         "networks" => networks_cmd(),
         "transformers" => transformers_cmd(&args),
+        "decode" => decode_cmd(&args),
         "components" => components_cmd(),
         "baseline" => baseline(&args),
         "precision" => precision(&args),
@@ -122,6 +124,7 @@ fn print_help() {
     println!("  layers      per-layer utilization report [--network <name>] [--scaling <corner>]");
     println!("  networks    list the built-in DNN workloads (CNNs + transformers)");
     println!("  transformers  photonic vs digital on transformer workloads [--scaling <corner>]");
+    println!("  decode      GPT-2 small autoregressive decode vs KV length [--scaling <corner>]");
     println!("  components  print the component library report");
     println!("  baseline    photonic vs digital-electronic comparison [--scaling <corner>]");
     println!("  precision   noise-limited analog resolution vs received optical power");
@@ -268,6 +271,13 @@ fn networks_cmd() -> Result<(), String> {
 fn transformers_cmd(args: &[String]) -> Result<(), String> {
     let scaling = parse_scaling(args)?;
     let result = experiments::transformer_study(scaling).map_err(|e| e.to_string())?;
+    println!("{result}");
+    Ok(())
+}
+
+fn decode_cmd(args: &[String]) -> Result<(), String> {
+    let scaling = parse_scaling(args)?;
+    let result = experiments::decode_study(scaling).map_err(|e| e.to_string())?;
     println!("{result}");
     Ok(())
 }

@@ -299,7 +299,8 @@ impl System {
                 layer: layer.name().to_string(),
                 cause: Some(e),
             })?;
-        let energy = energy_from_analysis(&self.arch, &analysis, &Reroute::default());
+        let mut energy = energy_from_analysis(&self.arch, &analysis, &Reroute::default());
+        add_kv_append_energy(&self.arch, layer, &mut energy);
         Ok(LayerEvaluation {
             layer_name: layer.name().to_string(),
             signature: layer.signature(),
@@ -320,7 +321,8 @@ impl System {
                 layer: layer.name().to_string(),
                 cause: Some(e),
             })?;
-        let energy = energy_from_analysis(&self.arch, &analysis, reroute);
+        let mut energy = energy_from_analysis(&self.arch, &analysis, reroute);
+        add_kv_append_energy(&self.arch, layer, &mut energy);
         Ok(LayerEvaluation {
             layer_name: layer.name().to_string(),
             signature: layer.signature(),
@@ -329,6 +331,47 @@ impl System {
             energy,
         })
     }
+}
+
+/// Charges the KV-cache residency cost of a decode-step layer: the cache
+/// grows by [`Layer::kv_append_elements`] per step, and each appended
+/// element is written once to the cache's home — the outermost storage
+/// level that keeps the weight tensor, since the cache *is* the layer's
+/// stationary operand. The per-step *reads* of the whole cache need no
+/// extra term: the cache is never reused across steps, so the weight
+/// traffic of each step's own evaluation already re-reads it in full.
+///
+/// Nothing is charged for ordinary layers (`kv_append_elements() == 0`),
+/// so every pre-existing evaluation is bit-identical to before.
+///
+/// An architecture with no weight-keeping storage level has nowhere to
+/// home the cache, so nothing can be charged and the resident layer
+/// costs the same as its non-resident twin; that mis-modeling trips a
+/// debug assertion rather than passing silently.
+fn add_kv_append_energy(arch: &Architecture, layer: &Layer, breakdown: &mut EnergyBreakdown) {
+    let appended = layer.kv_append_elements();
+    if appended == 0 {
+        return;
+    }
+    let Some(home) = arch
+        .levels()
+        .iter()
+        .find(|l| l.kind().is_storage() && l.keep().contains(TensorKind::Weight))
+    else {
+        debug_assert!(
+            false,
+            "KV-resident layer {:?} on an architecture with no weight-keeping \
+             storage level: the cache has no home, so its append cannot be charged",
+            layer.name()
+        );
+        return;
+    };
+    breakdown.add(
+        home.name().to_string(),
+        CostCategory::Storage,
+        Some(TensorKind::Weight),
+        home.write_energy() * appended as f64,
+    );
 }
 
 /// Converts a nest analysis into an itemized energy breakdown under the
@@ -528,6 +571,52 @@ mod tests {
         assert!(fused.energy.total() < plain.energy.total());
         // Weights still hit DRAM.
         assert!(fused.energy.by_label_and_tensor("dram", TensorKind::Weight) > Energy::ZERO);
+    }
+
+    #[test]
+    fn kv_append_charges_cache_home_writes() {
+        let system = System::new(toy_arch(), MappingStrategy::default());
+        // Same nest, same stationarity — only the growing-cache
+        // annotation differs, so the energy difference is exactly the
+        // append write: 32 elements x 100 pJ at dram.
+        let plain = Layer::matmul("kv", 1, 64, 32, 1).with_per_sample_stationary();
+        let resident = Layer::matmul("kv", 1, 64, 32, 1).with_kv_cache_residency(32);
+        let a = system.evaluate_layer(&plain).unwrap();
+        let b = system.evaluate_layer(&resident).unwrap();
+        let diff = b.energy.total().picojoules() - a.energy.total().picojoules();
+        assert!((diff - 32.0 * 100.0).abs() < 1e-6, "diff {diff}");
+        let dram_w = |e: &LayerEvaluation| {
+            e.energy
+                .by_label_and_tensor("dram", TensorKind::Weight)
+                .picojoules()
+        };
+        assert!((dram_w(&b) - dram_w(&a) - 3200.0).abs() < 1e-6);
+        // Cycles and mapping are untouched — the append is pure energy.
+        assert_eq!(a.analysis.cycles, b.analysis.cycles);
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn kv_append_scales_with_batch_replicas() {
+        let system = System::new(toy_arch(), MappingStrategy::default());
+        let one = Layer::matmul("kv", 1, 64, 32, 1).with_kv_cache_residency(32);
+        let four = one.clone().with_batch(4);
+        let base = system
+            .evaluate_layer(&Layer::matmul("kv", 1, 64, 32, 1).with_per_sample_stationary())
+            .unwrap();
+        let e1 = system.evaluate_layer(&one).unwrap();
+        let e4 = system.evaluate_layer(&four).unwrap();
+        let append1 = e1.energy.total().picojoules() - base.energy.total().picojoules();
+        // Four replicated caches append four tokens' slices per step.
+        let base4 = system
+            .evaluate_layer(
+                &Layer::matmul("kv", 1, 64, 32, 1)
+                    .with_per_sample_stationary()
+                    .with_batch(4),
+            )
+            .unwrap();
+        let append4 = e4.energy.total().picojoules() - base4.energy.total().picojoules();
+        assert!((append4 - 4.0 * append1).abs() < 1e-6);
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   [`lumen_workload::LayerSignature`], reroute)*, with
 //!   [`EvalSession::evaluate_network`] evaluating each unique layer
 //!   signature once — bit-identical to the sequential path.
+//! * [`decode`] sweeps autoregressive decode steps (seq-1 GEMV networks
+//!   with a growing KV cache) through a session; the evaluator charges
+//!   KV-cache residency costs (per-step cache append writes) for layers
+//!   marked [`lumen_workload::Layer::with_kv_cache_residency`].
 //!
 //! # Examples
 //!
@@ -56,6 +60,7 @@
 //! ```
 
 pub mod cache;
+pub mod decode;
 pub mod dse;
 mod energy;
 mod evaluator;
@@ -64,6 +69,7 @@ pub mod report;
 pub mod sweep;
 
 pub use cache::{arch_fingerprint, CacheStats, EvalCache, EvalSession};
+pub use decode::{decode_sweep, DecodePoint};
 pub use energy::{CostCategory, EnergyBreakdown, EnergyItem};
 pub use evaluator::{LayerEvaluation, MappingFn, MappingStrategy, System, SystemError};
 pub use network::{FusionConfig, NetworkEvaluation, NetworkOptions};

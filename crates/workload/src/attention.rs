@@ -22,7 +22,7 @@
 //! the distinction that makes attention memory behavior differ from
 //! convolutions and motivates evaluating transformers at all.
 
-use crate::{Layer, Network};
+use crate::{DecodePhase, Layer, Network};
 
 /// Shape of one multi-head attention block, plus lowering helpers.
 ///
@@ -117,6 +117,19 @@ impl Attention {
     pub fn macs(&self) -> u64 {
         let (s, d, n) = (self.seq as u64, self.d_model as u64, self.batch as u64);
         n * (4 * s * d * d + 2 * s * s * d)
+    }
+
+    /// The autoregressive decode step of this block with `kv_len` tokens
+    /// already cached: same prefix, width, heads and batch, but `seq = 1`
+    /// by definition — the prefill sequence length plays no role in
+    /// decode, where each step processes exactly one new token against
+    /// the cache (see [`DecodePhase`]). The batch set via
+    /// [`Attention::with_batch`] carries over and replicates the cache
+    /// per sample.
+    pub fn decode_step(&self, kv_len: usize) -> DecodePhase {
+        DecodePhase::new(self.prefix.clone(), self.d_model, self.heads)
+            .with_kv_len(kv_len)
+            .with_batch(self.batch)
     }
 }
 
@@ -235,5 +248,19 @@ mod tests {
     #[should_panic(expected = "not divisible")]
     fn indivisible_heads_panic() {
         let _ = Attention::new("a", 16, 100, 7);
+    }
+
+    #[test]
+    fn decode_step_carries_batch_and_ignores_seq() {
+        // The prefill seq (here 64) does not leak into the decode step:
+        // decode is seq-1 by definition, and only the batch carries over.
+        let mha = Attention::new("a", 64, 256, 4).with_batch(8);
+        let step = mha.decode_step(31);
+        assert_eq!(step.attend_len(), 32);
+        assert_eq!(step.macs(), 8 * (4 * 256 * 256 + 2 * 32 * 256));
+        let layers = step.lower();
+        let logits = layers.iter().find(|l| l.name() == "a.logits").unwrap();
+        assert_eq!(logits.batch_replicas(), 8, "cache replicated per sample");
+        assert_eq!(logits.shape()[Dim::P], 1);
     }
 }

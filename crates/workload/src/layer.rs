@@ -95,6 +95,9 @@ pub struct Layer {
     /// Always 1 for ordinary layers, whose batch lives in `N`.
     batch_replicas: usize,
     per_sample_stationary: bool,
+    /// Stationary-operand elements appended to a KV cache per evaluated
+    /// step, per batch sample (0 = the operand is not a growing cache).
+    kv_append: usize,
 }
 
 impl Layer {
@@ -185,6 +188,22 @@ impl Layer {
         .expect("matmul bounds must be nonzero")
     }
 
+    /// Builds a GEMV — a matrix-vector product `O[n,m] = Σ_k A[n,k] ·
+    /// B[k,m]`, the shape of one autoregressive decode step.
+    ///
+    /// This is exactly [`Layer::matmul`] with a single output row
+    /// (`rows = 1`): the two constructions produce equal
+    /// [`signature`](Layer::signature)s and therefore bit-identical
+    /// mappings and evaluations on every architecture (pinned by
+    /// `tests/decode_properties.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound is zero.
+    pub fn gemv(name: impl Into<String>, n: usize, m: usize, k: usize) -> Layer {
+        Layer::matmul(name, n, m, k, 1)
+    }
+
     /// Builds a depthwise convolution over `c` channels.
     #[allow(clippy::too_many_arguments)]
     pub fn depthwise_conv2d(
@@ -254,6 +273,7 @@ impl Layer {
             groups,
             batch_replicas: 1,
             per_sample_stationary: false,
+            kv_append: 0,
         })
     }
 
@@ -330,6 +350,35 @@ impl Layer {
         self
     }
 
+    /// Marks the layer's stationary ("weight") operand as a KV-cache
+    /// resident tensor that *grows* by `appended` elements per evaluated
+    /// step, per batch sample (builder style).
+    ///
+    /// A KV cache behaves like weights that are appended to every step:
+    /// it is replicated per sample — this builder implies
+    /// [`Layer::with_per_sample_stationary`], so batching replicates the
+    /// cache instead of sharing it — and it is never reused across steps,
+    /// so each step's evaluation re-reads the whole cache (which separate
+    /// per-step evaluations model naturally) *and* pays the append write
+    /// of the step's new K/V slice. The evaluator charges that append as
+    /// `appended × batch` extra writes of the weight tensor at its
+    /// backing store.
+    ///
+    /// `appended` counts elements across all channel groups (for an
+    /// `H`-head attention cache layer, one token's slice is
+    /// `H · d_head = d_model` elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `appended` is zero.
+    #[must_use]
+    pub fn with_kv_cache_residency(mut self, appended: usize) -> Layer {
+        assert!(appended > 0, "appended elements must be nonzero");
+        self = self.with_per_sample_stationary();
+        self.kv_append = appended;
+        self
+    }
+
     /// The layer's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -376,6 +425,24 @@ impl Layer {
     /// [`Layer::with_per_sample_stationary`]).
     pub fn per_sample_stationary(&self) -> bool {
         self.per_sample_stationary
+    }
+
+    /// `true` if the stationary operand is a growing KV cache (see
+    /// [`Layer::with_kv_cache_residency`]).
+    pub fn kv_cache_resident(&self) -> bool {
+        self.kv_append > 0
+    }
+
+    /// Stationary-operand elements appended to the KV cache by one
+    /// evaluated step, across all batch samples (0 for ordinary layers).
+    pub fn kv_append_elements(&self) -> u64 {
+        self.kv_append as u64 * self.batch_replicas as u64
+    }
+
+    /// Per-sample KV-cache append count, as given to
+    /// [`Layer::with_kv_cache_residency`].
+    pub fn kv_append_per_sample(&self) -> usize {
+        self.kv_append
     }
 
     /// `true` if both strides are 1 (many photonic dataflows require this
@@ -586,6 +653,44 @@ mod tests {
         assert_eq!(l.shape()[Dim::N], 8);
         assert_eq!(l.tensor_elements(TensorKind::Weight), 8 * 8);
         assert!(!l.per_sample_stationary());
+    }
+
+    #[test]
+    fn gemv_is_matmul_with_one_row() {
+        let g = Layer::gemv("g", 2, 64, 32);
+        let m = Layer::matmul("m", 2, 64, 32, 1);
+        assert_eq!(g.kind(), LayerKind::Matmul);
+        assert_eq!(g.shape(), m.shape());
+        assert_eq!(g.shape()[Dim::P], 1);
+        assert_eq!(g.macs(), 2 * 64 * 32);
+    }
+
+    #[test]
+    fn kv_residency_implies_per_sample_stationary() {
+        let l = Layer::matmul("kv", 1, 4 * 8, 4 * 16, 1)
+            .with_groups(4)
+            .with_kv_cache_residency(32);
+        assert!(l.kv_cache_resident());
+        assert!(l.per_sample_stationary());
+        assert_eq!(l.kv_append_per_sample(), 32);
+        assert_eq!(l.kv_append_elements(), 32);
+        // Batching replicates the cache, so the append scales with it.
+        let batched = l.with_batch(8);
+        assert_eq!(batched.kv_append_elements(), 8 * 32);
+        assert_eq!(batched.groups(), 8 * 4);
+    }
+
+    #[test]
+    fn ordinary_layers_have_no_kv_append() {
+        let l = Layer::matmul("proj", 1, 8, 8, 4).with_batch(8);
+        assert!(!l.kv_cache_resident());
+        assert_eq!(l.kv_append_elements(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_kv_append_panics() {
+        let _ = Layer::matmul("kv", 1, 8, 8, 1).with_kv_cache_residency(0);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! Batched GEMMs ([`LayerKind::Matmul`]) fold onto the same nest with
 //! `P` carrying the row/sequence extent and `Q = R = S = 1`; multi-head
 //! attention lowers onto grouped matmuls via [`Attention`], with heads as
-//! channel groups.
+//! channel groups. Autoregressive decoding lowers onto seq-1 GEMVs with
+//! a growing, per-sample-resident KV cache via [`DecodePhase`] and
+//! [`decode_trace`].
 //!
 //! The [`networks`] module provides the four CNNs evaluated by the paper
 //! ([`networks::alexnet`], [`networks::vgg16`], [`networks::resnet18`],
@@ -39,6 +41,7 @@
 //! ```
 
 mod attention;
+mod decode;
 mod dims;
 mod layer;
 mod network;
@@ -47,6 +50,7 @@ mod signature;
 mod tensor;
 
 pub use attention::{encoder_block_macs, push_encoder_block, Attention};
+pub use decode::{decode_block_macs, decode_trace, push_decode_block, DecodePhase};
 pub use dims::{Dim, DimMap, DimSet, Shape};
 pub use layer::{Layer, LayerError, LayerKind};
 pub use network::{Network, NetworkStats};

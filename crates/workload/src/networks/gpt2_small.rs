@@ -1,7 +1,9 @@
-//! GPT-2 small (Radford et al., 2019) decoder, prefill phase, at the
-//! model's full 1024-token context.
+//! GPT-2 small (Radford et al., 2019) decoder: the prefill phase at the
+//! model's full 1024-token context, and the autoregressive decode phase
+//! (one GEMV-shaped step per token against a growing KV cache).
 
 use crate::attention::{encoder_block_macs, push_encoder_block};
+use crate::decode::{decode_block_macs, decode_trace, push_decode_block};
 use crate::{Layer, Network};
 
 /// Prefill sequence length (the model's full context window).
@@ -65,6 +67,73 @@ pub fn gpt2_small_macs() -> u64 {
         + (GPT2_SMALL_VOCAB * GPT2_SMALL_D_MODEL) as u64
 }
 
+/// Builds one batch-1 GPT-2 small *decode* step with `kv_len` tokens
+/// already cached: 12 decoder blocks of seq-1 GEMVs attending over
+/// `kv_len + 1` positions, plus the LM head (97 layers, like prefill).
+///
+/// `kv_len` counts the tokens cached *before* the step; the step appends
+/// the new token's K/V and attends over the result, so `kv_len = 0` is
+/// the first generated token. See [`crate::DecodePhase`] for the pinned
+/// semantics (per-sample cache replication, append accounting).
+///
+/// # Examples
+///
+/// ```
+/// use lumen_workload::networks::{gpt2_small_decode, gpt2_small_decode_macs};
+/// let net = gpt2_small_decode(1023);
+/// assert_eq!(net.layers().len(), 97);
+/// assert_eq!(net.total_macs(), gpt2_small_decode_macs(1023));
+/// ```
+pub fn gpt2_small_decode(kv_len: usize) -> Network {
+    gpt2_small_decode_bucketed(kv_len, 1)
+}
+
+/// [`gpt2_small_decode`] with the attend length padded up to multiples
+/// of `kv_bucket` (hardware tile / KV-page granularity): all steps
+/// inside one bucket share every layer signature, which is what lets an
+/// `EvalSession` answer a long decode trace with a handful of mapping
+/// searches.
+pub fn gpt2_small_decode_bucketed(kv_len: usize, kv_bucket: usize) -> Network {
+    let mut net = Network::new(format!("gpt2-small-decode@kv{kv_len}"));
+    for block in 0..GPT2_SMALL_LAYERS {
+        net = push_decode_block(
+            net,
+            &format!("decoder.{block}"),
+            GPT2_SMALL_D_MODEL,
+            GPT2_SMALL_HEADS,
+            GPT2_SMALL_D_FF,
+            kv_len,
+            kv_bucket,
+        );
+    }
+    net.push(Layer::gemv(
+        "lm-head",
+        1,
+        GPT2_SMALL_VOCAB,
+        GPT2_SMALL_D_MODEL,
+    ))
+}
+
+/// Closed-form MAC count of [`gpt2_small_decode`] (bucket 1).
+pub fn gpt2_small_decode_macs(kv_len: usize) -> u64 {
+    GPT2_SMALL_LAYERS as u64 * decode_block_macs(kv_len + 1, GPT2_SMALL_D_MODEL, GPT2_SMALL_D_FF)
+        + (GPT2_SMALL_VOCAB * GPT2_SMALL_D_MODEL) as u64
+}
+
+/// A GPT-2 small decode trace: `steps` per-step networks starting with
+/// `start_kv` cached tokens, the cache growing by one token per step.
+/// Yields `(kv_len, network)` pairs; see
+/// [`gpt2_small_decode_bucketed`] for what `kv_bucket` buys.
+pub fn gpt2_small_decode_trace(
+    start_kv: usize,
+    steps: usize,
+    kv_bucket: usize,
+) -> impl Iterator<Item = (usize, Network)> {
+    decode_trace(start_kv, steps, move |kv_len| {
+        gpt2_small_decode_bucketed(kv_len, kv_bucket)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +166,44 @@ mod tests {
         let net = gpt2_small();
         let head = net.layers().iter().find(|l| l.name() == "lm-head").unwrap();
         assert_eq!(head.macs(), (GPT2_SMALL_VOCAB * GPT2_SMALL_D_MODEL) as u64);
+    }
+
+    #[test]
+    fn decode_totals_match_closed_form() {
+        for kv in [0, 1, 127, 1023, 2047] {
+            let net = gpt2_small_decode(kv);
+            assert_eq!(net.layers().len(), 97, "kv={kv}");
+            assert_eq!(net.total_macs(), gpt2_small_decode_macs(kv), "kv={kv}");
+        }
+    }
+
+    #[test]
+    fn decode_step_is_a_tiny_fraction_of_prefill() {
+        // One decode token at the full context is ~1000x cheaper than
+        // prefilling the whole context — the serving regime's economics.
+        let step = gpt2_small_decode_macs(GPT2_SMALL_SEQ - 1);
+        assert!(step * 500 < gpt2_small_macs(), "step {step}");
+        // And every layer is a GEMV (seq = 1).
+        for layer in gpt2_small_decode(GPT2_SMALL_SEQ - 1).layers() {
+            assert_eq!(layer.shape()[crate::Dim::P], 1, "{}", layer.name());
+        }
+    }
+
+    #[test]
+    fn bucketed_trace_dedupes_signatures() {
+        use std::collections::HashSet;
+        let mut unique = HashSet::new();
+        let mut layers = 0usize;
+        for (_, net) in gpt2_small_decode_trace(0, 128, 64) {
+            layers += net.layers().len();
+            unique.extend(net.layers().iter().map(|l| l.signature()));
+        }
+        assert_eq!(layers, 128 * 97);
+        // 4 KV-independent signatures (proj, fc1, fc2, lm-head) + up to 2
+        // per KV-length bucket (logits, attend); 128 steps at bucket 64
+        // span attend lengths {64, 128} -> 2 buckets. At attend length 64
+        // (= d_head) logits and attend are transposed nests with equal
+        // per-group bounds, so that bucket contributes one signature.
+        assert_eq!(unique.len(), 4 + 1 + 2);
     }
 }

@@ -17,7 +17,10 @@ mod vit_b16;
 
 pub use alexnet::alexnet;
 pub use bert_base::{bert_base, bert_base_macs};
-pub use gpt2_small::{gpt2_small, gpt2_small_macs};
+pub use gpt2_small::{
+    gpt2_small, gpt2_small_decode, gpt2_small_decode_bucketed, gpt2_small_decode_macs,
+    gpt2_small_decode_trace, gpt2_small_macs,
+};
 pub use mobilenetv1::mobilenetv1;
 pub use resnet18::resnet18;
 pub use vgg16::vgg16;
@@ -43,6 +46,13 @@ pub fn by_name(name: &str) -> Option<Network> {
         "mobilenetv1" | "mobilenet-v1" | "mobilenet" => Some(mobilenetv1()),
         "bert-base" | "bert_base" | "bert" => Some(bert_base()),
         "gpt2-small" | "gpt2_small" | "gpt2" => Some(gpt2_small()),
+        // One decode step at the full context (1023 cached tokens) — the
+        // serving-phase counterpart of the `gpt2-small` prefill network.
+        // Deliberately not part of `NAMES`: the figure/study drivers
+        // iterate that inventory, and the decode phase has its own study.
+        "gpt2-small-decode" | "gpt2_small_decode" | "gpt2-decode" => {
+            Some(gpt2_small_decode(gpt2_small::GPT2_SMALL_SEQ - 1))
+        }
         "vit-b16" | "vit_b16" | "vit" => Some(vit_b16()),
         _ => None,
     }
@@ -134,6 +144,16 @@ mod tests {
         for alias in ["bert", "gpt2", "vit", "BERT-Base", "vit_b16"] {
             assert!(by_name(alias).is_some(), "alias {alias} should resolve");
         }
+    }
+
+    #[test]
+    fn decode_aliases_resolve_to_full_context_step() {
+        for alias in ["gpt2-small-decode", "gpt2_small_decode", "gpt2-decode"] {
+            let net = by_name(alias).unwrap_or_else(|| panic!("alias {alias}"));
+            assert_eq!(net.total_macs(), gpt2_small_decode_macs(1023));
+        }
+        // The decode step stays out of the driver-facing inventory.
+        assert!(!NAMES.contains(&"gpt2-small-decode"));
     }
 
     #[test]

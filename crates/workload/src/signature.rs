@@ -69,8 +69,8 @@ pub fn fnv1a(tag: &[u8], words: &[u64]) -> u64 {
 /// analyses and energy breakdowns on every architecture and under every
 /// deterministic mapping strategy. The signature covers the per-group
 /// loop bounds, operator class, stride, dilation, group count, batch
-/// replicas and the per-sample-stationary flag; it deliberately excludes
-/// the layer's name.
+/// replicas, the per-sample-stationary flag and the KV-cache append
+/// count; it deliberately excludes the layer's name.
 ///
 /// The struct itself is the collision-free cache key (derived `Eq` /
 /// `Hash` over all fields); [`LayerSignature::digest`] additionally
@@ -86,6 +86,7 @@ pub struct LayerSignature {
     groups: usize,
     batch_replicas: usize,
     per_sample_stationary: bool,
+    kv_append: usize,
 }
 
 impl LayerSignature {
@@ -99,6 +100,7 @@ impl LayerSignature {
             groups: layer.channel_groups(),
             batch_replicas: layer.batch_replicas(),
             per_sample_stationary: layer.per_sample_stationary(),
+            kv_append: layer.kv_append_per_sample(),
         }
     }
 
@@ -106,7 +108,7 @@ impl LayerSignature {
     /// canonical field encoding). Identical across runs, platforms and
     /// Rust versions; independent of the layer's name.
     pub fn digest(&self) -> u64 {
-        let mut words = Vec::with_capacity(15);
+        let mut words = Vec::with_capacity(16);
         words.push(match self.kind {
             LayerKind::Conv2d => 0,
             LayerKind::FullyConnected => 1,
@@ -125,6 +127,14 @@ impl LayerSignature {
             self.batch_replicas as u64,
             u64::from(self.per_sample_stationary),
         ]);
+        // KV-cache residency extends the encoding only for layers that
+        // carry it: every pre-existing layer's digest — including the
+        // hard-pinned constant below and any digest persisted in logs or
+        // bench artifacts — is unchanged, while cache layers with
+        // different append counts stay distinguishable.
+        if self.kv_append > 0 {
+            words.push(self.kv_append as u64);
+        }
         fnv1a(b"layer", &words)
     }
 }
@@ -191,6 +201,27 @@ mod tests {
         assert_ne!(l.signature(), l.clone().with_batch(8).signature());
         let attn = Layer::matmul("a", 1, 8, 8, 8).with_per_sample_stationary();
         assert_ne!(attn.signature(), attn.clone().with_batch(4).signature());
+    }
+
+    #[test]
+    fn kv_cache_residency_is_distinguished() {
+        let plain = Layer::matmul("mm", 1, 96, 96, 1)
+            .with_groups(4)
+            .with_per_sample_stationary();
+        let resident = Layer::matmul("mm", 1, 96, 96, 1)
+            .with_groups(4)
+            .with_kv_cache_residency(96);
+        // Same bounds, groups and stationarity: only the growing-cache
+        // annotation differs, and it changes the append energy the
+        // evaluator charges — the signatures must differ.
+        assert_ne!(plain.signature(), resident.signature());
+        assert_ne!(plain.signature().digest(), resident.signature().digest());
+        // Different append counts are different identities too.
+        let bigger = Layer::matmul("mm", 1, 96, 96, 1)
+            .with_groups(4)
+            .with_kv_cache_residency(192);
+        assert_ne!(resident.signature(), bigger.signature());
+        assert_ne!(resident.signature().digest(), bigger.signature().digest());
     }
 
     #[test]

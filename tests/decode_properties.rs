@@ -1,0 +1,311 @@
+//! Property and invariant tests for the autoregressive decode path.
+//!
+//! Random decode shapes drive the lowering's closed forms; the GPT-2
+//! small decode builders drive the toy, Albireo and digital-baseline
+//! systems. The properties: a GEMV is bit-identical to the equivalent
+//! single-row `Matmul`, decode-trace MACs are monotonically nondecreasing
+//! in KV length, analytic MAC totals match layer sums across KV lengths,
+//! every energy is finite and positive, and the KV-cache residency
+//! semantics (first token, replication under batching,
+//! `Attention::with_batch` interaction) are pinned.
+
+use lumen::albireo::{AlbireoConfig, DigitalBaseline, ScalingProfile};
+use lumen::arch::{ArchBuilder, Architecture, Domain, Fanout};
+use lumen::core::{EvalSession, MappingStrategy, NetworkOptions, System};
+use lumen::mapper::search::SearchConfig;
+use lumen::units::{Energy, Frequency};
+use lumen::workload::{networks, Attention, DecodePhase, Dim, DimSet, Layer, TensorSet};
+use proptest::prelude::*;
+
+fn toy_arch() -> Architecture {
+    ArchBuilder::new("decode-toy", Frequency::from_gigahertz(1.0))
+        .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+        .read_energy(Energy::from_picojoules(100.0))
+        .write_energy(Energy::from_picojoules(100.0))
+        .done()
+        .storage("glb", Domain::DigitalElectrical, TensorSet::all())
+        .read_energy(Energy::from_picojoules(1.0))
+        .write_energy(Energy::from_picojoules(1.0))
+        .fanout(Fanout::new(64).allow(DimSet::from_dims(&[Dim::M, Dim::C, Dim::P])))
+        .done()
+        .compute(
+            "mac",
+            Domain::DigitalElectrical,
+            Energy::from_picojoules(0.05),
+        )
+        .build()
+        .expect("toy architecture is valid")
+}
+
+fn strategies() -> Vec<(&'static str, MappingStrategy)> {
+    vec![
+        ("greedy", MappingStrategy::default()),
+        (
+            "random-search",
+            MappingStrategy::RandomSearch(SearchConfig {
+                iterations: 25,
+                seed: 0xDEC0DE,
+            }),
+        ),
+    ]
+}
+
+/// A GEMV constructed via [`Layer::gemv`] is the same layer as the
+/// equivalent `Matmul` with one output row: equal signatures, and
+/// bit-identical mappings, analyses and energies under both
+/// deterministic mapping-strategy families.
+#[test]
+fn gemv_is_bit_identical_to_single_row_matmul() {
+    for (strategy_name, strategy) in strategies() {
+        for (n, m, k) in [(1, 64, 32), (2, 768, 768), (1, 50257, 768)] {
+            let gemv = Layer::gemv("as-gemv", n, m, k);
+            let matmul = Layer::matmul("as-matmul", n, m, k, 1);
+            assert_eq!(gemv.signature(), matmul.signature());
+
+            let system = System::new(toy_arch(), strategy.clone());
+            let a = system.evaluate_layer(&gemv).expect("gemv maps");
+            let b = system.evaluate_layer(&matmul).expect("matmul maps");
+            let ctx = format!("{strategy_name} n={n} m={m} k={k}");
+            assert_eq!(a.mapping, b.mapping, "{ctx}: mapping");
+            assert_eq!(a.analysis.cycles, b.analysis.cycles, "{ctx}: cycles");
+            assert_eq!(
+                a.energy.total().picojoules().to_bits(),
+                b.energy.total().picojoules().to_bits(),
+                "{ctx}: energy"
+            );
+        }
+    }
+}
+
+/// Decode-trace MACs are monotonically nondecreasing in KV length —
+/// strictly increasing unbucketed, plateaued within buckets.
+#[test]
+fn decode_trace_macs_are_monotone_in_kv_length() {
+    let exact: Vec<u64> = networks::gpt2_small_decode_trace(0, 96, 1)
+        .map(|(_, net)| net.total_macs())
+        .collect();
+    assert!(exact.windows(2).all(|w| w[0] < w[1]), "exact trace strict");
+
+    let bucketed: Vec<u64> = networks::gpt2_small_decode_trace(0, 96, 32)
+        .map(|(_, net)| net.total_macs())
+        .collect();
+    assert!(
+        bucketed.windows(2).all(|w| w[0] <= w[1]),
+        "bucketed trace nondecreasing"
+    );
+    // Bucketing only ever pads upward.
+    for (e, b) in exact.iter().zip(&bucketed) {
+        assert!(b >= e);
+    }
+}
+
+/// Analytic MAC totals match the layer-sum totals for the GPT-2 small
+/// decode builder across KV lengths, both as built and as re-derived by
+/// the nest analysis on a real system.
+#[test]
+fn analytic_decode_totals_match_layer_sums() {
+    let session = EvalSession::new(System::new(toy_arch(), MappingStrategy::default()));
+    for kv_len in [0, 1, 63, 128, 1023] {
+        let net = networks::gpt2_small_decode(kv_len);
+        let layer_sum: u64 = net.layers().iter().map(Layer::macs).sum();
+        assert_eq!(
+            layer_sum,
+            networks::gpt2_small_decode_macs(kv_len),
+            "kv={kv_len}"
+        );
+
+        let eval = session
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .expect("decode step maps");
+        let analyzed: u64 = eval.per_layer.iter().map(|l| l.analysis.macs).sum();
+        assert_eq!(analyzed, layer_sum, "kv={kv_len}: analysis re-derives MACs");
+    }
+}
+
+/// Every energy of a decode step is finite and positive on the toy
+/// system, the photonic Albireo (all corners) and the digital baseline.
+#[test]
+fn decode_energies_finite_and_positive_everywhere() {
+    let mut systems = vec![(
+        "toy".to_string(),
+        System::new(toy_arch(), MappingStrategy::default()),
+    )];
+    for scaling in ScalingProfile::ALL {
+        systems.push((
+            format!("albireo-{scaling}"),
+            AlbireoConfig::new(scaling).build_system(),
+        ));
+    }
+    systems.push(("digital".to_string(), DigitalBaseline::new().build_system()));
+
+    for (name, system) in systems {
+        let session = EvalSession::new(system);
+        for kv_len in [0, 511] {
+            let net = networks::gpt2_small_decode(kv_len);
+            let eval = session
+                .evaluate_network(&net, &NetworkOptions::baseline())
+                .unwrap_or_else(|e| panic!("{name} kv={kv_len}: {e}"));
+            assert!(eval.energy.total().is_finite(), "{name} kv={kv_len}");
+            assert!(eval.energy.total() > Energy::ZERO, "{name} kv={kv_len}");
+            for layer_eval in &eval.per_layer {
+                assert!(
+                    layer_eval.energy.total().is_finite()
+                        && layer_eval.energy.total() > Energy::ZERO,
+                    "{name} kv={kv_len}: {}",
+                    layer_eval.layer_name
+                );
+                for item in layer_eval.energy.items() {
+                    assert!(item.energy.raw() >= 0.0, "{name}: negative item");
+                }
+            }
+        }
+    }
+}
+
+/// The pinned first-token semantics: `kv_len = 0` is legal, attends over
+/// exactly the new token, and still pays the cache-append write.
+#[test]
+fn first_token_decode_evaluates() {
+    let session = EvalSession::new(System::new(toy_arch(), MappingStrategy::default()));
+    let net = networks::gpt2_small_decode(0);
+    let eval = session
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .expect("first token maps");
+    assert_eq!(eval.macs, networks::gpt2_small_decode_macs(0));
+    // logits at kv=0: 12 heads x 1 position x 64 features per block.
+    let logits = eval
+        .per_layer
+        .iter()
+        .find(|l| l.layer_name == "decoder.0.attn.logits")
+        .expect("logits evaluated");
+    assert_eq!(logits.analysis.macs, 12 * 64);
+    // kv=1 attends over two positions.
+    let next = session
+        .evaluate_network(&networks::gpt2_small_decode(1), &NetworkOptions::baseline())
+        .expect("second token maps");
+    assert_eq!(
+        next.per_layer
+            .iter()
+            .find(|l| l.layer_name == "decoder.0.attn.logits")
+            .unwrap()
+            .analysis
+            .macs,
+        2 * 12 * 64
+    );
+}
+
+/// The KV-residency energy term: a decode cache layer costs exactly its
+/// identically-shaped non-resident twin plus the append write of one
+/// token's K/V slice at the cache's DRAM home.
+#[test]
+fn kv_residency_charges_the_append_write() {
+    let system = System::new(toy_arch(), MappingStrategy::default());
+    let phase = DecodePhase::new("a", 768, 12).with_kv_len(127);
+    let logits = phase
+        .lower()
+        .into_iter()
+        .find(|l| l.name() == "a.logits")
+        .unwrap();
+    // The twin: same nest, same stationarity, no growing cache.
+    let twin = Layer::matmul("twin", 1, 12 * 128, 768, 1)
+        .with_groups(12)
+        .with_per_sample_stationary();
+    assert_ne!(logits.signature(), twin.signature());
+    let resident = system.evaluate_layer(&logits).unwrap();
+    let plain = system.evaluate_layer(&twin).unwrap();
+    let diff = resident.energy.total().picojoules() - plain.energy.total().picojoules();
+    // 768 appended elements x 100 pJ dram write.
+    assert!((diff - 768.0 * 100.0).abs() < 1e-6, "append diff {diff}");
+    assert_eq!(resident.analysis.cycles, plain.analysis.cycles);
+}
+
+/// Batching a decode step replicates the growing cache per sample — the
+/// pinned `Attention::with_batch` interaction — and the replication
+/// shows up in weight traffic, append energy and MACs alike.
+#[test]
+fn batched_decode_replicates_the_cache() {
+    use lumen::workload::TensorKind;
+    let step = Attention::new("a", 1024, 768, 12)
+        .with_batch(4)
+        .decode_step(255);
+    assert_eq!(
+        step.macs(),
+        4 * DecodePhase::new("a", 768, 12).with_kv_len(255).macs()
+    );
+    let layers = step.lower();
+    let logits = layers.iter().find(|l| l.name() == "a.logits").unwrap();
+    // Four samples, four caches: footprint and append both scale.
+    assert_eq!(logits.tensor_elements(TensorKind::Weight), 4 * 256 * 768);
+    assert_eq!(logits.kv_append_elements(), 4 * 768);
+    // Projections share their weights across the batch via N.
+    let query = layers.iter().find(|l| l.name() == "a.query").unwrap();
+    assert_eq!(query.tensor_elements(TensorKind::Weight), 768 * 768);
+    assert_eq!(query.shape()[Dim::N], 4);
+
+    // And the whole-network batched evaluation stays consistent.
+    let system = System::new(toy_arch(), MappingStrategy::default());
+    let net = networks::gpt2_small_decode(63);
+    let base = system
+        .evaluate_network(&net, &NetworkOptions::baseline())
+        .unwrap();
+    let batched = system
+        .evaluate_network(&net, &NetworkOptions::baseline().with_batch(4))
+        .unwrap();
+    assert_eq!(base.macs, batched.macs, "per-inference MACs are batch-free");
+    assert!(batched.energy.total().is_finite());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random decode shapes: the lowering's MAC sum always matches the
+    /// closed form, cache layers carry the residency annotation, and
+    /// bucketing pads the attend length up to the next multiple.
+    #[test]
+    fn decode_lowering_matches_closed_form(
+        heads in 1usize..=8,
+        head_dim in 1usize..=32,
+        kv_len in 0usize..=300,
+        bucket in 1usize..=64,
+        batch in 1usize..=3,
+    ) {
+        let d_model = heads * head_dim;
+        let phase = DecodePhase::new("p", d_model, heads)
+            .with_kv_len(kv_len)
+            .with_kv_bucket(bucket)
+            .with_batch(batch);
+        let len = phase.attend_len();
+        prop_assert!(len > kv_len && len < kv_len + 1 + bucket);
+        prop_assert_eq!(len % bucket, 0);
+        let layers = phase.lower();
+        prop_assert_eq!(layers.len(), 6);
+        let sum: u64 = layers.iter().map(Layer::macs).sum();
+        prop_assert_eq!(sum, phase.macs());
+        for layer in &layers {
+            prop_assert_eq!(layer.shape()[Dim::P], 1, "decode is seq-1");
+            if layer.name().ends_with("logits") || layer.name().ends_with("attend") {
+                prop_assert!(layer.kv_cache_resident());
+                prop_assert_eq!(layer.kv_append_elements(), (batch * d_model) as u64);
+            } else {
+                prop_assert!(!layer.kv_cache_resident());
+            }
+        }
+    }
+
+    /// Random decode GEMVs map and cost finite, positive energy.
+    #[test]
+    fn decode_step_energy_finite(
+        heads in 1usize..=4,
+        head_dim in 1usize..=16,
+        kv_len in 0usize..=64,
+    ) {
+        let phase = DecodePhase::new("p", heads * head_dim, heads).with_kv_len(kv_len);
+        let system = System::new(toy_arch(), MappingStrategy::default());
+        for layer in phase.lower() {
+            let eval = system.evaluate_layer(&layer).unwrap();
+            prop_assert!(eval.energy.total().is_finite());
+            prop_assert!(eval.energy.total() > Energy::ZERO);
+            prop_assert_eq!(eval.analysis.macs, layer.macs());
+        }
+    }
+}

@@ -250,6 +250,70 @@ fn uncached_session_matches_cached_session() {
     assert_eq!(uncached.cache_stats().misses, 0);
 }
 
+/// The decode acceptance criterion made literal: a 512-step GPT-2 small
+/// decode trace (one token per step, KV lengths 0..512, attend lengths
+/// padded to 64-token buckets) evaluated through one [`EvalSession`]
+/// performs at most *(unique KV-length buckets × unique signatures per
+/// step)* mapping searches — the counting `Custom` strategy proves it —
+/// and costs ≤ 10% of the naive one-search-per-layer-per-step bill, with
+/// a cache hit rate well above 90%.
+#[test]
+fn decode_trace_512_steps_costs_a_handful_of_searches() {
+    use lumen::mapper::search::{greedy_mapping, spatial_priority_for, TemporalPlan};
+
+    let searches = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&searches);
+    let counting = MappingStrategy::Custom(Arc::new(move |arch, layer| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        greedy_mapping(
+            arch,
+            layer,
+            spatial_priority_for(layer),
+            &TemporalPlan::all_at(1),
+        )
+    }));
+
+    let session = EvalSession::new(System::new(generic_arch(), counting));
+    let mut layer_evals = 0usize;
+    let mut buckets = HashSet::new();
+    let mut unique_per_step = 0usize;
+    for (kv_len, net) in networks::gpt2_small_decode_trace(0, 512, 64) {
+        buckets.insert((kv_len + 1).div_ceil(64));
+        let unique: HashSet<LayerSignature> = net.layers().iter().map(|l| l.signature()).collect();
+        unique_per_step = unique_per_step.max(unique.len());
+        let eval = session
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .unwrap_or_else(|e| panic!("kv={kv_len}: {e}"));
+        layer_evals += eval.per_layer.len();
+    }
+    assert_eq!(layer_evals, 512 * 97);
+    assert_eq!(buckets.len(), 8, "attend lengths 64, 128, .., 512");
+    assert_eq!(
+        unique_per_step, 6,
+        "proj, logits, attend, fc1, fc2, lm-head"
+    );
+
+    let searched = searches.load(Ordering::Relaxed);
+    assert!(
+        searched <= buckets.len() * unique_per_step,
+        "{searched} searches exceed buckets x unique-per-step = {}",
+        buckets.len() * unique_per_step
+    );
+    assert!(
+        searched * 10 <= layer_evals,
+        "{searched} searches exceed 10% of the naive {layer_evals}"
+    );
+
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses as usize, searched, "every miss is one search");
+    assert_eq!(
+        stats.hits + stats.misses,
+        layer_evals as u64,
+        "every layer evaluation is accounted for"
+    );
+    assert!(stats.hit_rate() >= 0.9, "hit rate {:.3}", stats.hit_rate());
+}
+
 /// Albireo's bespoke dataflow (a `Custom` strategy) rides the same
 /// pipeline: the figure drivers moved onto sessions, so the golden suite
 /// already pins their exact output; here we pin the per-layer identity.

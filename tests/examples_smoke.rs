@@ -129,6 +129,45 @@ fn transformer_study_attention_costs_more_per_mac() {
     assert!(deduped.contains("x48") && deduped.contains("x12"));
 }
 
+/// The `decode_study` example's pipeline: the KV-length sweep evaluates,
+/// the photonic/digital utilization gap widens from prefill to seq-1
+/// decode, and a bucketed decode trace through one session is answered
+/// almost entirely from the cache.
+#[test]
+fn decode_study_gap_widens_and_trace_is_cheap() {
+    let result =
+        experiments::decode_study(ScalingProfile::Aggressive).expect("decode study evaluates");
+    assert_eq!(result.rows.len(), experiments::DECODE_KV_LENGTHS.len());
+    for row in &result.rows {
+        assert!(
+            row.utilization_gap() > result.prefill.utilization_gap(),
+            "kv={}: decode gap {:.1}x vs prefill {:.1}x",
+            row.kv_len,
+            row.utilization_gap(),
+            result.prefill.utilization_gap()
+        );
+    }
+    assert!(result.trace_hit_rate() >= 0.9);
+
+    // The example's trace segment: 32 steps in 16-token buckets through
+    // one content-addressed session.
+    let session = EvalSession::new(AlbireoConfig::new(ScalingProfile::Aggressive).build_system());
+    let mut layer_evals = 0usize;
+    for (_, net) in networks::gpt2_small_decode_trace(0, 32, 16) {
+        let eval = session
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .expect("decode step maps");
+        layer_evals += eval.per_layer.len();
+    }
+    let stats = session.cache_stats();
+    assert_eq!(layer_evals, 32 * 97);
+    assert!(
+        (stats.misses as usize) * 10 <= layer_evals,
+        "{} searches for {layer_evals} evaluations",
+        stats.misses
+    );
+}
+
 /// The `throughput_study` example's pipeline: modeled throughput never
 /// exceeds the architecture's peak parallelism.
 #[test]

@@ -95,6 +95,25 @@ fn transformer_study_matches_snapshot() {
 }
 
 #[test]
+fn decode_study_matches_snapshot() {
+    // Both corners, each table carrying both system families (the
+    // Albireo custom dataflow and the digital baseline's): conservative
+    // pins "photonics lose decode outright", aggressive pins the
+    // prefill-to-decode collapse of the energy edge, and both pin the
+    // widening utilization gap plus the sweep's exact cache accounting.
+    let mut rendered = String::new();
+    for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
+        rendered.push_str(
+            &experiments::decode_study(scaling)
+                .expect("study evaluates")
+                .to_string(),
+        );
+        rendered.push('\n');
+    }
+    assert_golden("decode_study", &rendered);
+}
+
+#[test]
 fn csv_rendering_matches_snapshot() {
     // The CSV path is the machine-readable export surface; lock one
     // figure's CSV too so escaping/format changes cannot slip through.
