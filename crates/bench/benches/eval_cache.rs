@@ -25,6 +25,13 @@ fn albireo_system() -> System {
     AlbireoConfig::new(ScalingProfile::Aggressive).build_system()
 }
 
+/// The speedup floor the content-addressed pipeline must clear on
+/// transformer workloads — asserted by the full bench on developer
+/// machines and by the `LUMEN_BENCH_ASSERT_SPEEDUP` smoke gate in CI
+/// (`BENCH_eval.json` tracks the actual trajectory: ~4.4x cold, ~7.5x
+/// warm).
+const SPEEDUP_FLOOR: f64 = 3.0;
+
 /// Best-of-`runs` wall time of `f`, in seconds.
 fn best_seconds<O>(runs: usize, mut f: impl FnMut() -> O) -> f64 {
     let mut best = f64::INFINITY;
@@ -34,6 +41,25 @@ fn best_seconds<O>(runs: usize, mut f: impl FnMut() -> O) -> f64 {
         best = best.min(start.elapsed().as_secs_f64());
     }
     best
+}
+
+/// The shared measurement protocol behind both the CI speedup gate and
+/// the developer-machine wall-time artifact: best-of-3 bert-base wall
+/// times for the sequential uncached path, a cold session (fresh cache)
+/// and a warm session (cache primed). Returns `(uncached, cold, warm)`
+/// seconds.
+fn measure_walls(system: &System, net: &lumen_workload::Network) -> (f64, f64, f64) {
+    let options = NetworkOptions::baseline();
+    let uncached = best_seconds(3, || system.evaluate_network(net, &options).unwrap());
+    let cold = best_seconds(3, || {
+        EvalSession::new(system.clone())
+            .evaluate_network(net, &options)
+            .unwrap()
+    });
+    let warm_session = EvalSession::new(system.clone());
+    warm_session.evaluate_network(net, &options).unwrap();
+    let warm = best_seconds(3, || warm_session.evaluate_network(net, &options).unwrap());
+    (uncached, cold, warm)
 }
 
 /// Asserts the cached path reproduces the sequential path bit for bit on
@@ -94,54 +120,62 @@ fn bench_eval_cache(c: &mut Criterion) {
         println!("bert-base: {unique} unique signatures, {hits} of 96 layers from cache");
     });
 
-    // Timing assertions and the JSON artifact run only on developer
-    // machines: shared CI runners (the `CI` env var is the Actions
-    // convention) are too noisy for a hard wall-time gate, and the smoke
-    // step above already covers bit-identity there.
-    if !c.is_smoke() && std::env::var_os("CI").is_none() {
-        // Wall-time artifact: sequential uncached vs content-addressed,
-        // cold (fresh cache) and warm (cache primed).
-        let uncached = best_seconds(3, || system.evaluate_network(&net, &options).unwrap());
-        let cold = best_seconds(3, || {
-            EvalSession::new(system.clone())
-                .evaluate_network(&net, &options)
-                .unwrap()
-        });
-        let warm_session = EvalSession::new(system.clone());
-        warm_session.evaluate_network(&net, &options).unwrap();
-        let warm = best_seconds(3, || warm_session.evaluate_network(&net, &options).unwrap());
-        let fig4 = best_seconds(2, || experiments::fig4_memory_exploration().unwrap());
-        let speedup_cold = uncached / cold;
-        let speedup_warm = uncached / warm;
+    // Two consumers share one wall-time measurement (so a developer
+    // reproducing the CI gate locally never pays for — or compares —
+    // two divergent measurements):
+    //
+    // * the CI bench-regression gate: `LUMEN_BENCH_ASSERT_SPEEDUP=1`
+    //   (set by the workflow's bench step, which runs in smoke mode)
+    //   asserts the cold/warm speedup floor even on a shared runner — a
+    //   *ratio* taken best-of-3 on one machine is robust where absolute
+    //   wall times are not;
+    // * the developer-machine wall-time artifact (`BENCH_eval.json`),
+    //   which skips shared CI runners (the `CI` env var is the Actions
+    //   convention) because absolute times there are too noisy to keep.
+    let gate_speedups = std::env::var_os("LUMEN_BENCH_ASSERT_SPEEDUP").is_some();
+    let write_artifact = !c.is_smoke() && std::env::var_os("CI").is_none();
+    if gate_speedups || write_artifact {
+        let (uncached, cold, warm) = measure_walls(&system, &net);
+        let (speedup_cold, speedup_warm) = (uncached / cold, uncached / warm);
         println!(
             "bert-base: uncached {:.1} ms, cached cold {:.1} ms ({speedup_cold:.1}x), \
-             warm {:.2} ms ({speedup_warm:.0}x); fig4 sweep {:.0} ms",
+             warm {:.2} ms ({speedup_warm:.1}x); floor {SPEEDUP_FLOOR:.1}x",
             uncached * 1e3,
             cold * 1e3,
             warm * 1e3,
-            fig4 * 1e3,
         );
         assert!(
-            speedup_cold >= 3.0,
-            "content-addressed evaluation must be >= 3x faster on transformers \
-             (got {speedup_cold:.2}x)"
+            speedup_cold >= SPEEDUP_FLOOR,
+            "cold cached speedup regressed below the floor: \
+             {speedup_cold:.2}x < {SPEEDUP_FLOOR:.1}x"
         );
-        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-        write_json(
-            &root.join("BENCH_eval.json"),
-            &[
-                ("bert_base_uncached", uncached),
-                ("bert_base_cached_cold", cold),
-                ("bert_base_cached_warm", warm),
-                ("fig4_sweep_cached", fig4),
-            ],
-            &[
-                ("bert_base_speedup_cold", speedup_cold),
-                ("bert_base_speedup_warm", speedup_warm),
-                ("bert_base_unique_signatures", unique as f64),
-                ("bert_base_hit_rate", hits as f64 / (hits + unique) as f64),
-            ],
-        );
+        if gate_speedups {
+            assert!(
+                speedup_warm >= SPEEDUP_FLOOR,
+                "warm cached speedup regressed below the floor: \
+                 {speedup_warm:.2}x < {SPEEDUP_FLOOR:.1}x"
+            );
+        }
+        if write_artifact {
+            let fig4 = best_seconds(2, || experiments::fig4_memory_exploration().unwrap());
+            println!("fig4 sweep {:.0} ms", fig4 * 1e3);
+            let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+            write_json(
+                &root.join("BENCH_eval.json"),
+                &[
+                    ("bert_base_uncached", uncached),
+                    ("bert_base_cached_cold", cold),
+                    ("bert_base_cached_warm", warm),
+                    ("fig4_sweep_cached", fig4),
+                ],
+                &[
+                    ("bert_base_speedup_cold", speedup_cold),
+                    ("bert_base_speedup_warm", speedup_warm),
+                    ("bert_base_unique_signatures", unique as f64),
+                    ("bert_base_hit_rate", hits as f64 / (hits + unique) as f64),
+                ],
+            );
+        }
     }
 
     let mut group = c.benchmark_group("eval_cache");

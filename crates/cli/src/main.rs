@@ -14,6 +14,7 @@
 //! lumen networks             # workload inventory (CNNs + transformers)
 //! lumen transformers         # photonic vs digital on attention workloads
 //! lumen decode               # autoregressive decode vs KV length
+//! lumen serving              # continuous batching of mixed-length traffic
 //! lumen components           # component library report
 //! ```
 
@@ -55,6 +56,7 @@ fn main() -> ExitCode {
         "networks" => networks_cmd(),
         "transformers" => transformers_cmd(&args),
         "decode" => decode_cmd(&args),
+        "serving" => serving_cmd(&args),
         "components" => components_cmd(),
         "baseline" => baseline(&args),
         "precision" => precision(&args),
@@ -125,6 +127,7 @@ fn print_help() {
     println!("  networks    list the built-in DNN workloads (CNNs + transformers)");
     println!("  transformers  photonic vs digital on transformer workloads [--scaling <corner>]");
     println!("  decode      GPT-2 small autoregressive decode vs KV length [--scaling <corner>]");
+    println!("  serving     continuous batching of mixed-length traffic [--scaling <corner>]");
     println!("  components  print the component library report");
     println!("  baseline    photonic vs digital-electronic comparison [--scaling <corner>]");
     println!("  precision   noise-limited analog resolution vs received optical power");
@@ -278,6 +281,13 @@ fn transformers_cmd(args: &[String]) -> Result<(), String> {
 fn decode_cmd(args: &[String]) -> Result<(), String> {
     let scaling = parse_scaling(args)?;
     let result = experiments::decode_study(scaling).map_err(|e| e.to_string())?;
+    println!("{result}");
+    Ok(())
+}
+
+fn serving_cmd(args: &[String]) -> Result<(), String> {
+    let scaling = parse_scaling(args)?;
+    let result = experiments::serving_study(scaling).map_err(|e| e.to_string())?;
     println!("{result}");
     Ok(())
 }

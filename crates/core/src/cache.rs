@@ -218,6 +218,15 @@ pub struct EvalSession {
     cache: Option<Arc<EvalCache>>,
     arch_fp: u64,
     strategy_fp: u64,
+    /// This session's own lookup counters. The backing [`EvalCache`]
+    /// keeps process-wide totals; when the cache is shared, sessions
+    /// running concurrently (parallel sweeps, parallel tests) would see
+    /// each other's traffic in those, so [`cache_stats`] reports these
+    /// per-session counters instead.
+    ///
+    /// [`cache_stats`]: EvalSession::cache_stats
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl EvalSession {
@@ -281,6 +290,8 @@ impl EvalSession {
             cache,
             arch_fp,
             strategy_fp,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -294,10 +305,19 @@ impl EvalSession {
         self.cache.as_ref()
     }
 
-    /// Hit/miss counters of the backing cache (zeros when caching is
-    /// disabled).
+    /// Hit/miss counters of *this session's* lookups (zeros when caching
+    /// is disabled). A shared [`EvalCache`] additionally keeps
+    /// process-wide totals across every attached session — read those
+    /// via [`EvalCache::stats`]; this accessor stays isolated from
+    /// concurrent sessions, so before/after deltas are race-free.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+        if self.cache.is_none() {
+            return CacheStats::default();
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Maps and evaluates one layer, answering repeats of the same
@@ -365,6 +385,7 @@ impl EvalSession {
         if let Some(cache) = &self.cache {
             let deduped = (slot_of.len() - unique.len()) as u64;
             cache.hits.fetch_add(deduped, Ordering::Relaxed);
+            self.hits.fetch_add(deduped, Ordering::Relaxed);
         }
 
         let evals: Vec<LayerEvaluation> = self.runner.try_run(unique, |(i, reroute)| {
@@ -416,9 +437,11 @@ impl EvalSession {
         };
         if let Some(found) = cache.map.read().expect("cache lock").get(&key) {
             cache.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return rename(found.clone(), layer.name());
         }
         cache.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let outcome = self.system.evaluate_layer_rerouted(layer, reroute);
         // Two threads may race to evaluate the same key; both compute the
         // same (deterministic) result, so first-in wins harmlessly.

@@ -66,6 +66,7 @@ mod energy;
 mod evaluator;
 mod network;
 pub mod report;
+pub mod serving;
 pub mod sweep;
 
 pub use cache::{arch_fingerprint, CacheStats, EvalCache, EvalSession};
@@ -73,4 +74,5 @@ pub use decode::{decode_sweep, DecodePoint};
 pub use energy::{CostCategory, EnergyBreakdown, EnergyItem};
 pub use evaluator::{LayerEvaluation, MappingFn, MappingStrategy, System, SystemError};
 pub use network::{FusionConfig, NetworkEvaluation, NetworkOptions};
+pub use serving::{serving_sweep, ServingEvaluation, ServingStepPoint};
 pub use sweep::SweepRunner;

@@ -20,7 +20,9 @@
 //! attention lowers onto grouped matmuls via [`Attention`], with heads as
 //! channel groups. Autoregressive decoding lowers onto seq-1 GEMVs with
 //! a growing, per-sample-resident KV cache via [`DecodePhase`] and
-//! [`decode_trace`].
+//! [`decode_trace`]; continuous batching of mixed-length serving traffic
+//! lowers scheduler steps onto bucketed decode groups via the [`serving`]
+//! module ([`RequestMix`], [`BatchSchedule`], [`ServingModel`]).
 //!
 //! The [`networks`] module provides the four CNNs evaluated by the paper
 //! ([`networks::alexnet`], [`networks::vgg16`], [`networks::resnet18`],
@@ -46,6 +48,7 @@ mod dims;
 mod layer;
 mod network;
 pub mod networks;
+pub mod serving;
 mod signature;
 mod tensor;
 
@@ -54,5 +57,6 @@ pub use decode::{decode_block_macs, decode_trace, push_decode_block, DecodePhase
 pub use dims::{Dim, DimMap, DimSet, Shape};
 pub use layer::{Layer, LayerError, LayerKind};
 pub use network::{Network, NetworkStats};
+pub use serving::{ActiveSlot, BatchSchedule, Request, RequestMix, ScheduleStep, ServingModel};
 pub use signature::{fnv1a, fnv1a_bytes, LayerSignature};
 pub use tensor::{TensorKind, TensorMap, TensorSet};

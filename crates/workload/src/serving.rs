@@ -1,0 +1,637 @@
+//! Continuous batching of mixed-length serving traffic.
+//!
+//! Real serving is not a uniform batch: a scheduler admits requests of
+//! mixed prompt/output lengths into a fixed number of decode slots,
+//! every active request generates one token per step, and finished
+//! requests retire so waiting ones can take their slot. The per-step
+//! *active set* is therefore heterogeneous — different requests sit at
+//! different KV lengths — and its composition changes every step.
+//!
+//! Three pieces model that regime:
+//!
+//! * [`RequestMix`] — a deterministic population of requests (per-request
+//!   prompt and output lengths), with seeded generators for the shapes
+//!   serving traffic actually takes: [`RequestMix::uniform`],
+//!   [`RequestMix::bimodal`] (chat + long-document), and
+//!   [`RequestMix::long_tail`] (geometric output tail).
+//! * [`BatchSchedule`] — the step-level continuous-batching simulation:
+//!   FIFO admission on free slot, retirement on completion, and one
+//!   [`ScheduleStep`] snapshot per step recording each active request's
+//!   KV length *before* the step (the [`DecodePhase`] convention).
+//! * [`ServingModel`] — lowers one scheduler step into bucketed decode
+//!   layers. Active requests are grouped by bucketed attend length (the
+//!   [`DecodePhase::with_kv_bucket`] machinery), each group becoming one
+//!   batched stack of decode blocks, so two steps whose active sets
+//!   bucket to the same composition produce networks with identical
+//!   [`crate::LayerSignature`]s — a multi-thousand-step trace through an
+//!   `EvalSession` costs mapping searches bounded by the number of
+//!   distinct *(bucket, group-size)* pairs, not the step count.
+//!
+//! # Examples
+//!
+//! ```
+//! use lumen_workload::serving::{BatchSchedule, RequestMix, ServingModel};
+//!
+//! let mix = RequestMix::uniform(4, 128, 8);
+//! let schedule = BatchSchedule::build(&mix, 2);
+//! // 4 requests x 8 tokens over 2 slots: 16 steps, always full.
+//! assert_eq!(schedule.total_steps(), 16);
+//! assert_eq!(schedule.total_tokens(), 32);
+//! assert!((schedule.mean_occupancy() - 1.0).abs() < 1e-12);
+//!
+//! let model = ServingModel::gpt2_small();
+//! let step = &schedule.steps()[0];
+//! let net = model.lower_step(&step.kv_lens(), 64);
+//! assert_eq!(net.total_macs(), model.step_macs(&step.kv_lens(), 64));
+//! ```
+
+use crate::decode::decode_block_macs;
+use crate::{DecodePhase, Layer, Network};
+use std::collections::BTreeMap;
+
+/// One serving request: `prompt` tokens already in the KV cache when
+/// decoding starts (prefill is assumed done), `output` tokens to
+/// generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Prompt tokens resident in the cache before the first decode step.
+    pub prompt: usize,
+    /// Tokens the request generates before retiring (>= 1).
+    pub output: usize,
+}
+
+impl Request {
+    /// Builds a request description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is zero — a request that generates nothing
+    /// never occupies a decode slot.
+    pub fn new(prompt: usize, output: usize) -> Request {
+        assert!(output > 0, "a request must generate at least one token");
+        Request { prompt, output }
+    }
+}
+
+/// SplitMix64: the deterministic generator behind the seeded mixes.
+/// Small, stable across platforms, and good enough for workload shapes.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[lo, hi]` (inclusive) from the generator state.
+///
+/// # Panics
+///
+/// Panics on an inverted range — reachable from the public generators
+/// (e.g. [`RequestMix::long_tail`]'s prompt bounds), so this must fail
+/// loudly in release builds too rather than underflow.
+fn draw_range(state: &mut u64, lo: usize, hi: usize) -> usize {
+    assert!(lo <= hi, "inverted range: lo={lo} > hi={hi}");
+    lo + (splitmix64(state) % (hi - lo + 1) as u64) as usize
+}
+
+/// A deterministic population of serving requests.
+///
+/// The generators are pure functions of their arguments (seed included),
+/// so a mix is reproducible across runs, platforms and thread counts —
+/// the same guarantee the golden suite relies on everywhere else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestMix {
+    name: String,
+    requests: Vec<Request>,
+}
+
+impl RequestMix {
+    /// A mix from explicit requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is empty.
+    pub fn custom(name: impl Into<String>, requests: Vec<Request>) -> RequestMix {
+        assert!(!requests.is_empty(), "a request mix cannot be empty");
+        RequestMix {
+            name: name.into(),
+            requests,
+        }
+    }
+
+    /// `count` identical requests — the degenerate mix that reproduces
+    /// the uniform-batch model (and PR 4's `decode_trace` when run
+    /// through a capacity-1 schedule).
+    pub fn uniform(count: usize, prompt: usize, output: usize) -> RequestMix {
+        RequestMix::custom(
+            format!("uniform(p{prompt},o{output})"),
+            vec![Request::new(prompt, output); count],
+        )
+    }
+
+    /// A two-population mix: chat-style `short` requests with a
+    /// `long_percent`% admixture of long-document `long` requests, both
+    /// given as `(prompt, output)` pairs. Deterministic in `seed`.
+    pub fn bimodal(
+        seed: u64,
+        count: usize,
+        short: (usize, usize),
+        long: (usize, usize),
+        long_percent: usize,
+    ) -> RequestMix {
+        assert!(long_percent <= 100, "long_percent is a percentage");
+        let mut state = seed;
+        let requests = (0..count)
+            .map(|_| {
+                let (prompt, output) = if draw_range(&mut state, 0, 99) < long_percent {
+                    long
+                } else {
+                    short
+                };
+                Request::new(prompt, output)
+            })
+            .collect();
+        RequestMix::custom(format!("bimodal({long_percent}% long)"), requests)
+    }
+
+    /// A long-tail mix: prompts uniform in `prompt` (inclusive bounds),
+    /// outputs `output_base << k` with `P(k) = 2^-(k+1)` capped at
+    /// `output_base << max_doublings` — the geometric output tail that
+    /// makes continuous batching pay off over static batching.
+    /// Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_base` is zero or the prompt bounds are
+    /// inverted (`prompt.0 > prompt.1`).
+    pub fn long_tail(
+        seed: u64,
+        count: usize,
+        prompt: (usize, usize),
+        output_base: usize,
+        max_doublings: u32,
+    ) -> RequestMix {
+        assert!(output_base > 0, "output_base must be nonzero");
+        let mut state = seed;
+        let requests = (0..count)
+            .map(|_| {
+                let p = draw_range(&mut state, prompt.0, prompt.1);
+                let mut doublings = 0;
+                while doublings < max_doublings && draw_range(&mut state, 0, 1) == 1 {
+                    doublings += 1;
+                }
+                Request::new(p, output_base << doublings)
+            })
+            .collect();
+        RequestMix::custom(
+            format!("long-tail(o{output_base}<<{max_doublings})"),
+            requests,
+        )
+    }
+
+    /// The mix's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The requests, in arrival (admission) order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `false` always — construction rejects empty mixes.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Total tokens the whole mix generates (the schedule's token count).
+    pub fn total_output_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.output as u64).sum()
+    }
+}
+
+/// One active decode slot at one step: which request occupies it and the
+/// tokens cached *before* the step (the [`DecodePhase::kv_len`]
+/// convention — the step appends the new token's K/V and attends over
+/// `kv_len + 1` positions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveSlot {
+    /// Index of the request in its [`RequestMix`].
+    pub request: usize,
+    /// Tokens cached before the step: prompt + tokens generated so far.
+    pub kv_len: usize,
+}
+
+/// The active set of one scheduler step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleStep {
+    active: Vec<ActiveSlot>,
+}
+
+impl ScheduleStep {
+    /// The active slots, in admission order.
+    pub fn active(&self) -> &[ActiveSlot] {
+        &self.active
+    }
+
+    /// Requests decoding this step (each generates exactly one token).
+    pub fn occupancy(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The heterogeneous KV lengths of the active set, admission order.
+    pub fn kv_lens(&self) -> Vec<usize> {
+        self.active.iter().map(|s| s.kv_len).collect()
+    }
+}
+
+/// A continuous-batching schedule: the full step-by-step trace of a
+/// [`RequestMix`] through `capacity` decode slots.
+///
+/// The policy, pinned by `tests/serving_properties.rs`:
+///
+/// * All requests are queued at step 0 and admitted FIFO whenever a slot
+///   is free (admission happens at the *start* of a step, so a slot
+///   freed by a retirement is refilled on the very next step).
+/// * Every active request generates exactly one token per step; a
+///   request retires at the end of the step that produces its last
+///   token.
+/// * The schedule ends when the last request retires, so every step has
+///   a nonempty active set and occupancy never exceeds `capacity`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSchedule {
+    capacity: usize,
+    steps: Vec<ScheduleStep>,
+}
+
+impl BatchSchedule {
+    /// Runs the scheduler over `mix` with `capacity` decode slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn build(mix: &RequestMix, capacity: usize) -> BatchSchedule {
+        assert!(capacity > 0, "a schedule needs at least one decode slot");
+        let mut next_admission = 0usize;
+        // (request index, tokens generated so far)
+        let mut active: Vec<(usize, usize)> = Vec::with_capacity(capacity);
+        let mut steps = Vec::new();
+        while next_admission < mix.len() || !active.is_empty() {
+            while active.len() < capacity && next_admission < mix.len() {
+                active.push((next_admission, 0));
+                next_admission += 1;
+            }
+            steps.push(ScheduleStep {
+                active: active
+                    .iter()
+                    .map(|&(request, generated)| ActiveSlot {
+                        request,
+                        kv_len: mix.requests()[request].prompt + generated,
+                    })
+                    .collect(),
+            });
+            for slot in active.iter_mut() {
+                slot.1 += 1;
+            }
+            active.retain(|&(request, generated)| generated < mix.requests()[request].output);
+        }
+        BatchSchedule { capacity, steps }
+    }
+
+    /// The slot count the schedule was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The per-step active sets, in execution order.
+    pub fn steps(&self) -> &[ScheduleStep] {
+        &self.steps
+    }
+
+    /// Steps until the last request retires.
+    pub fn total_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Tokens generated over the whole schedule — equal to the mix's
+    /// [`RequestMix::total_output_tokens`] by construction.
+    pub fn total_tokens(&self) -> u64 {
+        self.steps.iter().map(|s| s.occupancy() as u64).sum()
+    }
+
+    /// Mean slot occupancy over the schedule, in (0, 1].
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        self.total_tokens() as f64 / (self.steps.len() * self.capacity) as f64
+    }
+}
+
+/// The decoder-LM shape a scheduler step lowers onto: `blocks` pre-norm
+/// transformer decoder blocks (width `d_model`, `heads` heads, MLP
+/// hidden width `d_ff`) plus a `vocab`-wide LM head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServingModel {
+    name: String,
+    d_model: usize,
+    heads: usize,
+    d_ff: usize,
+    blocks: usize,
+    vocab: usize,
+}
+
+impl ServingModel {
+    /// Builds a model shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `d_model` is not divisible by
+    /// `heads`.
+    pub fn new(
+        name: impl Into<String>,
+        d_model: usize,
+        heads: usize,
+        d_ff: usize,
+        blocks: usize,
+        vocab: usize,
+    ) -> ServingModel {
+        assert!(
+            d_model > 0 && heads > 0 && d_ff > 0 && blocks > 0 && vocab > 0,
+            "model dimensions must be nonzero"
+        );
+        assert!(
+            d_model.is_multiple_of(heads),
+            "d_model={d_model} not divisible by heads={heads}"
+        );
+        ServingModel {
+            name: name.into(),
+            d_model,
+            heads,
+            d_ff,
+            blocks,
+            vocab,
+        }
+    }
+
+    /// GPT-2 small: 12 blocks, d_model 768, 12 heads, d_ff 3072, vocab
+    /// 50257 — the same shape as
+    /// [`crate::networks::gpt2_small_decode`], which a single-slot
+    /// schedule reproduces signature for signature.
+    pub fn gpt2_small() -> ServingModel {
+        ServingModel::new("gpt2-small", 768, 12, 3072, 12, 50257)
+    }
+
+    /// The model's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Groups `active_kv` by bucketed attend length: for each distinct
+    /// `L = bucket_round_up(kv + 1)` the number of active requests whose
+    /// step attends over `L` padded positions, ascending in `L`.
+    ///
+    /// This is the step's *bucketed composition* — the lowering is a
+    /// pure function of it, so two steps with equal compositions produce
+    /// networks with identical layer signatures.
+    pub fn bucketed_composition(active_kv: &[usize], kv_bucket: usize) -> Vec<(usize, usize)> {
+        assert!(kv_bucket > 0, "kv bucket must be nonzero");
+        let mut groups: BTreeMap<usize, usize> = BTreeMap::new();
+        for &kv in active_kv {
+            let len = (kv + 1).div_ceil(kv_bucket) * kv_bucket;
+            *groups.entry(len).or_insert(0) += 1;
+        }
+        groups.into_iter().collect()
+    }
+
+    /// Lowers one scheduler step into bucketed decode layers: one
+    /// batched stack of decode blocks (plus LM head) per bucketed
+    /// attend-length group. Within a group the whole group shares the
+    /// padded attend length — exactly the [`DecodePhase::with_kv_bucket`]
+    /// padded-MAC accounting — and the group size rides the batch lever
+    /// (projection weights shared across the group, KV caches replicated
+    /// per request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_kv` is empty or `kv_bucket` is zero.
+    pub fn lower_step(&self, active_kv: &[usize], kv_bucket: usize) -> Network {
+        assert!(!active_kv.is_empty(), "a step lowers a nonempty active set");
+        let composition = ServingModel::bucketed_composition(active_kv, kv_bucket);
+        let mut net = Network::new(format!("{}-serving@occ{}", self.name, active_kv.len()));
+        for &(attend_len, group) in &composition {
+            let prefix = format!("kv{attend_len}x{group}");
+            for block in 0..self.blocks {
+                let phase = DecodePhase::new(
+                    format!("{prefix}.decoder.{block}.attn"),
+                    self.d_model,
+                    self.heads,
+                )
+                .with_kv_len(attend_len - 1)
+                .with_kv_bucket(kv_bucket)
+                .with_batch(group);
+                for layer in phase.lower() {
+                    net = net.push(layer);
+                }
+                net = net
+                    .push(Layer::gemv(
+                        format!("{prefix}.decoder.{block}.mlp.fc1"),
+                        group,
+                        self.d_ff,
+                        self.d_model,
+                    ))
+                    .push(Layer::gemv(
+                        format!("{prefix}.decoder.{block}.mlp.fc2"),
+                        group,
+                        self.d_model,
+                        self.d_ff,
+                    ));
+            }
+            net = net.push(Layer::gemv(
+                format!("{prefix}.lm-head"),
+                group,
+                self.vocab,
+                self.d_model,
+            ));
+        }
+        net
+    }
+
+    /// Closed-form MAC count of [`ServingModel::lower_step`]: the sum
+    /// over the active set of each request's padded per-token work,
+    /// `blocks · (4·D² + 2·L·D + 2·D·D_ff) + vocab·D` at that request's
+    /// bucketed attend length `L`.
+    pub fn step_macs(&self, active_kv: &[usize], kv_bucket: usize) -> u64 {
+        assert!(kv_bucket > 0, "kv bucket must be nonzero");
+        active_kv
+            .iter()
+            .map(|&kv| {
+                let len = (kv + 1).div_ceil(kv_bucket) * kv_bucket;
+                self.blocks as u64 * decode_block_macs(len, self.d_model, self.d_ff)
+                    + (self.vocab * self.d_model) as u64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerSignature;
+    use std::collections::HashSet;
+
+    #[test]
+    fn uniform_mix_is_identical_requests() {
+        let mix = RequestMix::uniform(5, 64, 8);
+        assert_eq!(mix.len(), 5);
+        assert!(mix
+            .requests()
+            .iter()
+            .all(|r| r.prompt == 64 && r.output == 8));
+        assert_eq!(mix.total_output_tokens(), 40);
+        assert!(!mix.is_empty());
+    }
+
+    #[test]
+    fn seeded_mixes_are_deterministic() {
+        let a = RequestMix::bimodal(7, 32, (64, 16), (512, 64), 25);
+        let b = RequestMix::bimodal(7, 32, (64, 16), (512, 64), 25);
+        assert_eq!(a, b);
+        let c = RequestMix::bimodal(8, 32, (64, 16), (512, 64), 25);
+        assert_ne!(a, c, "a different seed draws a different mix");
+
+        let t = RequestMix::long_tail(3, 64, (32, 256), 16, 3);
+        assert_eq!(t, RequestMix::long_tail(3, 64, (32, 256), 16, 3));
+        for r in t.requests() {
+            assert!((32..=256).contains(&r.prompt));
+            assert!(r.output >= 16 && r.output <= 16 << 3);
+            assert!((r.output / 16).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn bimodal_mixes_both_populations() {
+        let mix = RequestMix::bimodal(11, 64, (64, 16), (512, 64), 25);
+        let long = mix.requests().iter().filter(|r| r.prompt == 512).count();
+        assert!(long > 0 && long < 64, "both populations present: {long}");
+    }
+
+    #[test]
+    fn scheduler_fills_slots_and_drains() {
+        // 3 requests of 2 tokens over 2 slots: steps are
+        // {0,1} {0,1} {2} {2}.
+        let mix = RequestMix::uniform(3, 10, 2);
+        let schedule = BatchSchedule::build(&mix, 2);
+        assert_eq!(schedule.total_steps(), 4);
+        assert_eq!(schedule.total_tokens(), 6);
+        let occ: Vec<usize> = schedule
+            .steps()
+            .iter()
+            .map(ScheduleStep::occupancy)
+            .collect();
+        assert_eq!(occ, vec![2, 2, 1, 1]);
+        // Request 2 waits two steps, then runs with a growing cache.
+        assert_eq!(schedule.steps()[2].active()[0].request, 2);
+        assert_eq!(schedule.steps()[2].active()[0].kv_len, 10);
+        assert_eq!(schedule.steps()[3].active()[0].kv_len, 11);
+    }
+
+    #[test]
+    fn retirement_frees_the_slot_for_the_next_step() {
+        // A 1-token request and a 3-token request over one slot: the
+        // short one finishes at step 0 and the long one starts at step 1.
+        let mix = RequestMix::custom("m", vec![Request::new(4, 1), Request::new(8, 3)]);
+        let schedule = BatchSchedule::build(&mix, 1);
+        assert_eq!(schedule.total_steps(), 4);
+        let reqs: Vec<usize> = schedule
+            .steps()
+            .iter()
+            .map(|s| s.active()[0].request)
+            .collect();
+        assert_eq!(reqs, vec![0, 1, 1, 1]);
+        assert_eq!(schedule.steps()[1].kv_lens(), vec![8]);
+        assert_eq!(schedule.steps()[3].kv_lens(), vec![10]);
+    }
+
+    #[test]
+    fn composition_groups_by_bucket() {
+        // kv 0, 63, 64 at bucket 64: attend lengths 1->64, 64->64,
+        // 65->128.
+        let comp = ServingModel::bucketed_composition(&[0, 63, 64], 64);
+        assert_eq!(comp, vec![(64, 2), (128, 1)]);
+    }
+
+    #[test]
+    fn lower_step_matches_closed_form() {
+        let model = ServingModel::gpt2_small();
+        for kv in [vec![0], vec![5, 5, 5], vec![0, 100, 300, 301]] {
+            for bucket in [1, 64, 256] {
+                let net = model.lower_step(&kv, bucket);
+                assert_eq!(
+                    net.total_macs(),
+                    model.step_macs(&kv, bucket),
+                    "kv={kv:?} bucket={bucket}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_compositions_share_every_signature() {
+        let model = ServingModel::new("toy", 64, 4, 128, 2, 1000);
+        let sigs = |kv: &[usize]| -> HashSet<LayerSignature> {
+            model
+                .lower_step(kv, 32)
+                .layers()
+                .iter()
+                .map(|l| l.signature())
+                .collect()
+        };
+        // Different exact kv lengths, same bucketed composition.
+        let a = sigs(&[3, 40, 41]);
+        let b = sigs(&[20, 33, 60]);
+        assert_eq!(a, b, "same (bucket, count) composition, same signatures");
+        // A different composition differs.
+        let c = sigs(&[3, 40, 70]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_slot_step_matches_decode_builder_signatures() {
+        use crate::networks;
+        let model = ServingModel::gpt2_small();
+        for (kv, bucket) in [(0usize, 64usize), (127, 64), (500, 128)] {
+            let serving = model.lower_step(&[kv], bucket);
+            let decode = networks::gpt2_small_decode_bucketed(kv, bucket);
+            assert_eq!(serving.layers().len(), decode.layers().len());
+            assert_eq!(serving.total_macs(), decode.total_macs());
+            for (s, d) in serving.layers().iter().zip(decode.layers()) {
+                assert_eq!(
+                    s.signature(),
+                    d.signature(),
+                    "kv={kv} bucket={bucket}: {} vs {}",
+                    s.name(),
+                    d.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn zero_output_requests_are_rejected() {
+        let _ = Request::new(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one decode slot")]
+    fn zero_capacity_is_rejected() {
+        let _ = BatchSchedule::build(&RequestMix::uniform(1, 1, 1), 0);
+    }
+}

@@ -314,6 +314,85 @@ fn decode_trace_512_steps_costs_a_handful_of_searches() {
     assert!(stats.hit_rate() >= 0.9, "hit rate {:.3}", stats.hit_rate());
 }
 
+/// The serving acceptance criterion made literal: an 800-step
+/// continuous-batching schedule of a mixed-length long-tail request
+/// population (28 requests over 8 slots, KV lengths padded to 128-token
+/// buckets) evaluated through one [`EvalSession`] performs at most
+/// *(distinct (padded attend length, group size) pairs × unique
+/// signatures per group)* mapping searches — the counting `Custom`
+/// strategy proves it — at a ≥ 99% hit rate over tens of thousands of
+/// layer evaluations.
+#[test]
+fn serving_trace_800_steps_costs_a_handful_of_searches() {
+    use lumen::mapper::search::{greedy_mapping, spatial_priority_for, TemporalPlan};
+    use lumen::workload::serving::{BatchSchedule, RequestMix, ServingModel};
+
+    let searches = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&searches);
+    let counting = MappingStrategy::Custom(Arc::new(move |arch, layer| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        greedy_mapping(
+            arch,
+            layer,
+            spatial_priority_for(layer),
+            &TemporalPlan::all_at(1),
+        )
+    }));
+
+    // A small decoder shape keeps the per-step layer count (and so the
+    // debug-mode wall time) modest; the scheduler and cache economics
+    // are shape-independent.
+    let model = ServingModel::new("toy-lm", 256, 4, 512, 2, 4096);
+    let mix = RequestMix::long_tail(0x51EED, 28, (0, 480), 80, 2);
+    let schedule = BatchSchedule::build(&mix, 8);
+    assert!(
+        schedule.total_steps() >= 512,
+        "the trace is long enough to prove scaling: {} steps",
+        schedule.total_steps()
+    );
+
+    let bucket = 128usize;
+    let session = EvalSession::new(System::new(generic_arch(), counting));
+    let mut layer_evals = 0usize;
+    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    let mut unique: HashSet<LayerSignature> = HashSet::new();
+    for step in schedule.steps() {
+        let kv = step.kv_lens();
+        pairs.extend(ServingModel::bucketed_composition(&kv, bucket));
+        let net = model.lower_step(&kv, bucket);
+        unique.extend(net.layers().iter().map(|l| l.signature()));
+        let eval = session
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .unwrap_or_else(|e| panic!("step occupancy {}: {e}", step.occupancy()));
+        layer_evals += eval.per_layer.len();
+    }
+
+    let searched = searches.load(Ordering::Relaxed);
+    // Every search is a distinct signature, and each (padded length,
+    // group size) pair lowers at most 6 unique signatures (shared
+    // projections, logits, attend, fc1, fc2, LM head) — the serving
+    // analogue of decode's buckets x unique-per-step bound.
+    assert_eq!(searched, unique.len(), "one search per unique signature");
+    assert!(
+        searched <= pairs.len() * 6,
+        "{searched} searches exceed (bucket, group) pairs x 6 = {}",
+        pairs.len() * 6
+    );
+    assert!(
+        searched * 100 <= layer_evals,
+        "{searched} searches exceed 1% of the naive {layer_evals}"
+    );
+
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses as usize, searched, "every miss is one search");
+    assert_eq!(
+        stats.hits + stats.misses,
+        layer_evals as u64,
+        "every layer evaluation is accounted for"
+    );
+    assert!(stats.hit_rate() >= 0.99, "hit rate {:.4}", stats.hit_rate());
+}
+
 /// Albireo's bespoke dataflow (a `Custom` strategy) rides the same
 /// pipeline: the figure drivers moved onto sessions, so the golden suite
 /// already pins their exact output; here we pin the per-layer identity.

@@ -4,13 +4,43 @@
 //! these tests additionally exercise the core logic each example runs, so
 //! an API change that keeps an example compiling but breaks its output
 //! path still fails the suite.
+//!
+//! The suite's tests run concurrently on the harness's own threads, and
+//! the heavyweight ones (transformer / decode / serving — all on the
+//! same aggressive-corner Albireo system) additionally share one
+//! process-wide [`EvalCache`], so identical layer evaluations are paid
+//! once across the whole binary instead of once per test. Stats
+//! assertions read [`EvalSession::cache_stats`] — per-*session* counters
+//! isolated from the concurrent tests sharing the cache — and search
+//! counts are asserted as upper bounds, since a sibling test may have
+//! populated the shared entries first. The serving test runs a
+//! deliberately small schedule: the full-size study is already
+//! golden-pinned by `tests/golden.rs`, and re-running it here would push
+//! the smoke suite past CI-friendly wall time.
 
 use lumen::albireo::{experiments, AlbireoConfig, ScalingProfile, WeightReuse};
 use lumen::core::dse::{pareto_front, sweep, DesignPoint};
 use lumen::core::report::{breakdown_table, network_table_deduped};
-use lumen::core::{EvalSession, NetworkOptions};
+use lumen::core::{EvalCache, EvalSession, NetworkOptions};
 use lumen::units::Energy;
 use lumen::workload::networks;
+use std::sync::{Arc, OnceLock};
+
+/// One cache for every smoke test that evaluates on the aggressive
+/// Albireo system: keys embed the architecture fingerprint, so sharing
+/// across tests (and with differently-built sessions) is safe by
+/// construction and saves re-mapping the overlapping signatures.
+fn shared_aggressive_cache() -> Arc<EvalCache> {
+    static CACHE: OnceLock<Arc<EvalCache>> = OnceLock::new();
+    Arc::clone(CACHE.get_or_init(EvalCache::shared))
+}
+
+/// A session over the aggressive Albireo system backed by the shared
+/// smoke-suite cache.
+fn shared_aggressive_session() -> EvalSession {
+    EvalSession::new(AlbireoConfig::new(ScalingProfile::Aggressive).build_system())
+        .with_cache(shared_aggressive_cache())
+}
 
 /// The `quickstart` example's pipeline: build the conservative Albireo
 /// system, evaluate a ResNet-18 layer, and check the headline quantities
@@ -109,7 +139,7 @@ fn transformer_study_attention_costs_more_per_mac() {
 
     // The example evaluates bert-base through the content-addressed
     // session and renders the deduplicated per-layer table.
-    let session = EvalSession::new(AlbireoConfig::new(ScalingProfile::Aggressive).build_system());
+    let session = shared_aggressive_session();
     let net = networks::bert_base();
     let eval = session
         .evaluate_network(&net, &NetworkOptions::baseline())
@@ -124,7 +154,16 @@ fn transformer_study_attention_costs_more_per_mac() {
     };
     assert!(pj("encoder.0.attn.logits") > pj("encoder.0.attn.query"));
     assert!(pj("encoder.0.attn.attend") > pj("encoder.0.mlp.fc1"));
-    assert_eq!(session.cache_stats().misses, 5, "5 unique signatures");
+    let stats = session.cache_stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        96,
+        "every bert-base layer evaluation is accounted for"
+    );
+    assert!(
+        stats.misses <= 5,
+        "at most 5 unique signatures cost a search"
+    );
     let deduped = network_table_deduped(&eval).render();
     assert!(deduped.contains("x48") && deduped.contains("x12"));
 }
@@ -150,8 +189,9 @@ fn decode_study_gap_widens_and_trace_is_cheap() {
     assert!(result.trace_hit_rate() >= 0.9);
 
     // The example's trace segment: 32 steps in 16-token buckets through
-    // one content-addressed session.
-    let session = EvalSession::new(AlbireoConfig::new(ScalingProfile::Aggressive).build_system());
+    // one content-addressed session (the shared smoke-suite cache can
+    // only lower the per-session search count further).
+    let session = shared_aggressive_session();
     let mut layer_evals = 0usize;
     for (_, net) in networks::gpt2_small_decode_trace(0, 32, 16) {
         let eval = session
@@ -161,9 +201,49 @@ fn decode_study_gap_widens_and_trace_is_cheap() {
     }
     let stats = session.cache_stats();
     assert_eq!(layer_evals, 32 * 97);
+    assert_eq!(stats.hits + stats.misses, layer_evals as u64);
     assert!(
         (stats.misses as usize) * 10 <= layer_evals,
         "{} searches for {layer_evals} evaluations",
+        stats.misses
+    );
+}
+
+/// The `serving_study` example's pipeline, scoped small: a short
+/// bimodal schedule through the shared session preserves tokens,
+/// respects capacity, and answers almost every layer from the cache.
+/// The full-size study (all mixes x capacities x corners) is
+/// golden-pinned in `tests/golden.rs`; running it here too would only
+/// re-spend the smoke suite's wall-time budget.
+#[test]
+fn serving_smoke_schedule_conserves_tokens_and_hits_cache() {
+    use lumen::core::serving::serving_sweep;
+    use lumen::workload::{BatchSchedule, RequestMix, ServingModel};
+
+    let mix = RequestMix::bimodal(21, 6, (64, 6), (512, 18), 33);
+    let schedule = BatchSchedule::build(&mix, 3);
+    let session = shared_aggressive_session();
+    let result = serving_sweep(
+        &session,
+        &ServingModel::gpt2_small(),
+        &schedule,
+        experiments::SERVING_KV_BUCKET,
+        &NetworkOptions::baseline(),
+    )
+    .expect("schedule evaluates");
+
+    assert_eq!(result.total_tokens(), mix.total_output_tokens());
+    assert!(result
+        .points
+        .iter()
+        .all(|p| p.occupancy >= 1 && p.occupancy <= 3));
+    assert!(result.pj_per_token() > 0.0 && result.total_energy() > Energy::ZERO);
+    assert!(result.mean_occupancy() > 0.0 && result.mean_occupancy() <= 1.0);
+    let stats = session.cache_stats();
+    let evals = stats.hits + stats.misses;
+    assert!(
+        stats.misses * 10 <= evals,
+        "{} searches for {evals} evaluations",
         stats.misses
     );
 }

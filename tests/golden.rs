@@ -30,8 +30,28 @@ fn golden_path(name: &str) -> PathBuf {
         .join(format!("{name}.txt"))
 }
 
+/// Writes the *actual* rendering of a failed comparison to
+/// `target/golden-actual/<name>.txt`, where CI uploads it (together with
+/// the checked-in snapshots) as a debugging artifact — a golden
+/// regression on a runner is then diffable from the Actions UI without a
+/// local repro. Best-effort: failure to record the artifact never masks
+/// the assertion itself.
+fn record_actual(name: &str, actual: &str) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/golden-actual");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.txt"));
+    if let Err(e) = fs::write(&path, actual) {
+        eprintln!("warning: could not write {path:?}: {e}");
+    }
+}
+
 /// Compares `actual` against the snapshot `tests/golden/<name>.txt`,
-/// rewriting the snapshot instead when `LUMEN_BLESS=1` is set.
+/// rewriting the snapshot instead when `LUMEN_BLESS=1` is set. On
+/// mismatch the actual rendering is saved under `target/golden-actual/`
+/// for the CI artifact upload before the assertion fires.
 fn assert_golden(name: &str, actual: &str) {
     let path = golden_path(name);
     if std::env::var("LUMEN_BLESS").as_deref() == Ok("1") {
@@ -41,16 +61,22 @@ fn assert_golden(name: &str, actual: &str) {
         return;
     }
     let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        record_actual(name, actual);
         panic!(
             "missing snapshot {path:?} ({e}); generate it with \
-             `LUMEN_BLESS=1 cargo test --test golden`"
+             `LUMEN_BLESS=1 cargo test --test golden` \
+             (actual output saved to target/golden-actual/{name}.txt)"
         )
     });
+    if actual != expected {
+        record_actual(name, actual);
+    }
     assert_eq!(
         actual, expected,
         "rendered `{name}` drifted from its snapshot; if the change is \
          intentional, regenerate with `LUMEN_BLESS=1 cargo test --test \
-         golden` and review the diff"
+         golden` and review the diff (actual output saved to \
+         target/golden-actual/{name}.txt)"
     );
 }
 
@@ -111,6 +137,25 @@ fn decode_study_matches_snapshot() {
         rendered.push('\n');
     }
     assert_golden("decode_study", &rendered);
+}
+
+#[test]
+fn serving_study_matches_snapshot() {
+    // Both corners: conservative pins "digital wins every mix", while
+    // aggressive pins the thin photonic energy edge surviving continuous
+    // batching. Both pin the occupancy lever (more slots -> larger decode
+    // groups -> lower mJ/token), the ~30x utilization gap under grouped
+    // seq-1 GEMVs, and the study's exact cache accounting.
+    let mut rendered = String::new();
+    for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
+        rendered.push_str(
+            &experiments::serving_study(scaling)
+                .expect("study evaluates")
+                .to_string(),
+        );
+        rendered.push('\n');
+    }
+    assert_golden("serving_study", &rendered);
 }
 
 #[test]

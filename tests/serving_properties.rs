@@ -1,0 +1,247 @@
+//! Property and invariant tests for the continuous-batching scheduler
+//! and its lowering.
+//!
+//! The pinned properties: every request's tokens are produced exactly
+//! once (with consecutive KV lengths starting at its prompt), step MACs
+//! equal the sum of each active request's padded per-token work,
+//! occupancy never exceeds capacity (and never idles while work waits),
+//! and a fully-uniform mix through a single slot reproduces PR 4's
+//! `decode_trace` totals bit-identically through the evaluator.
+
+use lumen::arch::{ArchBuilder, Architecture, Domain, Fanout};
+use lumen::core::serving::serving_sweep;
+use lumen::core::{EvalSession, MappingStrategy, NetworkOptions, System};
+use lumen::units::{Energy, Frequency};
+use lumen::workload::serving::{BatchSchedule, Request, RequestMix, ServingModel};
+use lumen::workload::{networks, Dim, DimSet, TensorSet};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn toy_arch() -> Architecture {
+    ArchBuilder::new("serving-toy", Frequency::from_gigahertz(1.0))
+        .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+        .read_energy(Energy::from_picojoules(100.0))
+        .write_energy(Energy::from_picojoules(100.0))
+        .done()
+        .storage("glb", Domain::DigitalElectrical, TensorSet::all())
+        .read_energy(Energy::from_picojoules(1.0))
+        .write_energy(Energy::from_picojoules(1.0))
+        .fanout(Fanout::new(64).allow(DimSet::from_dims(&[Dim::M, Dim::C, Dim::P])))
+        .done()
+        .compute(
+            "mac",
+            Domain::DigitalElectrical,
+            Energy::from_picojoules(0.05),
+        )
+        .build()
+        .expect("toy architecture is valid")
+}
+
+/// Every request's tokens are produced exactly once: across the whole
+/// schedule, request `r` appears in exactly `output` steps, and the KV
+/// lengths it is scheduled at are `prompt, prompt+1, ..,
+/// prompt+output-1` in execution order.
+fn assert_tokens_exactly_once(mix: &RequestMix, schedule: &BatchSchedule) {
+    let mut seen: HashMap<usize, Vec<usize>> = HashMap::new();
+    for step in schedule.steps() {
+        for slot in step.active() {
+            seen.entry(slot.request).or_default().push(slot.kv_len);
+        }
+    }
+    assert_eq!(seen.len(), mix.len(), "every request was scheduled");
+    for (r, request) in mix.requests().iter().enumerate() {
+        let kvs = &seen[&r];
+        assert_eq!(kvs.len(), request.output, "request {r} token count");
+        let expected: Vec<usize> = (request.prompt..request.prompt + request.output).collect();
+        assert_eq!(kvs, &expected, "request {r} cache grows one token/step");
+    }
+}
+
+#[test]
+fn every_token_is_produced_exactly_once() {
+    let mixes = [
+        RequestMix::uniform(7, 100, 5),
+        RequestMix::bimodal(42, 20, (64, 16), (512, 48), 25),
+        RequestMix::long_tail(42, 20, (32, 256), 8, 4),
+        RequestMix::custom(
+            "ragged",
+            vec![
+                Request::new(0, 1),
+                Request::new(1000, 3),
+                Request::new(5, 17),
+            ],
+        ),
+    ];
+    for mix in &mixes {
+        for capacity in [1, 2, 5, 64] {
+            let schedule = BatchSchedule::build(mix, capacity);
+            assert_tokens_exactly_once(mix, &schedule);
+            assert_eq!(
+                schedule.total_tokens(),
+                mix.total_output_tokens(),
+                "{} cap {capacity}",
+                mix.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn occupancy_never_exceeds_capacity_and_never_idles_waiting_work() {
+    let mix = RequestMix::bimodal(3, 25, (64, 4), (256, 30), 40);
+    for capacity in [1, 3, 8, 25, 100] {
+        let schedule = BatchSchedule::build(&mix, capacity);
+        let mut retired = 0usize;
+        let mut admitted: Vec<bool> = vec![false; mix.len()];
+        for (i, step) in schedule.steps().iter().enumerate() {
+            assert!(
+                step.occupancy() <= capacity,
+                "cap {capacity} step {i}: occupancy {}",
+                step.occupancy()
+            );
+            assert!(step.occupancy() > 0, "no empty steps");
+            for slot in step.active() {
+                admitted[slot.request] = true;
+            }
+            // Work-conserving: a slot sits free only once the queue is
+            // exhausted (admission is FIFO at step start).
+            let waiting = admitted.iter().filter(|&&a| !a).count();
+            if step.occupancy() < capacity {
+                assert_eq!(waiting, 0, "cap {capacity} step {i}: idle slot with queue");
+            }
+            retired += step
+                .active()
+                .iter()
+                .filter(|s| {
+                    s.kv_len + 1
+                        == mix.requests()[s.request].prompt + mix.requests()[s.request].output
+                })
+                .count();
+        }
+        assert_eq!(retired, mix.len(), "every request retires exactly once");
+    }
+}
+
+#[test]
+fn step_macs_equal_the_sum_over_the_active_set() {
+    let model = ServingModel::gpt2_small();
+    let mix = RequestMix::long_tail(9, 16, (64, 400), 8, 3);
+    let schedule = BatchSchedule::build(&mix, 5);
+    for bucket in [1, 64, 256] {
+        for step in schedule.steps() {
+            let kv = step.kv_lens();
+            let net = model.lower_step(&kv, bucket);
+            // The network's MACs are exactly the sum of each active
+            // request's padded per-token work — no cross-request terms.
+            let per_request: u64 = kv.iter().map(|&k| model.step_macs(&[k], bucket)).sum();
+            assert_eq!(net.total_macs(), per_request, "bucket {bucket}");
+            assert_eq!(net.total_macs(), model.step_macs(&kv, bucket));
+        }
+    }
+}
+
+/// The PR 4 equivalence: a uniform single-slot schedule is exactly a
+/// `decode_trace`, and the evaluator agrees bit for bit — same layer
+/// signatures step by step, so one session evaluates both from the same
+/// cache entries and the per-step energies/cycles match to the last bit.
+#[test]
+fn uniform_single_slot_schedule_matches_decode_trace_bit_identically() {
+    let (prompt, steps, bucket) = (100usize, 24usize, 16usize);
+    let mix = RequestMix::uniform(1, prompt, steps);
+    let schedule = BatchSchedule::build(&mix, 1);
+    assert_eq!(schedule.total_steps(), steps);
+
+    let model = ServingModel::gpt2_small();
+    let session = EvalSession::new(System::new(toy_arch(), MappingStrategy::default()));
+    let serving = serving_sweep(
+        &session,
+        &model,
+        &schedule,
+        bucket,
+        &NetworkOptions::baseline(),
+    )
+    .expect("schedule evaluates");
+
+    let trace: Vec<_> = networks::gpt2_small_decode_trace(prompt, steps, bucket).collect();
+    assert_eq!(serving.points.len(), trace.len());
+    for (point, (kv_len, decode_net)) in serving.points.iter().zip(&trace) {
+        let decode_eval = session
+            .evaluate_network(decode_net, &NetworkOptions::baseline())
+            .expect("decode step evaluates");
+        assert_eq!(point.occupancy, 1);
+        assert_eq!(point.macs, decode_eval.macs, "kv={kv_len}");
+        assert_eq!(
+            point.energy.picojoules().to_bits(),
+            decode_eval.energy.total().picojoules().to_bits(),
+            "kv={kv_len}: serving step energy drifted from decode_trace"
+        );
+        assert_eq!(
+            point.cycles.to_bits(),
+            decode_eval.cycles.to_bits(),
+            "kv={kv_len}: serving step cycles drifted from decode_trace"
+        );
+    }
+    // Totals follow: the schedule is the trace.
+    let trace_macs: u64 = trace.iter().map(|(_, n)| n.total_macs()).sum();
+    assert_eq!(serving.total_macs(), trace_macs);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random mixes and capacities: the scheduler's conservation laws
+    /// hold for any seeded population.
+    #[test]
+    fn scheduler_conserves_tokens(
+        seed in 0usize..1000,
+        count in 1usize..=24,
+        capacity in 1usize..=12,
+        long_percent in 0usize..=100,
+    ) {
+        let mix = RequestMix::bimodal(seed as u64, count, (16, 3), (128, 11), long_percent);
+        let schedule = BatchSchedule::build(&mix, capacity);
+        prop_assert_eq!(schedule.total_tokens(), mix.total_output_tokens());
+        prop_assert!(schedule
+            .steps()
+            .iter()
+            .all(|s| s.occupancy() >= 1 && s.occupancy() <= capacity));
+        prop_assert!(schedule.mean_occupancy() > 0.0 && schedule.mean_occupancy() <= 1.0);
+        // Steps are bounded: perfect packing below, serial above.
+        let tokens = mix.total_output_tokens() as usize;
+        prop_assert!(schedule.total_steps() >= tokens.div_ceil(capacity));
+        prop_assert!(schedule.total_steps() <= tokens);
+        assert_tokens_exactly_once(&mix, &schedule);
+    }
+
+    /// Random active sets: the lowering's closed form matches the layer
+    /// sum, and the bucketed composition covers the whole active set.
+    #[test]
+    fn lowering_macs_match_for_random_active_sets(
+        seed in 0usize..1000,
+        occupancy in 1usize..=8,
+        bucket_pow in 0usize..=8,
+    ) {
+        let bucket = 1usize << bucket_pow;
+        // A deterministic pseudo-random active set from the seed.
+        let kv: Vec<usize> = (0..occupancy)
+            .map(|i| (seed.wrapping_mul(31).wrapping_add(i * 97)) % 700)
+            .collect();
+        let model = ServingModel::new("toy", 64, 4, 128, 2, 1000);
+        let net = model.lower_step(&kv, bucket);
+        prop_assert_eq!(net.total_macs(), model.step_macs(&kv, bucket));
+        let composition = ServingModel::bucketed_composition(&kv, bucket);
+        prop_assert_eq!(
+            composition.iter().map(|&(_, c)| c).sum::<usize>(),
+            occupancy
+        );
+        // Group count bounds the per-step layer count: 8 layers per
+        // block + LM head per group.
+        prop_assert_eq!(
+            net.layers().len(),
+            composition.len() * (2 * 8 + 1)
+        );
+        for (len, _) in composition {
+            prop_assert_eq!(len % bucket, 0, "padded lengths are bucket multiples");
+        }
+    }
+}
