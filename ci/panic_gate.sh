@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Ratchet on panic!/unwrap() in library code.
+#
+# Counts `panic!(` and `.unwrap()` occurrences in non-test library
+# source (everything before the first `#[cfg(test)]` in each file under
+# crates/*/src and src/; shims/ and integration tests are out of
+# scope — test code may panic freely) and fails when either count rises
+# above the checked-in baseline. New fallible paths should return typed
+# errors (`ArchError`, `SystemError`, ...) instead.
+#
+# When a count legitimately drops, lower the baseline here so the
+# ratchet keeps holding the line.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PANIC_BASELINE=0
+UNWRAP_BASELINE=0
+
+count() {
+  # Comment lines are excluded: doctest examples may unwrap().
+  local pattern=$1 total=0 n file
+  while IFS= read -r file; do
+    n=$(awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//{print}' "$file" |
+      grep -c -E "$pattern" || true)
+    total=$((total + n))
+  done < <(find crates/*/src src -name '*.rs' | sort)
+  echo "$total"
+}
+
+panics=$(count 'panic!\(')
+unwraps=$(count '\.unwrap\(\)')
+status=0
+
+echo "panic! in library code:   $panics (baseline $PANIC_BASELINE)"
+echo ".unwrap() in library code: $unwraps (baseline $UNWRAP_BASELINE)"
+
+if [ "$panics" -gt "$PANIC_BASELINE" ]; then
+  echo "error: new panic!() in library code; return a typed error instead" >&2
+  status=1
+fi
+if [ "$unwraps" -gt "$UNWRAP_BASELINE" ]; then
+  echo "error: new .unwrap() in library code; propagate the error instead" >&2
+  status=1
+fi
+if [ "$panics" -lt "$PANIC_BASELINE" ] || [ "$unwraps" -lt "$UNWRAP_BASELINE" ]; then
+  echo "note: counts dropped below baseline; tighten ci/panic_gate.sh"
+fi
+exit "$status"

@@ -259,7 +259,7 @@ mod tests {
         assert!(arch
             .levels()
             .iter()
-            .all(|l| l.domain() == lumen_arch::Domain::DigitalElectrical));
+            .all(|l| l.domain() == Domain::DigitalElectrical));
     }
 
     #[test]

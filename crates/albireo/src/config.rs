@@ -262,7 +262,7 @@ impl AlbireoConfig {
             .read_energy(glb_read)
             .write_energy(glb_write)
             .capacity_bits(glb_bits)
-            .area(lumen_components::Component::area(&glb))
+            .area(Component::area(&glb))
             .fanout(Fanout::new(self.clusters).allow(DimSet::from_dims(&[Dim::M, Dim::P])))
             .done()
             .converter(

@@ -96,7 +96,7 @@ pub fn albireo_mapping(
     // Plans, most reuse first. Each entry: (dims at glb, dims at pe),
     // outermost-first within each level.
     type PlanDims<'a> = &'a [(Dim, usize)];
-    let plans: [(PlanDims, PlanDims); 4] = [
+    let plans: [(PlanDims<'_>, PlanDims<'_>); 4] = [
         // A: whole layer resident in glb; batch above -> weights from
         // DRAM once per batch.
         (

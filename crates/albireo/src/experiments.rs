@@ -87,7 +87,7 @@ impl Fig2Result {
     /// corner).
     pub fn table(&self) -> Table {
         let mut header = vec!["scaling".to_string(), "series".to_string()];
-        header.extend(reference::FIG2_COMPONENTS.iter().map(|c| c.to_string()));
+        header.extend(reference::FIG2_COMPONENTS.iter().map(ToString::to_string));
         header.push("total".into());
         let mut t = Table::new(header);
         for row in &self.rows {
@@ -290,7 +290,7 @@ impl Fig4Result {
     /// Renders the figure as a table.
     pub fn table(&self) -> Table {
         let mut header = vec!["config".to_string()];
-        header.extend(MEMORY_SEGMENTS.iter().map(|s| s.to_string()));
+        header.extend(MEMORY_SEGMENTS.iter().map(ToString::to_string));
         header.extend(["total (mJ)".to_string(), "normalized".to_string()]);
         let mut t = Table::new(header);
         for row in &self.rows {
@@ -402,7 +402,7 @@ pub fn fig4_memory_exploration() -> Result<Fig4Result, SystemError> {
         .filter(|r| !r.batched && !r.fused)
         .map(|r| (r.scaling, r.total_mj()))
         .collect();
-    for row in rows.iter_mut() {
+    for row in &mut rows {
         let (_, base) = baselines
             .iter()
             .find(|(scaling, _)| *scaling == row.scaling)
@@ -484,7 +484,7 @@ impl Fig5Result {
     /// Renders the figure as a table.
     pub fn table(&self) -> Table {
         let mut header = vec!["config".to_string()];
-        header.extend(MEMORY_SEGMENTS[..5].iter().map(|s| s.to_string()));
+        header.extend(MEMORY_SEGMENTS[..5].iter().map(ToString::to_string));
         header.push("total pJ/MAC".into());
         let mut t = Table::new(header);
         for row in &self.rows {

@@ -47,6 +47,7 @@
 //! ```
 
 mod baseline;
+pub mod check;
 mod config;
 mod dataflow;
 pub mod experiments;

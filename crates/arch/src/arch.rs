@@ -44,7 +44,10 @@ impl Architecture {
         if !first.kind().is_storage() || first.keep() != lumen_workload::TensorSet::all() {
             return Err(ArchError::BadOutermost);
         }
-        let last = self.levels.last().expect("checked nonempty");
+        // Length checked above: >= 2 levels, so last exists.
+        let Some(last) = self.levels.last() else {
+            return Err(ArchError::TooFewLevels);
+        };
         if !last.kind().is_compute() {
             return Err(ArchError::BadCompute(last.name().to_string()));
         }

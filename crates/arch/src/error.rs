@@ -21,6 +21,8 @@ pub enum ArchError {
     NothingKept(String),
     /// A fan-out larger than one allows no dimensions.
     UselessFanout(String),
+    /// A fan-out was constructed with zero instances.
+    ZeroFanout,
 }
 
 impl fmt::Display for ArchError {
@@ -52,6 +54,7 @@ impl fmt::Display for ArchError {
                 f,
                 "level `{name}` has a fan-out larger than one but allows no dimensions"
             ),
+            ArchError::ZeroFanout => write!(f, "fanout must be at least 1"),
         }
     }
 }
@@ -73,6 +76,7 @@ mod tests {
             ArchError::EmptyName,
             ArchError::NothingKept("buf".into()),
             ArchError::UselessFanout("pe".into()),
+            ArchError::ZeroFanout,
         ];
         for e in samples {
             let msg = e.to_string();

@@ -1,5 +1,6 @@
 //! Spatial fan-out between adjacent hierarchy levels.
 
+use crate::ArchError;
 use lumen_workload::{DimSet, Layer};
 use std::fmt;
 
@@ -42,18 +43,32 @@ impl Fanout {
         Fanout::new(1)
     }
 
+    /// Builds a fan-out of `size` instances allowing all dimensions,
+    /// rejecting a zero size with a typed error — the non-aborting
+    /// construction path that `lumen check` reports through.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::ZeroFanout`] if `size` is zero.
+    pub fn try_new(size: usize) -> Result<Fanout, ArchError> {
+        if size == 0 {
+            return Err(ArchError::ZeroFanout);
+        }
+        Ok(Fanout {
+            size,
+            allowed: DimSet::all(),
+            unit_stride_dims: DimSet::EMPTY,
+        })
+    }
+
     /// Builds a fan-out of `size` instances allowing all dimensions.
     ///
     /// # Panics
     ///
-    /// Panics if `size` is zero.
+    /// Panics if `size` is zero; use [`Fanout::try_new`] to handle that
+    /// case as a value.
     pub fn new(size: usize) -> Fanout {
-        assert!(size > 0, "fanout must be at least 1");
-        Fanout {
-            size,
-            allowed: DimSet::all(),
-            unit_stride_dims: DimSet::EMPTY,
-        }
+        Fanout::try_new(size).expect("fanout must be at least 1")
     }
 
     /// Restricts the dimensions that may map to this fan-out
@@ -144,6 +159,12 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_fanout_panics() {
         let _ = Fanout::new(0);
+    }
+
+    #[test]
+    fn try_new_reports_zero_as_a_value() {
+        assert_eq!(Fanout::try_new(0), Err(ArchError::ZeroFanout));
+        assert_eq!(Fanout::try_new(3).unwrap().size(), 3);
     }
 
     #[test]

@@ -52,7 +52,7 @@ fn bench_ablation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_link_budget");
     group.bench_function("link_budget_eval", |b| {
-        b.iter(|| black_box(laser_pj_per_symbol(black_box(45), true)))
+        b.iter(|| black_box(laser_pj_per_symbol(black_box(45), true)));
     });
     group.bench_function("arch_rebuild_per_ir", |b| {
         b.iter(|| {
@@ -62,7 +62,7 @@ fn bench_ablation(c: &mut Criterion) {
                     .build_arch();
                 black_box(arch.peak_parallelism());
             }
-        })
+        });
     });
     group.finish();
 }

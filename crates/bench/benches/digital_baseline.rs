@@ -49,7 +49,7 @@ fn bench_digital_baseline(c: &mut Criterion) {
                 .evaluate_network(black_box(&net), &NetworkOptions::baseline())
                 .unwrap();
             black_box(eval.energy.total())
-        })
+        });
     });
     group.sample_size(10);
     group.bench_function("full_comparison", |b| {
@@ -59,7 +59,7 @@ fn bench_digital_baseline(c: &mut Criterion) {
                     .unwrap()
                     .len(),
             )
-        })
+        });
     });
     group.finish();
 }

@@ -186,7 +186,7 @@ fn bench_eval_cache(c: &mut Criterion) {
                 .unwrap()
                 .energy
                 .total()
-        })
+        });
     });
     group.bench_function("bert_base_cached_cold", |b| {
         b.iter(|| {
@@ -195,7 +195,7 @@ fn bench_eval_cache(c: &mut Criterion) {
                 .unwrap()
                 .energy
                 .total()
-        })
+        });
     });
     let warm = EvalSession::new(system.clone());
     group.bench_function("bert_base_cached_warm", |b| {
@@ -204,14 +204,14 @@ fn bench_eval_cache(c: &mut Criterion) {
                 .unwrap()
                 .energy
                 .total()
-        })
+        });
     });
     group.bench_function("fig4_sweep_cached", |b| {
         b.iter(|| {
             experiments::fig4_memory_exploration()
                 .unwrap()
                 .combined_reduction(ScalingProfile::Aggressive)
-        })
+        });
     });
     group.finish();
 }

@@ -22,7 +22,7 @@ fn bench_fig2(c: &mut Criterion) {
         b.iter(|| {
             let eval = system.evaluate_layer(black_box(&layer)).unwrap();
             black_box(eval.energy.total())
-        })
+        });
     });
     group.bench_function("full_three_corner_validation", |b| {
         b.iter(|| {
@@ -31,7 +31,7 @@ fn bench_fig2(c: &mut Criterion) {
                     .unwrap()
                     .average_error(),
             )
-        })
+        });
     });
     group.finish();
 }

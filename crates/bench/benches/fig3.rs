@@ -27,7 +27,7 @@ fn bench_fig3(c: &mut Criterion) {
         b.iter(|| {
             let eval = system.evaluate_network(black_box(&vgg), &options).unwrap();
             black_box(eval.throughput_macs_per_cycle())
-        })
+        });
     });
     group.bench_function("evaluate_alexnet", |b| {
         b.iter(|| {
@@ -35,7 +35,7 @@ fn bench_fig3(c: &mut Criterion) {
                 .evaluate_network(black_box(&alexnet), &options)
                 .unwrap();
             black_box(eval.throughput_macs_per_cycle())
-        })
+        });
     });
     group.finish();
 }

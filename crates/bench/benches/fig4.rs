@@ -32,7 +32,7 @@ fn bench_fig4(c: &mut Criterion) {
                 .evaluate_network(black_box(&net), &NetworkOptions::baseline())
                 .unwrap();
             black_box(eval.energy.total())
-        })
+        });
     });
     group.bench_function("resnet18_batched_fused", |b| {
         let options = NetworkOptions::baseline()
@@ -43,7 +43,7 @@ fn bench_fig4(c: &mut Criterion) {
                 .evaluate_network(black_box(&net), &options)
                 .unwrap();
             black_box(eval.energy.total())
-        })
+        });
     });
     group.bench_function("all_eight_bars", |b| {
         b.iter(|| {
@@ -52,7 +52,7 @@ fn bench_fig4(c: &mut Criterion) {
                     .unwrap()
                     .combined_reduction(ScalingProfile::Aggressive),
             )
-        })
+        });
     });
     group.finish();
 }

@@ -31,7 +31,7 @@ fn bench_fig5(c: &mut Criterion) {
                 .evaluate_network(black_box(&net), &NetworkOptions::baseline())
                 .unwrap();
             black_box(eval.energy.total())
-        })
+        });
     });
     group.bench_function("full_18_point_sweep", |b| {
         b.iter(|| {
@@ -40,7 +40,7 @@ fn bench_fig5(c: &mut Criterion) {
                     .unwrap()
                     .accelerator_reduction(),
             )
-        })
+        });
     });
     group.finish();
 }

@@ -68,7 +68,7 @@ fn bench_mapper_search(c: &mut Criterion) {
                 &DEFAULT_SPATIAL_PRIORITY,
                 &TemporalPlan::all_at(1),
             ))
-        })
+        });
     });
     group.bench_function("analyze_once", |b| {
         let mapping = greedy_mapping(
@@ -77,7 +77,7 @@ fn bench_mapper_search(c: &mut Criterion) {
             &DEFAULT_SPATIAL_PRIORITY,
             &TemporalPlan::all_at(1),
         );
-        b.iter(|| black_box(analyze(&arch, &layer, black_box(&mapping)).unwrap()))
+        b.iter(|| black_box(analyze(&arch, &layer, black_box(&mapping)).unwrap()));
     });
     group.sample_size(10);
     group.bench_function("random_search_100", |b| {
@@ -91,7 +91,7 @@ fn bench_mapper_search(c: &mut Criterion) {
                 },
                 cost,
             ))
-        })
+        });
     });
     group.finish();
 }

@@ -16,6 +16,7 @@
 //! lumen decode               # autoregressive decode vs KV length
 //! lumen serving              # continuous batching of mixed-length traffic
 //! lumen components           # component library report
+//! lumen check                # static pre-flight lint of the whole matrix
 //! ```
 
 use lumen_albireo::{compare_with_digital, experiments, AlbireoConfig, ScalingProfile};
@@ -41,7 +42,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let command = args.first().map(String::as_str).unwrap_or("help");
+    let command = args.first().map_or("help", String::as_str);
     let result = match command {
         "fig2" => fig2(),
         "fig3" => fig3(),
@@ -58,6 +59,7 @@ fn main() -> ExitCode {
         "decode" => decode_cmd(&args),
         "serving" => serving_cmd(&args),
         "components" => components_cmd(),
+        "check" => check_cmd(&args),
         "baseline" => baseline(&args),
         "precision" => precision(&args),
         "help" | "--help" | "-h" => {
@@ -129,6 +131,11 @@ fn print_help() {
     println!("  decode      GPT-2 small autoregressive decode vs KV length [--scaling <corner>]");
     println!("  serving     continuous batching of mixed-length traffic [--scaling <corner>]");
     println!("  components  print the component library report");
+    println!("  check       static pre-flight lint of architectures x workloads x strategies");
+    println!("              [--arch albireo|digital] [--network <name>] [--scaling <corner>]");
+    println!(
+        "              [--format text|json] [--deny warnings] [--allow <code>] [--deny <code>]"
+    );
     println!("  baseline    photonic vs digital-electronic comparison [--scaling <corner>]");
     println!("  precision   noise-limited analog resolution vs received optical power");
     println!("  help        show this message");
@@ -320,6 +327,102 @@ fn components_cmd() -> Result<(), String> {
         sc.excess_loss()
     );
     Ok(())
+}
+
+fn check_cmd(args: &[String]) -> Result<(), String> {
+    use lumen_albireo::{check, DigitalBaseline};
+    use lumen_lint::{LintConfig, Report};
+
+    // `--deny warnings` escalates every warning; `--deny L####` escalates
+    // one code; `--allow L####` drops one code. The flags repeat, so walk
+    // the argument list instead of using `option_value`.
+    let mut config = LintConfig::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--allow" => {
+                let Some(code) = iter.next() else {
+                    return Err("--allow expects a lint code".to_string());
+                };
+                config = config.allow(code);
+            }
+            "--deny" => {
+                let Some(what) = iter.next() else {
+                    return Err("--deny expects `warnings` or a lint code".to_string());
+                };
+                config = if what == "warnings" {
+                    config.deny_warnings()
+                } else {
+                    config.deny(what)
+                };
+            }
+            _ => {}
+        }
+    }
+
+    let format = option_value(args, "--format").unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(format!("unknown format `{format}` (expected text or json)"));
+    }
+
+    // No `--scaling` means both figure corners, matching the CI gate.
+    let corners = match option_value(args, "--scaling") {
+        None => vec![ScalingProfile::Conservative, ScalingProfile::Aggressive],
+        Some(_) => vec![parse_scaling(args)?],
+    };
+    let (photonic, digital) = match option_value(args, "--arch") {
+        None => (true, true),
+        Some("albireo") => (true, false),
+        Some("digital") => (false, true),
+        Some(other) => {
+            return Err(format!(
+                "unknown arch `{other}` (expected albireo or digital)"
+            ));
+        }
+    };
+    let nets = match option_value(args, "--network") {
+        None => check::check_networks(),
+        Some(name) => vec![networks::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown network `{name}` (try: {})",
+                networks::NAMES.join(", ")
+            )
+        })?],
+    };
+
+    let mut systems = Vec::new();
+    if photonic {
+        for corner in &corners {
+            systems.push(AlbireoConfig::new(*corner).build_system());
+        }
+    }
+    if digital {
+        // The digital baseline has no scaling corners; check it once.
+        systems.push(DigitalBaseline::new().build_system());
+    }
+
+    let mut report = Report::default();
+    for system in &systems {
+        for net in &nets {
+            report.merge(check::check_system_with(system, net, &config));
+        }
+    }
+
+    if format == "json" {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+        println!(
+            "checked {} network(s) x {} system(s)",
+            nets.len(),
+            systems.len()
+        );
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("check found {} error(s)", report.errors()))
+    }
 }
 
 fn baseline(args: &[String]) -> Result<(), String> {

@@ -55,7 +55,7 @@ mod tests {
 
     #[test]
     fn display_names_are_unique() {
-        let mut names: Vec<String> = ActionKind::ALL.iter().map(|a| a.to_string()).collect();
+        let mut names: Vec<String> = ActionKind::ALL.iter().map(ToString::to_string).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), ActionKind::ALL.len());

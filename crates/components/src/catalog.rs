@@ -45,12 +45,12 @@ impl ComponentCatalog {
 
     /// The component registered under `name`.
     pub fn get(&self, name: &str) -> Option<&(dyn Component + Send + Sync)> {
-        self.entries.get(name).map(|b| b.as_ref())
+        self.entries.get(name).map(AsRef::as_ref)
     }
 
     /// A report for the component registered under `name`.
     pub fn report(&self, name: &str) -> Option<ComponentReport> {
-        self.get(name).map(|c| c.report())
+        self.get(name).map(Component::report)
     }
 
     /// Reports for every component, sorted by name.

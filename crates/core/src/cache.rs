@@ -218,6 +218,9 @@ pub struct EvalSession {
     cache: Option<Arc<EvalCache>>,
     arch_fp: u64,
     strategy_fp: u64,
+    /// Whether `evaluate_network` runs the static lint pass first and
+    /// refuses to evaluate models with error-severity findings.
+    preflight: bool,
     /// This session's own lookup counters. The backing [`EvalCache`]
     /// keeps process-wide totals; when the cache is shared, sessions
     /// running concurrently (parallel sweeps, parallel tests) would see
@@ -290,9 +293,34 @@ impl EvalSession {
             cache,
             arch_fp,
             strategy_fp,
+            preflight: false,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Enables the static pre-flight pass (builder style):
+    /// [`evaluate_network`](EvalSession::evaluate_network) first runs
+    /// every default lint over the system and the network, and refuses
+    /// to evaluate — [`SystemError::Preflight`] — when any
+    /// error-severity diagnostic fires. Warnings never block.
+    #[must_use]
+    pub fn with_preflight(mut self) -> EvalSession {
+        self.preflight = true;
+        self
+    }
+
+    /// Runs the static lint pass over this session's architecture and
+    /// strategy, plus `network` when given, without evaluating anything.
+    pub fn preflight(&self, network: Option<&Network>) -> lumen_lint::Report {
+        let facts = crate::strategy_facts(self.system.strategy());
+        let mut target = lumen_lint::LintTarget::new()
+            .with_arch(self.system.arch())
+            .with_strategy(&facts);
+        if let Some(network) = network {
+            target = target.with_network(network);
+        }
+        lumen_lint::LintRegistry::with_default_lints().run(&target)
     }
 
     /// The wrapped system.
@@ -347,6 +375,21 @@ impl EvalSession {
         network: &Network,
         options: &NetworkOptions,
     ) -> Result<NetworkEvaluation, SystemError> {
+        if self.preflight {
+            let report = self.preflight(Some(network));
+            if !report.is_clean() {
+                let first = report
+                    .diagnostics()
+                    .iter()
+                    .find(|d| d.severity == lumen_lint::Severity::Error)
+                    .map(ToString::to_string)
+                    .unwrap_or_default();
+                return Err(SystemError::Preflight {
+                    errors: report.errors(),
+                    first,
+                });
+            }
+        }
         let batch = options.batch.max(1);
         let batched = if batch > 1 {
             network.with_batch(batch)
@@ -469,6 +512,8 @@ fn rename(
             layer: name.to_string(),
             cause,
         }),
+        // Pre-flight failures are not per-layer; nothing to rename.
+        Err(other) => Err(other),
     }
 }
 
@@ -638,8 +683,12 @@ mod tests {
         let e2 = session.evaluate_layer(&twin).unwrap_err();
         assert_eq!(session.cache_stats().misses, 1, "failure was cached");
         assert_eq!(session.cache_stats().hits, 1);
-        let SystemError::NoMapping { layer: l1, .. } = e1;
-        let SystemError::NoMapping { layer: l2, .. } = e2;
+        let SystemError::NoMapping { layer: l1, .. } = e1 else {
+            panic!("expected NoMapping, got {e1}");
+        };
+        let SystemError::NoMapping { layer: l2, .. } = e2 else {
+            panic!("expected NoMapping, got {e2}");
+        };
         assert_eq!(l1, "first");
         assert_eq!(l2, "twin", "cached error renamed to the asking layer");
     }
@@ -823,5 +872,59 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn preflight_passes_a_sound_system() {
+        let session = EvalSession::new(toy_system()).with_preflight();
+        let report = session.preflight(Some(&repeated_net()));
+        assert!(report.is_clean(), "{report}");
+        session
+            .evaluate_network(&repeated_net(), &NetworkOptions::baseline())
+            .expect("clean model evaluates");
+    }
+
+    #[test]
+    fn preflight_refuses_unphysical_energies() {
+        // Structurally valid (passes ArchBuilder validation) but priced
+        // nonsensically: exactly the case only the lint pass catches.
+        let arch = ArchBuilder::new("bad", Frequency::from_gigahertz(1.0))
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .read_energy(Energy::from_picojoules(-5.0))
+            .write_energy(Energy::from_picojoules(100.0))
+            .done()
+            .compute("mac", Domain::DigitalElectrical, Energy::ZERO)
+            .build()
+            .unwrap();
+        let session =
+            EvalSession::new(System::new(arch, MappingStrategy::default())).with_preflight();
+        let err = session
+            .evaluate_network(&repeated_net(), &NetworkOptions::baseline())
+            .unwrap_err();
+        let SystemError::Preflight { errors, first } = err else {
+            panic!("expected Preflight, got {err}");
+        };
+        assert!(errors >= 1);
+        assert!(first.contains("L0101"), "{first}");
+        // Without the opt-in, the same model still evaluates.
+        let session = EvalSession::new(session.system().clone());
+        session
+            .evaluate_network(&repeated_net(), &NetworkOptions::baseline())
+            .expect("preflight is opt-in");
+    }
+
+    #[test]
+    fn preflight_reports_strategy_findings_without_blocking_on_warns() {
+        // A zero-iteration search is an error-severity strategy finding.
+        let session = EvalSession::new(System::new(
+            toy_arch(0.05),
+            MappingStrategy::RandomSearch(SearchConfig {
+                iterations: 0,
+                seed: 1,
+            }),
+        ));
+        let report = session.preflight(None);
+        assert!(!report.is_clean());
+        assert!(report.diagnostics().iter().any(|d| d.code == "L0302"));
     }
 }

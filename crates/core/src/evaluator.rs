@@ -149,6 +149,14 @@ pub enum SystemError {
         /// The underlying mapping error, if one was produced.
         cause: Option<MappingError>,
     },
+    /// The pre-flight lint pass found error-severity diagnostics (see
+    /// [`crate::EvalSession::with_preflight`]).
+    Preflight {
+        /// Number of error-severity findings.
+        errors: usize,
+        /// The first finding, rendered for display.
+        first: String,
+    },
 }
 
 impl fmt::Display for SystemError {
@@ -161,7 +169,39 @@ impl fmt::Display for SystemError {
                 }
                 Ok(())
             }
+            SystemError::Preflight { errors, first } => {
+                write!(
+                    f,
+                    "pre-flight check found {errors} error(s); first: {first}"
+                )
+            }
         }
+    }
+}
+
+/// Distills a [`MappingStrategy`] into the facts the linter inspects.
+///
+/// `lumen-lint` cannot depend on this crate (this crate runs the
+/// pre-flight pass, so the dependency points the other way); strategies
+/// are therefore linted through [`lumen_lint::StrategyFacts`] built
+/// here, next to the `fingerprint()` implementation whose soundness the
+/// `L0301` lint polices.
+pub fn strategy_facts(strategy: &MappingStrategy) -> lumen_lint::StrategyFacts {
+    let (label, address_fingerprinted, search) = match strategy {
+        MappingStrategy::Greedy { temporal_level } => {
+            (format!("greedy@{temporal_level}"), false, None)
+        }
+        MappingStrategy::Planned { .. } => ("planned".to_string(), false, None),
+        MappingStrategy::RandomSearch(cfg) => ("random-search".to_string(), false, Some(*cfg)),
+        MappingStrategy::Custom(_) => ("custom".to_string(), true, None),
+        MappingStrategy::CustomKeyed { key, .. } => {
+            (format!("custom-keyed:{key:016x}"), false, None)
+        }
+    };
+    lumen_lint::StrategyFacts {
+        label,
+        address_fingerprinted,
+        search,
     }
 }
 

@@ -64,7 +64,7 @@ impl Table {
                 if i > 0 {
                     line.push_str("  ");
                 }
-                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let cell = cells.get(i).map_or("", String::as_str);
                 if i == 0 {
                     line.push_str(&format!("{cell:<width$}"));
                 } else {

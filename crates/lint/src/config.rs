@@ -1,0 +1,112 @@
+//! Per-code allow/deny configuration.
+
+use crate::{Diagnostic, Severity};
+use std::collections::BTreeSet;
+
+/// Filters and escalates diagnostics after the rules have run.
+///
+/// Applied per finding: allowed codes are dropped, denied codes are
+/// escalated to [`Severity::Error`], and `deny_warnings` escalates every
+/// surviving warning. Allow wins over deny for the same code (an
+/// explicitly silenced rule stays silent).
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    allowed: BTreeSet<String>,
+    denied: BTreeSet<String>,
+    deny_warnings: bool,
+}
+
+impl LintConfig {
+    /// The empty configuration: every diagnostic passes through at its
+    /// rule's severity.
+    pub fn new() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// Silences a code (builder style).
+    #[must_use]
+    pub fn allow(mut self, code: impl Into<String>) -> LintConfig {
+        self.allowed.insert(code.into());
+        self
+    }
+
+    /// Escalates a code to [`Severity::Error`] (builder style).
+    #[must_use]
+    pub fn deny(mut self, code: impl Into<String>) -> LintConfig {
+        self.denied.insert(code.into());
+        self
+    }
+
+    /// Escalates all warnings to errors (builder style) — the
+    /// `--deny warnings` CI posture.
+    #[must_use]
+    pub fn deny_warnings(mut self) -> LintConfig {
+        self.deny_warnings = true;
+        self
+    }
+
+    /// Whether findings for `code` are silenced.
+    pub fn is_allowed(&self, code: &str) -> bool {
+        self.allowed.contains(code)
+    }
+
+    /// Applies the configuration to one finding: `None` if silenced,
+    /// otherwise the (possibly escalated) diagnostic.
+    pub fn apply(&self, mut diagnostic: Diagnostic) -> Option<Diagnostic> {
+        if self.is_allowed(diagnostic.code) {
+            return None;
+        }
+        if self.denied.contains(diagnostic.code)
+            || (self.deny_warnings && diagnostic.severity == Severity::Warn)
+        {
+            diagnostic.severity = Severity::Error;
+        }
+        Some(diagnostic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warn(code: &'static str) -> Diagnostic {
+        Diagnostic::new(code, Severity::Warn, "p", "m", "h")
+    }
+
+    #[test]
+    fn empty_config_passes_through() {
+        let d = LintConfig::new().apply(warn("L0105")).unwrap();
+        assert_eq!(d.severity, Severity::Warn);
+    }
+
+    #[test]
+    fn allow_silences() {
+        assert!(LintConfig::new()
+            .allow("L0105")
+            .apply(warn("L0105"))
+            .is_none());
+    }
+
+    #[test]
+    fn deny_escalates() {
+        let d = LintConfig::new()
+            .deny("L0105")
+            .apply(warn("L0105"))
+            .unwrap();
+        assert_eq!(d.severity, Severity::Error);
+    }
+
+    #[test]
+    fn deny_warnings_escalates_all_warns() {
+        let cfg = LintConfig::new().deny_warnings();
+        assert_eq!(cfg.apply(warn("L0105")).unwrap().severity, Severity::Error);
+        let info = Diagnostic::new("L0001", Severity::Info, "p", "m", "h");
+        assert_eq!(cfg.apply(info).unwrap().severity, Severity::Info);
+    }
+
+    #[test]
+    fn allow_wins_over_deny() {
+        let cfg = LintConfig::new().allow("L0105").deny("L0105");
+        assert!(cfg.apply(warn("L0105")).is_none());
+    }
+}

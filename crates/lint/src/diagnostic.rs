@@ -1,0 +1,109 @@
+//! Structured diagnostics: what a lint found, where, and how to fix it.
+
+use std::fmt;
+
+/// How serious a [`Diagnostic`] is.
+///
+/// Ordered `Info < Warn < Error` so configuration can *escalate* but a
+/// comparison like `severity >= Severity::Warn` reads naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only; never fails a check.
+    Info,
+    /// Suspicious but evaluable; fails under `--deny warnings`.
+    Warn,
+    /// The model is wrong or un-evaluable; always fails a check.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label used in both renderers (`"error"`,
+    /// `"warning"`, `"info"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finding from a lint rule.
+///
+/// The `path` names the model location using `/`-separated segments
+/// (`"albireo-conservative/glb"`, `"gpt2-small/blk0.attn.logits"`), the
+/// `message` states the violated invariant, and `help` suggests a fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule code (`"L0104"`); the unit of allow/deny config.
+    pub code: &'static str,
+    /// Effective severity (after any configuration escalation).
+    pub severity: Severity,
+    /// Model location the finding anchors to.
+    pub path: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub help: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        path: impl Into<String>,
+        message: impl Into<String>,
+        help: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            path: path.into(),
+            message: message.into(),
+            help: help.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.path, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_for_escalation() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn display_is_compiler_style() {
+        let d = Diagnostic::new(
+            "L0101",
+            Severity::Error,
+            "toy/dram",
+            "read energy is negative",
+            "use a non-negative energy",
+        );
+        assert_eq!(
+            d.to_string(),
+            "error[L0101] toy/dram: read energy is negative"
+        );
+    }
+}

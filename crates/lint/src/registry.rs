@@ -1,0 +1,136 @@
+//! The [`Lint`] trait and the rule registry that drives a run.
+
+use crate::{Diagnostic, LintConfig, LintTarget, Report};
+
+/// One static-analysis rule.
+///
+/// A rule inspects whatever facets of the [`LintTarget`] it understands
+/// and pushes zero or more [`Diagnostic`]s. Rules must be pure
+/// (inspection only, no evaluation) and must emit their own `code()` on
+/// every diagnostic they push.
+pub trait Lint {
+    /// The stable `L####` code this rule emits.
+    fn code(&self) -> &'static str;
+
+    /// One-line description of the invariant checked.
+    fn summary(&self) -> &'static str;
+
+    /// Runs the rule over `target`, appending findings to `out`.
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered collection of rules, run together over one target.
+pub struct LintRegistry {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl LintRegistry {
+    /// An empty registry.
+    pub fn new() -> LintRegistry {
+        LintRegistry { lints: Vec::new() }
+    }
+
+    /// The registry with every built-in rule registered.
+    pub fn with_default_lints() -> LintRegistry {
+        LintRegistry {
+            lints: crate::rules::default_lints(),
+        }
+    }
+
+    /// Adds a rule (builder style).
+    #[must_use]
+    pub fn register(mut self, lint: Box<dyn Lint>) -> LintRegistry {
+        self.lints.push(lint);
+        self
+    }
+
+    /// The registered rules.
+    pub fn lints(&self) -> &[Box<dyn Lint>] {
+        &self.lints
+    }
+
+    /// The registered codes, in registration order.
+    pub fn codes(&self) -> Vec<&'static str> {
+        self.lints.iter().map(|l| l.code()).collect()
+    }
+
+    /// Runs every rule over `target` with the default configuration.
+    pub fn run(&self, target: &LintTarget<'_>) -> Report {
+        self.run_with(target, &LintConfig::default())
+    }
+
+    /// Runs every rule over `target`, applying `config` to each finding.
+    pub fn run_with(&self, target: &LintTarget<'_>, config: &LintConfig) -> Report {
+        let mut raw = Vec::new();
+        for lint in &self.lints {
+            lint.check(target, &mut raw);
+        }
+        let kept = raw
+            .into_iter()
+            .filter_map(|d| config.apply(d))
+            .collect::<Vec<_>>();
+        Report::from_diagnostics(kept)
+    }
+}
+
+impl Default for LintRegistry {
+    fn default() -> Self {
+        LintRegistry::with_default_lints()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    struct Always(&'static str, Severity);
+
+    impl Lint for Always {
+        fn code(&self) -> &'static str {
+            self.0
+        }
+        fn summary(&self) -> &'static str {
+            "always fires"
+        }
+        fn check(&self, _target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+            out.push(Diagnostic::new(self.0, self.1, "here", "fired", "n/a"));
+        }
+    }
+
+    #[test]
+    fn empty_registry_is_silent() {
+        assert!(LintRegistry::new().run(&LintTarget::new()).is_empty());
+    }
+
+    #[test]
+    fn config_filters_and_escalates() {
+        let registry = LintRegistry::new()
+            .register(Box::new(Always("L9001", Severity::Warn)))
+            .register(Box::new(Always("L9002", Severity::Warn)));
+        let report = registry.run_with(
+            &LintTarget::new(),
+            &LintConfig::new().allow("L9001").deny("L9002"),
+        );
+        assert_eq!(report.diagnostics().len(), 1);
+        assert_eq!(report.diagnostics()[0].code, "L9002");
+        assert_eq!(report.errors(), 1);
+    }
+
+    #[test]
+    fn default_lints_have_unique_codes() {
+        let registry = LintRegistry::with_default_lints();
+        let mut codes = registry.codes();
+        let n = codes.len();
+        assert!(n >= 12, "need at least 12 rules, have {n}");
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), n, "duplicate lint codes registered");
+    }
+
+    #[test]
+    fn default_lints_pass_the_empty_target() {
+        let report = LintRegistry::with_default_lints().run(&LintTarget::new());
+        assert!(report.is_empty(), "{report}");
+    }
+}

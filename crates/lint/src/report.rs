@@ -1,0 +1,189 @@
+//! The ordered result of a lint run, with text and JSON renderers.
+
+use crate::{Diagnostic, Severity};
+use std::fmt;
+
+/// Diagnostics from one lint run, sorted into a stable order:
+/// `(code, path, message)`. The ordering makes reports diffable and the
+/// JSON rendering golden-pinnable regardless of rule registration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Builds a report, sorting the diagnostics into stable order.
+    pub fn from_diagnostics(mut diagnostics: Vec<Diagnostic>) -> Report {
+        diagnostics
+            .sort_by(|a, b| (a.code, &a.path, &a.message).cmp(&(b.code, &b.path, &b.message)));
+        Report { diagnostics }
+    }
+
+    /// All findings, in stable order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Whether the run produced no findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether the model passed: no error-severity findings (warnings
+    /// and infos may remain).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Folds another report into this one, restoring stable order.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+        let taken = std::mem::take(&mut self.diagnostics);
+        *self = Report::from_diagnostics(taken);
+    }
+
+    /// Renders the compiler-style text form: one line per finding, its
+    /// help indented below, and a trailing summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+            if !d.help.is_empty() {
+                out.push_str(&format!("  help: {}\n", d.help));
+            }
+        }
+        out.push_str(&format!(
+            "check: {} error(s), {} warning(s), {} finding(s)\n",
+            self.errors(),
+            self.warnings(),
+            self.diagnostics.len()
+        ));
+        out
+    }
+
+    /// Renders the machine-readable JSON form (stable key and array
+    /// order; hand-rolled so the workspace stays dependency-free).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"code\": {}, \"severity\": {}, \"path\": {}, \"message\": {}, \"help\": {}}}",
+                json_string(d.code),
+                json_string(d.severity.label()),
+                json_string(&d.path),
+                json_string(&d.message),
+                json_string(&d.help)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"errors\": {},\n  \"warnings\": {}\n}}\n",
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_text())
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(code: &'static str, severity: Severity, path: &str) -> Diagnostic {
+        Diagnostic::new(code, severity, path, "msg", "fix it")
+    }
+
+    #[test]
+    fn sorted_and_counted() {
+        let report = Report::from_diagnostics(vec![
+            d("L0202", Severity::Warn, "b"),
+            d("L0101", Severity::Error, "a"),
+            d("L0202", Severity::Warn, "a"),
+        ]);
+        let codes: Vec<&str> = report.diagnostics().iter().map(|x| x.code).collect();
+        assert_eq!(codes, ["L0101", "L0202", "L0202"]);
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.warnings(), 2);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let report = Report::default();
+        assert!(report.is_clean() && report.is_empty());
+        assert!(report.render_text().contains("0 error(s), 0 warning(s)"));
+        assert!(report.render_json().contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn merge_restores_order() {
+        let mut a = Report::from_diagnostics(vec![d("L0202", Severity::Warn, "x")]);
+        a.merge(Report::from_diagnostics(vec![d(
+            "L0101",
+            Severity::Error,
+            "y",
+        )]));
+        assert_eq!(a.diagnostics()[0].code, "L0101");
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_shape_is_wellformed() {
+        let report = Report::from_diagnostics(vec![d("L0101", Severity::Error, "p")]);
+        let json = report.render_json();
+        assert!(json.contains("\"code\": \"L0101\""));
+        assert!(json.contains("\"severity\": \"error\""));
+        assert!(json.ends_with("\"errors\": 1,\n  \"warnings\": 0\n}\n"));
+    }
+}

@@ -1,0 +1,331 @@
+//! Architecture rules (`L01xx`): physical plausibility and hierarchy
+//! configuration problems that `Architecture::validate` deliberately
+//! does not reject (a spec can be structurally well-formed yet priced
+//! nonsensically).
+
+use crate::registry::Lint;
+use crate::{Diagnostic, LintTarget, Severity};
+use lumen_arch::{Architecture, Level};
+use lumen_workload::{DimSet, TensorKind};
+
+fn level_path(arch: &Architecture, level: &Level) -> String {
+    format!("{}/{}", arch.name(), level.name())
+}
+
+/// Whether an energy/power magnitude is physically implausible.
+fn bad_magnitude(value: f64) -> bool {
+    !value.is_finite() || value < 0.0
+}
+
+/// `L0101`: a component energy is negative, NaN or infinite.
+///
+/// Covers per-element read/write/convert energies, the per-MAC compute
+/// energy and every per-cycle cost. A single negative DRAM energy makes
+/// whole-network totals silently wrong, which is exactly the
+/// plausible-but-wrong failure mode pre-flight linting exists to catch.
+pub struct NonFiniteEnergy;
+
+impl Lint for NonFiniteEnergy {
+    fn code(&self) -> &'static str {
+        "L0101"
+    }
+
+    fn summary(&self) -> &'static str {
+        "component energies must be finite and non-negative"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(arch) = target.arch else { return };
+        let mut emit = |path: String, component: &str, value: f64| {
+            if bad_magnitude(value) {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    Severity::Error,
+                    path,
+                    format!("{component} is {value} J — not a physical energy"),
+                    "use a finite, non-negative energy for every component",
+                ));
+            }
+        };
+        for level in arch.levels() {
+            let path = level_path(arch, level);
+            if level.kind().is_storage() {
+                emit(path.clone(), "read energy", level.read_energy().joules());
+                emit(path, "write energy", level.write_energy().joules());
+            } else if level.kind().is_converter() {
+                emit(path, "convert energy", level.convert_energy().joules());
+            } else {
+                emit(path, "per-MAC energy", arch.mac_energy().joules());
+            }
+        }
+        for cost in arch.per_cycle_costs() {
+            emit(
+                format!("{}/{}", arch.name(), cost.name),
+                "per-cycle energy",
+                cost.energy_per_cycle.joules(),
+            );
+        }
+    }
+}
+
+/// `L0102`: the clock is non-positive or non-finite.
+///
+/// Throughput and static-energy accounting both divide by the clock, so
+/// a zero or NaN clock turns every derived figure into garbage.
+pub struct BadClock;
+
+impl Lint for BadClock {
+    fn code(&self) -> &'static str {
+        "L0102"
+    }
+
+    fn summary(&self) -> &'static str {
+        "the clock must be a positive, finite frequency"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(arch) = target.arch else { return };
+        let hz = arch.clock().hertz();
+        if !hz.is_finite() || hz <= 0.0 {
+            out.push(Diagnostic::new(
+                self.code(),
+                Severity::Error,
+                arch.name(),
+                format!("clock is {hz} Hz — cycle time and static energy are undefined"),
+                "set a positive, finite clock on ArchBuilder::new",
+            ));
+        }
+    }
+}
+
+/// `L0103`: a tensor crosses the electrical/optical boundary between
+/// its outermost storage home and the compute level, but no converter
+/// keeping that tensor prices the crossing.
+///
+/// This is the paper's headline modeling trap: DAC/ADC/modulator energy
+/// dominates photonic accelerators, so an unpriced crossing silently
+/// drops the dominant term. Passive optical elements (star couplers)
+/// are fine *as long as* some converter on the tensor's path carries a
+/// positive conversion energy.
+pub struct UnpricedBoundary;
+
+impl Lint for UnpricedBoundary {
+    fn code(&self) -> &'static str {
+        "L0103"
+    }
+
+    fn summary(&self) -> &'static str {
+        "electrical/optical crossings need a positively-priced converter"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(arch) = target.arch else { return };
+        let compute_optical = arch.compute_level().domain().is_optical();
+        for tensor in TensorKind::ALL {
+            let Some(home) = arch
+                .levels()
+                .iter()
+                .find(|l| l.kind().is_storage() && l.keep().contains(tensor))
+            else {
+                continue;
+            };
+            if home.domain().is_optical() == compute_optical {
+                continue;
+            }
+            let priced = arch.levels().iter().any(|l| {
+                l.kind().is_converter()
+                    && l.keep().contains(tensor)
+                    && l.convert_energy().joules() > 0.0
+            });
+            if !priced {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    Severity::Warn,
+                    arch.name(),
+                    format!(
+                        "{tensor} moves between {} storage `{}` and the {} compute level \
+                         with no positively-priced converter on its path",
+                        home.domain(),
+                        home.name(),
+                        arch.compute_level().domain()
+                    ),
+                    "add a converter level keeping this tensor with a nonzero convert energy",
+                ));
+            }
+        }
+    }
+}
+
+/// `L0104`: a bounded storage level cannot hold even one element of a
+/// tensor it claims to keep.
+///
+/// The mapper would reject every tiling at such a level; catching it
+/// statically names the level instead of failing mid-sweep with a
+/// generic "no legal mapping".
+pub struct TinyCapacity;
+
+impl Lint for TinyCapacity {
+    fn code(&self) -> &'static str {
+        "L0104"
+    }
+
+    fn summary(&self) -> &'static str {
+        "bounded storage must fit at least one element of each kept tensor"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(arch) = target.arch else { return };
+        for level in arch.levels() {
+            let Some(bits) = level.capacity_bits() else {
+                continue;
+            };
+            let too_wide: Vec<String> = TensorKind::ALL
+                .into_iter()
+                .filter(|t| level.keep().contains(*t) && u64::from(arch.word_bits_of(*t)) > bits)
+                .map(|t| t.to_string())
+                .collect();
+            if !too_wide.is_empty() {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    Severity::Error,
+                    level_path(arch, level),
+                    format!(
+                        "capacity of {bits} bits cannot hold one element of kept tensor(s) {}",
+                        too_wide.join(", ")
+                    ),
+                    "raise capacity_bits or stop keeping the tensor at this level",
+                ));
+            }
+        }
+    }
+}
+
+/// `L0105`: a fan-out configuration that can never matter.
+///
+/// Either a degenerate size-1 fan-out carries dimension restrictions
+/// (dead configuration — probably a typo for a real fan-out), or a real
+/// fan-out lists unit-stride dimensions it does not allow (the
+/// requirement can never gate anything).
+pub struct DeadFanout;
+
+impl Lint for DeadFanout {
+    fn code(&self) -> &'static str {
+        "L0105"
+    }
+
+    fn summary(&self) -> &'static str {
+        "fan-out restrictions must be able to take effect"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(arch) = target.arch else { return };
+        for level in arch.levels() {
+            let fanout = level.fanout();
+            let restricted =
+                fanout.allowed() != DimSet::all() || !fanout.unit_stride_dims().is_empty();
+            if fanout.size() == 1 && restricted {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    Severity::Warn,
+                    level_path(arch, level),
+                    "size-1 fan-out carries dimension restrictions that can never apply"
+                        .to_string(),
+                    "give the fan-out a size > 1 or drop the allow/unit-stride restrictions",
+                ));
+            } else if fanout.size() > 1 {
+                let orphaned: DimSet = fanout
+                    .unit_stride_dims()
+                    .iter()
+                    .filter(|d| !fanout.allowed().contains(*d))
+                    .collect();
+                if !orphaned.is_empty() {
+                    out.push(Diagnostic::new(
+                        self.code(),
+                        Severity::Warn,
+                        level_path(arch, level),
+                        format!(
+                            "unit-stride requirement on {orphaned} is dead: those dimensions \
+                             are not in the allowed set {}",
+                            fanout.allowed()
+                        ),
+                        "require unit stride only for dimensions the fan-out allows",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `L0106`: a converter that costs nothing in any ledger — zero
+/// conversion energy, zero area and zero static power.
+///
+/// A deliberately passive element (a star coupler) still has area; a
+/// converter with no footprint at all is almost certainly an unfinished
+/// spec whose E/O pricing was never filled in.
+pub struct InertConverter;
+
+impl Lint for InertConverter {
+    fn code(&self) -> &'static str {
+        "L0106"
+    }
+
+    fn summary(&self) -> &'static str {
+        "converters should cost something in at least one ledger"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(arch) = target.arch else { return };
+        for level in arch.levels() {
+            if level.kind().is_converter()
+                && level.convert_energy().joules() == 0.0
+                && level.area().square_meters() == 0.0
+                && level.static_power().watts() == 0.0
+            {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    Severity::Warn,
+                    level_path(arch, level),
+                    "converter has zero conversion energy, zero area and zero static power"
+                        .to_string(),
+                    "price the conversion, or give the passive element its real area/power",
+                ));
+            }
+        }
+    }
+}
+
+/// `L0107`: a storage level whose reads and writes are both free.
+///
+/// Free storage makes the mapper's buffer-vs-traffic trade-off
+/// degenerate: any amount of traffic at that level costs nothing, so
+/// energy comparisons across architectures quietly lose a term.
+pub struct FreeStorage;
+
+impl Lint for FreeStorage {
+    fn code(&self) -> &'static str {
+        "L0107"
+    }
+
+    fn summary(&self) -> &'static str {
+        "storage levels should price reads or writes"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(arch) = target.arch else { return };
+        for level in arch.levels() {
+            if level.kind().is_storage()
+                && level.read_energy().joules() == 0.0
+                && level.write_energy().joules() == 0.0
+            {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    Severity::Warn,
+                    level_path(arch, level),
+                    "storage level charges nothing for reads or writes".to_string(),
+                    "set read/write energies, or model the level as a converter if it only \
+                     transduces",
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Serving-schedule rules (`L04xx`): request-mix and scheduler knobs
+//! checked before a continuous-batching study runs.
+
+use crate::registry::Lint;
+use crate::{Diagnostic, LintTarget, Severity};
+
+/// `L0401`: a schedule with zero decode slots.
+///
+/// `BatchSchedule::build` panics on it; the lint reports the mix by
+/// name instead.
+pub struct ZeroCapacity;
+
+impl Lint for ZeroCapacity {
+    fn code(&self) -> &'static str {
+        "L0401"
+    }
+
+    fn summary(&self) -> &'static str {
+        "schedules need at least one decode slot"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(serving) = target.serving else {
+            return;
+        };
+        if serving.capacity == 0 {
+            out.push(Diagnostic::new(
+                self.code(),
+                Severity::Error,
+                format!("serving/{}", serving.mix.name()),
+                "batch capacity is 0; no request can ever be admitted".to_string(),
+                "give the scheduler at least one decode slot",
+            ));
+        }
+    }
+}
+
+/// `L0402`: the KV rounding bucket does not fit the mix.
+///
+/// A zero bucket makes attend-length rounding undefined, and a bucket
+/// larger than the mix's longest sequence rounds *every* step up to a
+/// length no request reaches — all schedules degenerate to one padded
+/// bucket and the bucketing measures nothing but padding.
+pub struct KvBucketMismatch;
+
+impl Lint for KvBucketMismatch {
+    fn code(&self) -> &'static str {
+        "L0402"
+    }
+
+    fn summary(&self) -> &'static str {
+        "the KV bucket must be positive and no larger than the mix's longest sequence"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(serving) = target.serving else {
+            return;
+        };
+        let path = format!("serving/{}", serving.mix.name());
+        if serving.kv_bucket == 0 {
+            out.push(Diagnostic::new(
+                self.code(),
+                Severity::Warn,
+                path,
+                "KV bucket is 0; attend-length rounding is undefined".to_string(),
+                "use a positive bucket (a power of two near the typical context works well)",
+            ));
+            return;
+        }
+        let longest = serving
+            .mix
+            .requests()
+            .iter()
+            .map(|r| r.prompt + r.output)
+            .max()
+            .unwrap_or(0);
+        if serving.kv_bucket > longest {
+            out.push(Diagnostic::new(
+                self.code(),
+                Severity::Warn,
+                path,
+                format!(
+                    "KV bucket {} exceeds the mix's longest sequence ({longest} tokens); \
+                     every step pads to a length no request reaches",
+                    serving.kv_bucket
+                ),
+                "shrink the bucket to at most the longest prompt+output in the mix",
+            ));
+        }
+    }
+}

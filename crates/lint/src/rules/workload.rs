@@ -1,0 +1,275 @@
+//! Workload rules (`L02xx`): layer and network invariants the
+//! constructors do not (or cannot) enforce.
+
+use crate::registry::Lint;
+use crate::{Diagnostic, LintTarget, Severity};
+use lumen_workload::{Dim, Layer, LayerKind, LayerSignature, Network, TensorKind};
+
+fn layer_path(network: &Network, layer: &Layer) -> String {
+    format!("{}/{}", network.name(), layer.name())
+}
+
+fn is_gemm(kind: LayerKind) -> bool {
+    matches!(kind, LayerKind::Matmul | LayerKind::FullyConnected)
+}
+
+/// `L0201`: a GEMM-class layer carries convolution-only structure.
+///
+/// Matmul/fully-connected layers must have unit filter windows
+/// (`Q = R = S = 1`) and unit stride/dilation; anything else means the
+/// shape was transplanted from a convolution and the MAC count is not
+/// what the author thinks it is.
+pub struct MalformedGemm;
+
+impl Lint for MalformedGemm {
+    fn code(&self) -> &'static str {
+        "L0201"
+    }
+
+    fn summary(&self) -> &'static str {
+        "GEMM layers must have unit windows, stride and dilation"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(network) = target.network else {
+            return;
+        };
+        for layer in network.layers() {
+            if !is_gemm(layer.kind()) {
+                continue;
+            }
+            let shape = layer.shape();
+            let windowed = shape[Dim::Q] != 1 || shape[Dim::R] != 1 || shape[Dim::S] != 1;
+            let strided = layer.stride() != (1, 1) || layer.dilation() != (1, 1);
+            if windowed || strided {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    Severity::Error,
+                    layer_path(network, layer),
+                    format!(
+                        "{:?} layer has convolutional structure \
+                         (Q={}, R={}, S={}, stride={:?}, dilation={:?})",
+                        layer.kind(),
+                        shape[Dim::Q],
+                        shape[Dim::R],
+                        shape[Dim::S],
+                        layer.stride(),
+                        layer.dilation()
+                    ),
+                    "use Conv2d for windowed operators, or fold the window into M/C/P",
+                ));
+            }
+        }
+    }
+}
+
+/// `L0202`: a KV-cache layer appends more elements per step than its
+/// whole stationary tensor holds.
+///
+/// The append count models one token's K/V slice; a slice larger than
+/// the resident cache means the residency annotation and the layer
+/// bounds disagree, and append energy will dominate for no physical
+/// reason.
+pub struct KvAppendAnomaly;
+
+impl Lint for KvAppendAnomaly {
+    fn code(&self) -> &'static str {
+        "L0202"
+    }
+
+    fn summary(&self) -> &'static str {
+        "KV appends must not exceed the resident cache size"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(network) = target.network else {
+            return;
+        };
+        for layer in network.layers() {
+            let append = layer.kv_append_per_sample() as u64;
+            let resident = layer.tensor_elements(TensorKind::Weight);
+            if append > 0 && append > resident {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    Severity::Warn,
+                    layer_path(network, layer),
+                    format!(
+                        "appends {append} KV elements per step but the stationary tensor \
+                         holds only {resident}"
+                    ),
+                    "the append count should be one token's slice of the cached tensor",
+                ));
+            }
+        }
+    }
+}
+
+/// `L0203`: KV-cache residency on a non-GEMM layer.
+///
+/// The KV cache models attention's K/V operands; convolutions have no
+/// growing per-sample stationary tensor, so residency there charges
+/// append energy that corresponds to nothing.
+pub struct KvOnNonGemm;
+
+impl Lint for KvOnNonGemm {
+    fn code(&self) -> &'static str {
+        "L0203"
+    }
+
+    fn summary(&self) -> &'static str {
+        "KV-cache residency belongs on GEMM layers only"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(network) = target.network else {
+            return;
+        };
+        for layer in network.layers() {
+            if layer.kv_append_per_sample() > 0 && !is_gemm(layer.kind()) {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    Severity::Error,
+                    layer_path(network, layer),
+                    format!(
+                        "{:?} layer carries KV-cache residency ({} elements/step)",
+                        layer.kind(),
+                        layer.kv_append_per_sample()
+                    ),
+                    "KV caches grow on attention GEMMs; remove the residency annotation",
+                ));
+            }
+        }
+    }
+}
+
+/// Element-count threshold above which a tensor is suspect: 2^50
+/// elements is ~1 PiB at 8-bit words, beyond any single-accelerator
+/// workload and a strong sign of a transposed or fat-fingered bound.
+const OVERSIZED_ELEMENTS: u64 = 1 << 50;
+
+/// `L0204`: a layer tensor is implausibly large.
+pub struct OversizedTensor;
+
+impl Lint for OversizedTensor {
+    fn code(&self) -> &'static str {
+        "L0204"
+    }
+
+    fn summary(&self) -> &'static str {
+        "tensors should fit a single accelerator's working set"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(network) = target.network else {
+            return;
+        };
+        for layer in network.layers() {
+            let oversized: Vec<String> = TensorKind::ALL
+                .into_iter()
+                .filter(|t| layer.tensor_elements(*t) > OVERSIZED_ELEMENTS)
+                .map(|t| format!("{t} ({} elements)", layer.tensor_elements(t)))
+                .collect();
+            if !oversized.is_empty() {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    Severity::Warn,
+                    layer_path(network, layer),
+                    format!("implausibly large tensor(s): {}", oversized.join(", ")),
+                    "check the layer bounds for a transposed or misplaced dimension",
+                ));
+            }
+        }
+    }
+}
+
+/// `L0205`: a network with no layers.
+///
+/// Evaluating it "succeeds" with zero energy and zero cycles — numbers
+/// that look real in a sweep table.
+pub struct EmptyNetwork;
+
+impl Lint for EmptyNetwork {
+    fn code(&self) -> &'static str {
+        "L0205"
+    }
+
+    fn summary(&self) -> &'static str {
+        "networks must contain at least one layer"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(network) = target.network else {
+            return;
+        };
+        if network.layers().is_empty() {
+            out.push(Diagnostic::new(
+                self.code(),
+                Severity::Warn,
+                network.name(),
+                "network has no layers; evaluation would report zero energy".to_string(),
+                "push at least one layer, or drop the network from the sweep",
+            ));
+        }
+    }
+}
+
+/// Finds digest collisions in `(name, signature, digest)` entries:
+/// pairs whose signatures differ but whose digests are equal.
+///
+/// Exposed separately from [`DigestCollision`] because a genuine 64-bit
+/// FNV-1a collision cannot be constructed in a test; fixtures exercise
+/// this function with forged digests, while the rule feeds it real ones.
+pub fn digest_collisions(entries: &[(&str, LayerSignature, u64)]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, (name_a, sig_a, digest_a)) in entries.iter().enumerate() {
+        for (name_b, sig_b, digest_b) in &entries[i + 1..] {
+            if digest_a == digest_b && sig_a != sig_b {
+                out.push(Diagnostic::new(
+                    "L0206",
+                    Severity::Error,
+                    format!("{name_a} <-> {name_b}"),
+                    format!(
+                        "distinct layer signatures share digest {digest_a:016x}; \
+                         content-addressed caching would conflate them"
+                    ),
+                    "a real FNV-1a collision: change the digest encoding (and its pinned \
+                     constant) before trusting any shared cache",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `L0206`: two layers of the network have distinct signatures but
+/// equal `LayerSignature::digest()` values.
+///
+/// The `EvalCache` keys on the full signature, so evaluation stays
+/// correct — but logs, JSON artifacts and any future digest-keyed
+/// sharding would silently conflate the two layers.
+pub struct DigestCollision;
+
+impl Lint for DigestCollision {
+    fn code(&self) -> &'static str {
+        "L0206"
+    }
+
+    fn summary(&self) -> &'static str {
+        "layer signature digests must be collision-free within a network"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(network) = target.network else {
+            return;
+        };
+        let entries: Vec<(&str, LayerSignature, u64)> = network
+            .layers()
+            .iter()
+            .map(|l| {
+                let sig = l.signature();
+                (l.name(), sig, sig.digest())
+            })
+            .collect();
+        out.extend(digest_collisions(&entries));
+    }
+}

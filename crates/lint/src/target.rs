@@ -1,0 +1,89 @@
+//! What a lint run inspects.
+//!
+//! A [`LintTarget`] bundles up to four model facets — architecture,
+//! network, mapping strategy and serving schedule — all optional, so a
+//! caller can lint exactly what it has. Rules skip facets that are
+//! absent; a target with no facets produces an empty report.
+
+use lumen_arch::Architecture;
+use lumen_mapper::search::SearchConfig;
+use lumen_workload::{Network, RequestMix};
+
+/// Facts about a mapping strategy that lints can inspect without the
+/// strategy type itself.
+///
+/// `MappingStrategy` lives in `lumen-core`, which depends on this crate
+/// for the pre-flight hook; to avoid a cycle, core distills the strategy
+/// into this value (`lumen_core::strategy_facts`) before handing it to
+/// the linter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyFacts {
+    /// Human-readable strategy description (used in diagnostic paths).
+    pub label: String,
+    /// Whether the strategy's cache fingerprint hashes a closure
+    /// *address* rather than content — unsound to persist or share
+    /// across processes.
+    pub address_fingerprinted: bool,
+    /// The random-search configuration, when the strategy searches.
+    pub search: Option<SearchConfig>,
+}
+
+/// A serving schedule to lint: the request mix plus the two scheduler
+/// knobs that shape it.
+#[derive(Debug, Clone)]
+pub struct ServingSpec<'a> {
+    /// The traffic to serve.
+    pub mix: &'a RequestMix,
+    /// Decode slots available per step.
+    pub capacity: usize,
+    /// KV attend-length rounding quantum (elements).
+    pub kv_bucket: usize,
+}
+
+/// The model facets one lint run inspects; all optional.
+#[derive(Debug, Clone, Default)]
+pub struct LintTarget<'a> {
+    /// Architecture under check.
+    pub arch: Option<&'a Architecture>,
+    /// Workload under check.
+    pub network: Option<&'a Network>,
+    /// Mapping strategy under check (pre-distilled facts).
+    pub strategy: Option<&'a StrategyFacts>,
+    /// Serving schedule under check.
+    pub serving: Option<&'a ServingSpec<'a>>,
+}
+
+impl<'a> LintTarget<'a> {
+    /// An empty target (nothing to lint).
+    pub fn new() -> LintTarget<'a> {
+        LintTarget::default()
+    }
+
+    /// Adds an architecture (builder style).
+    #[must_use]
+    pub fn with_arch(mut self, arch: &'a Architecture) -> LintTarget<'a> {
+        self.arch = Some(arch);
+        self
+    }
+
+    /// Adds a network (builder style).
+    #[must_use]
+    pub fn with_network(mut self, network: &'a Network) -> LintTarget<'a> {
+        self.network = Some(network);
+        self
+    }
+
+    /// Adds strategy facts (builder style).
+    #[must_use]
+    pub fn with_strategy(mut self, facts: &'a StrategyFacts) -> LintTarget<'a> {
+        self.strategy = Some(facts);
+        self
+    }
+
+    /// Adds a serving spec (builder style).
+    #[must_use]
+    pub fn with_serving(mut self, serving: &'a ServingSpec<'a>) -> LintTarget<'a> {
+        self.serving = Some(serving);
+        self
+    }
+}

@@ -300,8 +300,7 @@ mod tests {
         let a = DecodePhase::new("a", 256, 4)
             .with_kv_len(130)
             .with_kv_bucket(64);
-        let sigs =
-            |p: &DecodePhase| -> Vec<_> { p.lower().iter().map(|l| l.signature()).collect() };
+        let sigs = |p: &DecodePhase| -> Vec<_> { p.lower().iter().map(Layer::signature).collect() };
         assert_eq!(sigs(&step), sigs(&a));
     }
 

@@ -196,7 +196,7 @@ mod tests {
         let mut layers = 0usize;
         for (_, net) in gpt2_small_decode_trace(0, 128, 64) {
             layers += net.layers().len();
-            unique.extend(net.layers().iter().map(|l| l.signature()));
+            unique.extend(net.layers().iter().map(Layer::signature));
         }
         assert_eq!(layers, 128 * 97);
         // 4 KV-independent signatures (proj, fc1, fc2, lm-head) + up to 2

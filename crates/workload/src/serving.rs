@@ -296,7 +296,7 @@ impl BatchSchedule {
                     })
                     .collect(),
             });
-            for slot in active.iter_mut() {
+            for slot in &mut active {
                 slot.1 += 1;
             }
             active.retain(|&(request, generated)| generated < mix.requests()[request].output);
@@ -590,7 +590,7 @@ mod tests {
                 .lower_step(kv, 32)
                 .layers()
                 .iter()
-                .map(|l| l.signature())
+                .map(Layer::signature)
                 .collect()
         };
         // Different exact kv lengths, same bucketed composition.

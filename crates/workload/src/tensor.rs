@@ -268,7 +268,7 @@ mod tests {
         m[TensorKind::Input] = 7;
         assert_eq!(m[TensorKind::Input], 7);
         assert_eq!(m.iter().count(), 3);
-        let built = TensorMap::from_fn(|k| k.index());
+        let built = TensorMap::from_fn(TensorKind::index);
         assert_eq!(built[TensorKind::Output], 2);
     }
 

@@ -12,6 +12,9 @@
 //! * [`arch`] — hierarchical architecture specifications with electrical /
 //!   optical domain tracking
 //! * [`mapper`] — Timeloop-style loop-nest mapping and reuse analysis
+//! * [`lint`] — static pre-flight analysis (`lumen check`): structured
+//!   `L####` diagnostics over architectures, workloads, strategies and
+//!   serving schedules
 //! * [`core`] — the full-system energy / throughput / area evaluator
 //! * [`albireo`] — the Albireo (ISCA 2021) photonic accelerator case study
 //!   and the paper's experiments (Figures 2–5)
@@ -35,6 +38,7 @@ pub use lumen_albireo as albireo;
 pub use lumen_arch as arch;
 pub use lumen_components as components;
 pub use lumen_core as core;
+pub use lumen_lint as lint;
 pub use lumen_mapper as mapper;
 pub use lumen_units as units;
 pub use lumen_workload as workload;

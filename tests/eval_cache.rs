@@ -7,7 +7,7 @@ use lumen::arch::{ArchBuilder, Architecture, Domain, Fanout};
 use lumen::core::{EvalCache, EvalSession, MappingStrategy, NetworkOptions, SweepRunner, System};
 use lumen::mapper::search::{greedy_mapping, spatial_priority_for, SearchConfig, TemporalPlan};
 use lumen::units::{Energy, Frequency};
-use lumen::workload::{networks, Dim, DimSet, LayerSignature, TensorSet};
+use lumen::workload::{networks, Dim, DimSet, Layer, LayerSignature, TensorSet};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -101,7 +101,7 @@ fn cached_evaluation_is_bit_identical_for_all_networks_and_strategies() {
 
             // The session searched only the unique signatures.
             let unique: HashSet<LayerSignature> =
-                net.layers().iter().map(|l| l.signature()).collect();
+                net.layers().iter().map(Layer::signature).collect();
             assert_eq!(
                 session.cache_stats().misses,
                 unique.len() as u64,
@@ -149,7 +149,7 @@ fn cached_evaluation_is_bit_identical_under_batching_and_fusion() {
 #[test]
 fn bert_base_maps_once_per_unique_signature() {
     let net = networks::bert_base();
-    let unique: HashSet<LayerSignature> = net.layers().iter().map(|l| l.signature()).collect();
+    let unique: HashSet<LayerSignature> = net.layers().iter().map(Layer::signature).collect();
     assert_eq!(
         unique.len(),
         5,
@@ -279,7 +279,7 @@ fn decode_trace_512_steps_costs_a_handful_of_searches() {
     let mut unique_per_step = 0usize;
     for (kv_len, net) in networks::gpt2_small_decode_trace(0, 512, 64) {
         buckets.insert((kv_len + 1).div_ceil(64));
-        let unique: HashSet<LayerSignature> = net.layers().iter().map(|l| l.signature()).collect();
+        let unique: HashSet<LayerSignature> = net.layers().iter().map(Layer::signature).collect();
         unique_per_step = unique_per_step.max(unique.len());
         let eval = session
             .evaluate_network(&net, &NetworkOptions::baseline())
@@ -360,7 +360,7 @@ fn serving_trace_800_steps_costs_a_handful_of_searches() {
         let kv = step.kv_lens();
         pairs.extend(ServingModel::bucketed_composition(&kv, bucket));
         let net = model.lower_step(&kv, bucket);
-        unique.extend(net.layers().iter().map(|l| l.signature()));
+        unique.extend(net.layers().iter().map(Layer::signature));
         let eval = session
             .evaluate_network(&net, &NetworkOptions::baseline())
             .unwrap_or_else(|e| panic!("step occupancy {}: {e}", step.occupancy()));

@@ -18,7 +18,11 @@ fn fig2_validation_reproduces_sub_percent_error() {
         100.0 * result.average_error()
     );
     // Scaling corners are ordered and roughly 3.5 / 1.5 / 0.55 pJ/MAC.
-    let totals: Vec<f64> = result.rows.iter().map(|r| r.modeled_total()).collect();
+    let totals: Vec<f64> = result
+        .rows
+        .iter()
+        .map(experiments::Fig2Row::modeled_total)
+        .collect();
     assert!(
         totals[0] > 3.0 && totals[0] < 4.0,
         "conservative {totals:?}"
@@ -94,7 +98,7 @@ fn fig4_batching_plus_fusion_restore_aggressive_benefits() {
     let result = experiments::fig4_memory_exploration().expect("fig4 evaluates");
     // Paper: 67% reduction ("3x improvement"); we require >= 55%.
     let reduction = result.combined_reduction(ScalingProfile::Aggressive);
-    assert!(reduction >= 0.55, "combined reduction {:.2}", reduction);
+    assert!(reduction >= 0.55, "combined reduction {reduction:.2}");
     // Each lever alone helps at the aggressive corner.
     let base = result
         .row(ScalingProfile::Aggressive, false, false)
