@@ -130,6 +130,8 @@ fn print_help() {
     println!("  transformers  photonic vs digital on transformer workloads [--scaling <corner>]");
     println!("  decode      GPT-2 small autoregressive decode vs KV length [--scaling <corner>]");
     println!("  serving     continuous batching of mixed-length traffic [--scaling <corner>]");
+    println!("              [--arrival closed-loop|poisson[:rate]|bursty|diurnal]");
+    println!("              [--policy fifo|shortest-prompt|slo]   (open-loop SLO study)");
     println!("  components  print the component library report");
     println!("  check       static pre-flight lint of architectures x workloads x strategies");
     println!("              [--arch albireo|digital] [--network <name>] [--scaling <corner>]");
@@ -294,9 +296,88 @@ fn decode_cmd(args: &[String]) -> Result<(), String> {
 
 fn serving_cmd(args: &[String]) -> Result<(), String> {
     let scaling = parse_scaling(args)?;
-    let result = experiments::serving_study(scaling).map_err(|e| e.to_string())?;
+    let arrival_flag = option_value(args, "--arrival");
+    let policy_flag = option_value(args, "--policy");
+    if arrival_flag.is_none() && policy_flag.is_none() {
+        // Legacy closed-loop study: capacity sweep over the three mixes.
+        let result = experiments::serving_study(scaling).map_err(|e| e.to_string())?;
+        println!("{result}");
+        return Ok(());
+    }
+    let arrival = parse_arrival(arrival_flag.unwrap_or("closed-loop"))?;
+    let policy = parse_policy(policy_flag.unwrap_or("fifo"))?;
+
+    // Pre-flight lint of the serving spec before paying for the traces:
+    // print every diagnostic, abort only on errors (an overloaded
+    // arrival rate is a legitimate thing to study, so L0403 warns).
+    use lumen_lint::{LintRegistry, LintTarget, ServingSpec};
+    let mix = experiments::slo_mix();
+    let spec = ServingSpec {
+        mix: &mix,
+        capacity: experiments::SLO_CAPACITY,
+        kv_bucket: experiments::SERVING_KV_BUCKET,
+        arrival: Some(&arrival),
+        max_context: lumen_workload::ServingModel::gpt2_small().max_context(),
+    };
+    let report = LintRegistry::with_default_lints().run(&LintTarget::new().with_serving(&spec));
+    if !report.is_empty() {
+        print!("{}", report.render_text());
+    }
+    if !report.is_clean() {
+        return Err(format!(
+            "serving pre-flight found {} error(s)",
+            report.errors()
+        ));
+    }
+
+    let result = experiments::serving_scenario_study(scaling, &[(arrival, policy)])
+        .map_err(|e| e.to_string())?;
     println!("{result}");
     Ok(())
+}
+
+/// Parses `--arrival`: a named process, with `poisson` taking an
+/// optional `:rate` suffix. Seeds match the `serving_slo_study`
+/// scenarios so CLI runs land on the study's golden-pinned traffic.
+fn parse_arrival(spec: &str) -> Result<lumen_workload::ArrivalProcess, String> {
+    use lumen_workload::ArrivalProcess;
+    match spec {
+        "closed-loop" => Ok(ArrivalProcess::ClosedLoop),
+        "bursty" => Ok(ArrivalProcess::bursty(0.02, 48, 6, 0xB125_7EED)),
+        "diurnal" => Ok(ArrivalProcess::diurnal(0.05, 0.5, 96, 0xFEED_F00D)),
+        _ => {
+            let rate = match spec.strip_prefix("poisson") {
+                Some("") => 0.5,
+                Some(rest) => {
+                    let raw = rest.strip_prefix(':').ok_or_else(|| {
+                        format!("unknown arrival process `{spec}` (try poisson:0.5)")
+                    })?;
+                    raw.parse::<f64>()
+                        .map_err(|_| format!("--arrival poisson expects a rate, got `{raw}`"))?
+                }
+                None => {
+                    return Err(format!(
+                        "unknown arrival process `{spec}` \
+                         (expected closed-loop, poisson[:rate], bursty or diurnal)"
+                    ));
+                }
+            };
+            ArrivalProcess::try_poisson(rate, 0xFEED_F00D).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Parses `--policy`: which queued request a free decode slot admits.
+fn parse_policy(spec: &str) -> Result<lumen_workload::AdmissionPolicy, String> {
+    use lumen_workload::AdmissionPolicy;
+    match spec {
+        "fifo" => Ok(AdmissionPolicy::Fifo),
+        "shortest-prompt" => Ok(AdmissionPolicy::ShortestPrompt),
+        "slo" => Ok(experiments::slo_policy()),
+        other => Err(format!(
+            "unknown admission policy `{other}` (expected fifo, shortest-prompt or slo)"
+        )),
+    }
 }
 
 fn components_cmd() -> Result<(), String> {

@@ -76,5 +76,7 @@ pub use evaluator::{
     strategy_facts, LayerEvaluation, MappingFn, MappingStrategy, System, SystemError,
 };
 pub use network::{FusionConfig, NetworkEvaluation, NetworkOptions};
-pub use serving::{serving_sweep, ServingEvaluation, ServingStepPoint};
+pub use serving::{
+    serving_sweep, serving_trace, Percentiles, RequestLatency, ServingEvaluation, ServingStepPoint,
+};
 pub use sweep::SweepRunner;

@@ -1,13 +1,19 @@
 //! Serving-trace evaluation: driving a continuous-batching schedule
 //! through an [`EvalSession`].
 //!
-//! [`serving_sweep`] evaluates every step of a
+//! [`serving_sweep`] evaluates every step of a closed-loop
 //! [`BatchSchedule`](lumen_workload::BatchSchedule) — each step lowered
 //! to bucketed decode layers by a
 //! [`ServingModel`](lumen_workload::ServingModel) — against one session,
 //! and reduces the trace to per-step and aggregate serving metrics:
 //! generated tokens per second, energy per token, slot occupancy and
-//! MAC-weighted compute utilization.
+//! MAC-weighted compute utilization. [`serving_trace`] does the same
+//! for an event-driven
+//! [`ServingSchedule`](lumen_workload::ServingSchedule), where prefill
+//! chunks are lowered (and charged) alongside the decode groups, and
+//! additionally folds the evaluated step durations into per-request
+//! [`RequestLatency`] records — time-to-first-token and
+//! time-between-tokens percentiles in real time at the system clock.
 //!
 //! The step networks are pure functions of each step's *bucketed
 //! composition* (the multiset of padded attend lengths with group
@@ -57,7 +63,7 @@
 
 use crate::{EvalSession, NetworkOptions, SystemError};
 use lumen_units::{Energy, Frequency};
-use lumen_workload::serving::{BatchSchedule, ServingModel};
+use lumen_workload::serving::{BatchSchedule, ServingModel, ServingSchedule};
 
 /// One scheduler step of a serving sweep, reduced to scalars so a long
 /// trace stays cheap to hold.
@@ -65,8 +71,11 @@ use lumen_workload::serving::{BatchSchedule, ServingModel};
 pub struct ServingStepPoint {
     /// Step index in the schedule.
     pub step: usize,
-    /// Active requests this step (each generated one token).
+    /// Requests decoding this step (each generated one token).
     pub occupancy: usize,
+    /// Prompt tokens prefilled this step (0 for the closed-loop
+    /// resident-prefill path).
+    pub prefill_tokens: usize,
     /// True MACs of the step's lowered network (padded accounting).
     pub macs: u64,
     /// Total energy of the step.
@@ -75,6 +84,78 @@ pub struct ServingStepPoint {
     pub cycles: f64,
     /// MAC-weighted compute utilization of the step, in (0, 1].
     pub utilization: f64,
+}
+
+/// Nearest-rank percentiles over a latency sample, in seconds.
+///
+/// All three are 0.0 for an empty sample — consistent with the
+/// guarded aggregate accessors on [`ServingEvaluation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Nearest-rank percentiles of `samples` (order irrelevant).
+    pub fn from_samples(mut samples: Vec<f64>) -> Percentiles {
+        samples.sort_by(f64::total_cmp);
+        let rank = |q: f64| -> f64 {
+            if samples.is_empty() {
+                return 0.0;
+            }
+            let idx = (q * samples.len() as f64).ceil() as usize;
+            samples[idx.clamp(1, samples.len()) - 1]
+        };
+        Percentiles {
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+        }
+    }
+}
+
+/// The latency record of one request through an evaluated trace, in
+/// cycles at the evaluated system's clock. Cycle timestamps are
+/// cumulative evaluated step durations: a step's tokens all complete
+/// at the step's end, and the request clock starts at the beginning of
+/// the first busy step at or after the request's arrival step (idle
+/// gaps are fast-forwarded — a work-conserving server starts prefill
+/// the moment a request reaches an idle machine).
+#[derive(Debug, Clone)]
+pub struct RequestLatency {
+    /// Index of the request in its mix.
+    pub request: usize,
+    /// When the request arrived.
+    pub arrival_cycles: f64,
+    /// When the request first occupied a slot (prefill or decode).
+    pub admission_cycles: f64,
+    /// When the request's first generated token completed.
+    pub first_token_cycles: f64,
+    /// When the request's last token completed.
+    pub retire_cycles: f64,
+    /// Tokens the request generated.
+    pub generated: usize,
+    /// Gaps between consecutive token completions (length
+    /// `generated - 1`).
+    pub token_gap_cycles: Vec<f64>,
+}
+
+impl RequestLatency {
+    /// Time to first token: arrival to first generated-token
+    /// completion (queueing + prefill + the first decode step).
+    pub fn ttft_cycles(&self) -> f64 {
+        self.first_token_cycles - self.arrival_cycles
+    }
+
+    /// Time the request queued before taking a slot.
+    pub fn queue_cycles(&self) -> f64 {
+        self.admission_cycles - self.arrival_cycles
+    }
 }
 
 /// The reduced result of a serving sweep: per-step points plus the
@@ -87,6 +168,10 @@ pub struct ServingEvaluation {
     pub kv_bucket: usize,
     /// One point per scheduler step, execution order.
     pub points: Vec<ServingStepPoint>,
+    /// Per-request latency records, ordered by request index. For the
+    /// closed-loop [`serving_sweep`] every arrival is step 0, so TTFT
+    /// measures pure queueing + first decode.
+    pub requests: Vec<RequestLatency>,
 }
 
 impl ServingEvaluation {
@@ -112,23 +197,45 @@ impl ServingEvaluation {
         self.points.iter().map(|p| p.cycles).sum()
     }
 
+    /// Prompt tokens prefilled over the whole trace.
+    pub fn total_prefill_tokens(&self) -> u64 {
+        self.points.iter().map(|p| p.prefill_tokens as u64).sum()
+    }
+
     /// Aggregate serving throughput in generated tokens per second:
     /// every step's tokens over every step's wall time at `clock`.
+    /// 0.0 for an empty or zero-cycle trace, like every other
+    /// aggregate here — a degenerate trace reports zeros, never NaN.
     pub fn tokens_per_second(&self, clock: Frequency) -> f64 {
-        self.total_tokens() as f64 / (self.total_cycles() * clock.period().seconds())
+        let cycles = self.total_cycles();
+        if cycles == 0.0 {
+            return 0.0;
+        }
+        self.total_tokens() as f64 / (cycles * clock.period().seconds())
     }
 
-    /// Aggregate energy per generated token, in picojoules.
+    /// Aggregate energy per generated token, in picojoules; 0.0 for a
+    /// trace that generated no tokens.
     pub fn pj_per_token(&self) -> f64 {
-        self.total_energy().picojoules() / self.total_tokens() as f64
+        let tokens = self.total_tokens();
+        if tokens == 0 {
+            return 0.0;
+        }
+        self.total_energy().picojoules() / tokens as f64
     }
 
-    /// Aggregate energy per MAC, in picojoules.
+    /// Aggregate energy per MAC, in picojoules; 0.0 for an empty
+    /// trace.
     pub fn pj_per_mac(&self) -> f64 {
-        self.total_energy().picojoules() / self.total_macs() as f64
+        let macs = self.total_macs();
+        if macs == 0 {
+            return 0.0;
+        }
+        self.total_energy().picojoules() / macs as f64
     }
 
-    /// Mean slot occupancy over the trace, in (0, 1].
+    /// Mean decode-slot occupancy over the trace: in (0, 1] for a
+    /// trace with steps, 0.0 for an empty one.
     pub fn mean_occupancy(&self) -> f64 {
         let steps = self.points.len();
         if steps == 0 {
@@ -137,14 +244,109 @@ impl ServingEvaluation {
         self.total_tokens() as f64 / (steps * self.capacity) as f64
     }
 
-    /// MAC-weighted compute utilization over the whole trace.
+    /// MAC-weighted compute utilization over the whole trace; 0.0 for
+    /// an empty trace.
     pub fn average_utilization(&self) -> f64 {
         let total = self.total_macs() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
         self.points
             .iter()
             .map(|p| p.utilization * p.macs as f64 / total)
             .sum()
     }
+
+    /// Time-to-first-token percentiles over all requests, in seconds
+    /// of wall time at `clock`.
+    pub fn ttft_percentiles(&self, clock: Frequency) -> Percentiles {
+        let period = clock.period().seconds();
+        Percentiles::from_samples(
+            self.requests
+                .iter()
+                .map(|r| r.ttft_cycles() * period)
+                .collect(),
+        )
+    }
+
+    /// Time-between-tokens percentiles, pooled over every consecutive
+    /// token pair of every request, in seconds at `clock`.
+    pub fn tbt_percentiles(&self, clock: Frequency) -> Percentiles {
+        let period = clock.period().seconds();
+        Percentiles::from_samples(
+            self.requests
+                .iter()
+                .flat_map(|r| r.token_gap_cycles.iter().map(|g| g * period))
+                .collect(),
+        )
+    }
+}
+
+/// Step membership on the wall clock, the input latency accounting
+/// needs alongside the evaluated per-step cycles.
+struct StepMembers {
+    wall: usize,
+    decode: Vec<usize>,
+    prefill: Vec<usize>,
+}
+
+/// Folds evaluated step durations into per-request latency records.
+/// `arrivals` maps request index to arrival step; `None` means
+/// everything arrived at step 0 (the closed loop).
+fn request_latencies(
+    arrivals: Option<&[usize]>,
+    steps: &[StepMembers],
+    cycles: &[f64],
+) -> Vec<RequestLatency> {
+    use std::collections::BTreeMap;
+    // (wall, start-time) per emitted step, to resolve arrival steps —
+    // which may fall in a fast-forwarded idle gap — onto the cycle
+    // clock of the first busy step at or after them.
+    let mut spans = Vec::with_capacity(steps.len());
+    let mut records: BTreeMap<usize, RequestLatency> = BTreeMap::new();
+    let mut now = 0.0;
+    for (step, &dur) in steps.iter().zip(cycles) {
+        let (start, end) = (now, now + dur);
+        spans.push((step.wall, start));
+        now = end;
+        for &request in step.prefill.iter().chain(&step.decode) {
+            records.entry(request).or_insert(RequestLatency {
+                request,
+                arrival_cycles: 0.0,
+                admission_cycles: start,
+                first_token_cycles: f64::NAN,
+                retire_cycles: end,
+                generated: 0,
+                token_gap_cycles: Vec::new(),
+            });
+        }
+        for &request in &step.decode {
+            // Every decoding slot completes one token at step end.
+            let record = records
+                .get_mut(&request)
+                .expect("decoding request was just inserted");
+            if record.generated == 0 {
+                record.first_token_cycles = end;
+            } else {
+                record.token_gap_cycles.push(end - record.retire_cycles);
+            }
+            record.generated += 1;
+            record.retire_cycles = end;
+        }
+    }
+    let mut records: Vec<RequestLatency> = records.into_values().collect();
+    if let Some(arrivals) = arrivals {
+        for record in &mut records {
+            let wall = arrivals.get(record.request).copied().unwrap_or(0);
+            // First emitted step at or after the arrival step: its
+            // start is when the server could first see the request.
+            record.arrival_cycles = spans
+                .iter()
+                .find(|&&(w, _)| w >= wall)
+                .map_or(0.0, |&(_, start)| start);
+        }
+    }
+    records
 }
 
 /// Evaluates every step of `schedule` — lowered by `model` at
@@ -179,6 +381,7 @@ pub fn serving_sweep(
             Ok(ServingStepPoint {
                 step,
                 occupancy: state.occupancy(),
+                prefill_tokens: 0,
                 macs: eval.macs,
                 energy: eval.energy.total(),
                 cycles: eval.cycles,
@@ -186,10 +389,84 @@ pub fn serving_sweep(
             })
         })
         .collect::<Result<Vec<_>, SystemError>>()?;
+    let members: Vec<StepMembers> = schedule
+        .steps()
+        .iter()
+        .enumerate()
+        .map(|(wall, state)| StepMembers {
+            wall,
+            decode: state.active().iter().map(|s| s.request).collect(),
+            prefill: Vec::new(),
+        })
+        .collect();
+    let cycles: Vec<f64> = points.iter().map(|p| p.cycles).collect();
+    let requests = request_latencies(None, &members, &cycles);
     Ok(ServingEvaluation {
         capacity: schedule.capacity(),
         kv_bucket,
         points,
+        requests,
+    })
+}
+
+/// Evaluates every emitted step of an event-driven [`ServingSchedule`]
+/// — decode groups *and* prefill chunks, lowered by
+/// [`ServingModel::lower_serving_step`] — through `session`, and folds
+/// the evaluated step durations into per-request latency records:
+/// TTFT/TBT are read off [`ServingEvaluation::ttft_percentiles`] /
+/// [`ServingEvaluation::tbt_percentiles`] in real time at the system
+/// clock.
+///
+/// This is where the free-prefill bug dies: a request's prompt costs
+/// MACs, energy and cycles in the step(s) that prefill it, so a
+/// one-request trace's totals equal the prefill + decode closed forms
+/// ([`ServingModel::prefill_macs`] + [`ServingModel::step_macs`]).
+///
+/// # Errors
+///
+/// [`SystemError::NoMapping`] for the first step (in execution order)
+/// with an unmappable layer.
+pub fn serving_trace(
+    session: &EvalSession,
+    model: &ServingModel,
+    schedule: &ServingSchedule,
+    kv_bucket: usize,
+    options: &NetworkOptions,
+) -> Result<ServingEvaluation, SystemError> {
+    let points = schedule
+        .steps()
+        .iter()
+        .enumerate()
+        .map(|(step, state)| {
+            let net = model.lower_serving_step(state, kv_bucket);
+            let eval = session.evaluate_network(&net, options)?;
+            Ok(ServingStepPoint {
+                step,
+                occupancy: state.decode().len(),
+                prefill_tokens: state.prefill_tokens(),
+                macs: eval.macs,
+                energy: eval.energy.total(),
+                cycles: eval.cycles,
+                utilization: eval.average_utilization(),
+            })
+        })
+        .collect::<Result<Vec<_>, SystemError>>()?;
+    let members: Vec<StepMembers> = schedule
+        .steps()
+        .iter()
+        .map(|state| StepMembers {
+            wall: state.wall(),
+            decode: state.decode().iter().map(|s| s.request).collect(),
+            prefill: state.prefill().iter().map(|s| s.request).collect(),
+        })
+        .collect();
+    let cycles: Vec<f64> = points.iter().map(|p| p.cycles).collect();
+    let requests = request_latencies(Some(schedule.arrivals()), &members, &cycles);
+    Ok(ServingEvaluation {
+        capacity: schedule.capacity(),
+        kv_bucket,
+        points,
+        requests,
     })
 }
 
@@ -249,6 +526,143 @@ mod tests {
         // mapping searches stay a tiny fraction of the layer evals.
         let stats = session.cache_stats();
         assert!(stats.hit_rate() > 0.8, "hit rate {:.3}", stats.hit_rate());
+    }
+
+    #[test]
+    fn empty_and_degenerate_traces_report_zeros_not_nan() {
+        let empty = ServingEvaluation {
+            capacity: 4,
+            kv_bucket: 64,
+            points: Vec::new(),
+            requests: Vec::new(),
+        };
+        let clock = Frequency::from_gigahertz(1.0);
+        // All five aggregates guard the division the same way.
+        assert_eq!(empty.tokens_per_second(clock), 0.0);
+        assert_eq!(empty.pj_per_token(), 0.0);
+        assert_eq!(empty.pj_per_mac(), 0.0);
+        assert_eq!(empty.mean_occupancy(), 0.0);
+        assert_eq!(empty.average_utilization(), 0.0);
+        let p = empty.ttft_percentiles(clock);
+        assert_eq!((p.p50, p.p95, p.p99), (0.0, 0.0, 0.0));
+        assert_eq!(empty.tbt_percentiles(clock).p99, 0.0);
+
+        // A trace whose steps carry no work (all-zero point) stays
+        // finite too.
+        let degenerate = ServingEvaluation {
+            capacity: 1,
+            kv_bucket: 64,
+            points: vec![ServingStepPoint {
+                step: 0,
+                occupancy: 0,
+                prefill_tokens: 0,
+                macs: 0,
+                energy: Energy::ZERO,
+                cycles: 0.0,
+                utilization: 0.0,
+            }],
+            requests: Vec::new(),
+        };
+        assert_eq!(degenerate.tokens_per_second(clock), 0.0);
+        assert_eq!(degenerate.pj_per_token(), 0.0);
+        assert_eq!(degenerate.pj_per_mac(), 0.0);
+        assert_eq!(degenerate.mean_occupancy(), 0.0);
+        assert_eq!(degenerate.average_utilization(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let p = Percentiles::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!((p.p50, p.p95, p.p99), (50.0, 95.0, 99.0));
+        let single = Percentiles::from_samples(vec![7.0]);
+        assert_eq!((single.p50, single.p95, single.p99), (7.0, 7.0, 7.0));
+        let two = Percentiles::from_samples(vec![3.0, 1.0]);
+        assert_eq!(two.p50, 1.0);
+        assert_eq!(two.p99, 3.0);
+    }
+
+    #[test]
+    fn trace_charges_prefill_and_records_latencies() {
+        use lumen_workload::serving::{PrefillMode, ServingConfig};
+
+        let session = session();
+        let model = ServingModel::gpt2_small();
+        let mix = RequestMix::uniform(1, 100, 4);
+        let config = ServingConfig::new(1).with_prefill(PrefillMode::OnAdmission { chunk: None });
+        let schedule = ServingSchedule::build(&mix, &config);
+        let result =
+            serving_trace(&session, &model, &schedule, 64, &NetworkOptions::baseline()).unwrap();
+
+        // One prefill step + four decode steps.
+        assert_eq!(result.points.len(), 5);
+        assert_eq!(result.total_prefill_tokens(), 100);
+        assert_eq!(result.total_tokens(), 4);
+        // The one-request totals are exactly prefill + decode closed
+        // forms — the accounting the resident-prefill path never had.
+        let expect = model.prefill_macs(100, None, 64)
+            + model.step_macs(&[100], 64)
+            + model.step_macs(&[101], 64)
+            + model.step_macs(&[102], 64)
+            + model.step_macs(&[103], 64);
+        assert_eq!(result.total_macs(), expect);
+
+        assert_eq!(result.requests.len(), 1);
+        let r = &result.requests[0];
+        assert_eq!(r.generated, 4);
+        assert_eq!(r.arrival_cycles, 0.0);
+        assert_eq!(r.admission_cycles, 0.0);
+        // First token completes after prefill + one decode step.
+        let prefill_cycles = result.points[0].cycles;
+        assert!(r.ttft_cycles() > prefill_cycles);
+        assert_eq!(r.token_gap_cycles.len(), 3);
+        assert!(r.token_gap_cycles.iter().all(|&g| g > 0.0));
+        assert!(r.retire_cycles <= result.total_cycles() + 1e-9);
+
+        let clock = Frequency::from_gigahertz(1.0);
+        let ttft = result.ttft_percentiles(clock);
+        assert!(ttft.p50 > 0.0 && ttft.p50 <= ttft.p99);
+        let tbt = result.tbt_percentiles(clock);
+        assert!(tbt.p50 > 0.0 && tbt.p99 >= tbt.p50);
+    }
+
+    #[test]
+    fn resident_prefill_under_counts_the_same_mix() {
+        // The bugfix demonstrated head-on: the same one-request trace
+        // costs strictly more once prefill is charged, by exactly the
+        // prefill closed form.
+        use lumen_workload::serving::{PrefillMode, ServingConfig};
+
+        let model = ServingModel::gpt2_small();
+        let mix = RequestMix::uniform(1, 100, 4);
+        let charged = serving_trace(
+            &session(),
+            &model,
+            &ServingSchedule::build(
+                &mix,
+                &ServingConfig::new(1).with_prefill(PrefillMode::OnAdmission { chunk: None }),
+            ),
+            64,
+            &NetworkOptions::baseline(),
+        )
+        .unwrap();
+        let resident = serving_trace(
+            &session(),
+            &model,
+            &ServingSchedule::build(
+                &mix,
+                &ServingConfig::new(1).with_prefill(PrefillMode::Resident),
+            ),
+            64,
+            &NetworkOptions::baseline(),
+        )
+        .unwrap();
+        assert_eq!(
+            charged.total_macs() - resident.total_macs(),
+            model.prefill_macs(100, None, 64),
+            "the resident path under-counts by exactly the prefill work"
+        );
+        assert!(charged.total_energy() > resident.total_energy());
+        assert!(charged.total_cycles() > resident.total_cycles());
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub fn default_lints() -> Vec<Box<dyn Lint>> {
         Box::new(mapper::ExcessiveSearch),
         Box::new(serving::ZeroCapacity),
         Box::new(serving::KvBucketMismatch),
+        Box::new(serving::OfferedLoadExceedsCapacity),
+        Box::new(serving::PromptExceedsContext),
     ]
 }
 

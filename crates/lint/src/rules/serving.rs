@@ -3,6 +3,7 @@
 
 use crate::registry::Lint;
 use crate::{Diagnostic, LintTarget, Severity};
+use lumen_workload::ArrivalProcess;
 
 /// `L0401`: a schedule with zero decode slots.
 ///
@@ -85,6 +86,101 @@ impl Lint for KvBucketMismatch {
                     serving.kv_bucket
                 ),
                 "shrink the bucket to at most the longest prompt+output in the mix",
+            ));
+        }
+    }
+}
+
+/// `L0403`: the arrival process offers more decode work than the
+/// scheduler can serve.
+///
+/// Each admitted request occupies a slot for (at least) its output
+/// tokens, so the offered decode load is `mean arrival rate × mean
+/// output length` slot-steps per step. When that exceeds the batch
+/// capacity the queue grows without bound and tail latencies diverge —
+/// the study still runs (every request eventually drains because the
+/// mix is finite), but its percentiles measure the backlog, not the
+/// steady state.
+pub struct OfferedLoadExceedsCapacity;
+
+impl Lint for OfferedLoadExceedsCapacity {
+    fn code(&self) -> &'static str {
+        "L0403"
+    }
+
+    fn summary(&self) -> &'static str {
+        "the offered decode load should not exceed the batch capacity"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(serving) = target.serving else {
+            return;
+        };
+        let Some(rate) = serving.arrival.and_then(ArrivalProcess::mean_rate) else {
+            return;
+        };
+        if serving.mix.is_empty() || serving.capacity == 0 {
+            return;
+        }
+        let mean_output = serving.mix.total_output_tokens() as f64 / serving.mix.len() as f64;
+        let offered = rate * mean_output;
+        if offered > serving.capacity as f64 {
+            out.push(Diagnostic::new(
+                self.code(),
+                Severity::Warn,
+                format!("serving/{}", serving.mix.name()),
+                format!(
+                    "offered load {offered:.2} slot-steps/step exceeds capacity {}; \
+                     the queue grows without bound and tail latency measures backlog",
+                    serving.capacity
+                ),
+                "lower the arrival rate, shorten outputs, or add decode slots",
+            ));
+        }
+    }
+}
+
+/// `L0404`: a request does not fit the model's context window.
+///
+/// A request whose prompt plus output exceeds the declared context
+/// window would attend beyond positions the model was trained for; the
+/// schedule happily charges the work, so the study silently models an
+/// impossible deployment.
+pub struct PromptExceedsContext;
+
+impl Lint for PromptExceedsContext {
+    fn code(&self) -> &'static str {
+        "L0404"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every request must fit the model's context window"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(serving) = target.serving else {
+            return;
+        };
+        let Some(max_context) = serving.max_context else {
+            return;
+        };
+        let worst = serving
+            .mix
+            .requests()
+            .iter()
+            .map(|r| r.prompt + r.output)
+            .max()
+            .unwrap_or(0);
+        if worst > max_context {
+            out.push(Diagnostic::new(
+                self.code(),
+                Severity::Error,
+                format!("serving/{}", serving.mix.name()),
+                format!(
+                    "a request reaches {worst} tokens but the model's context window \
+                     is {max_context}"
+                ),
+                "trim the mix's prompts/outputs or serve a longer-context model",
             ));
         }
     }

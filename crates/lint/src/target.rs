@@ -7,7 +7,7 @@
 
 use lumen_arch::Architecture;
 use lumen_mapper::search::SearchConfig;
-use lumen_workload::{Network, RequestMix};
+use lumen_workload::{ArrivalProcess, Network, RequestMix};
 
 /// Facts about a mapping strategy that lints can inspect without the
 /// strategy type itself.
@@ -38,6 +38,10 @@ pub struct ServingSpec<'a> {
     pub capacity: usize,
     /// KV attend-length rounding quantum (elements).
     pub kv_bucket: usize,
+    /// The arrival process feeding the scheduler, when open-loop.
+    pub arrival: Option<&'a ArrivalProcess>,
+    /// The served model's context window (tokens), when declared.
+    pub max_context: Option<usize>,
 }
 
 /// The model facets one lint run inspects; all optional.

@@ -57,6 +57,10 @@ pub use decode::{decode_block_macs, decode_trace, push_decode_block, DecodePhase
 pub use dims::{Dim, DimMap, DimSet, Shape};
 pub use layer::{Layer, LayerError, LayerKind};
 pub use network::{Network, NetworkStats};
-pub use serving::{ActiveSlot, BatchSchedule, Request, RequestMix, ScheduleStep, ServingModel};
+pub use serving::{
+    ActiveSlot, AdmissionPolicy, ArrivalProcess, BatchSchedule, PrefillMode, PrefillSlot, Request,
+    RequestMix, ScheduleStep, ServingConfig, ServingError, ServingModel, ServingSchedule,
+    ServingStep,
+};
 pub use signature::{fnv1a, fnv1a_bytes, LayerSignature};
 pub use tensor::{TensorKind, TensorMap, TensorSet};

@@ -1,0 +1,111 @@
+//! Typed construction errors for the serving module.
+//!
+//! Follows the `Fanout::try_new` precedent: every serving constructor
+//! has a `try_*` form returning [`ServingError`] and a thin panicking
+//! wrapper for test ergonomics, so library callers can surface bad
+//! configurations as data instead of process aborts.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a serving request, mix, arrival process or schedule could not be
+/// constructed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServingError {
+    /// A request with `output == 0` never occupies a decode slot.
+    ZeroOutputRequest,
+    /// A mix with no requests schedules nothing.
+    EmptyMix,
+    /// A schedule with zero decode slots can never admit a request.
+    ZeroCapacity,
+    /// A prefill chunk of zero tokens makes no admission progress.
+    ZeroPrefillChunk,
+    /// A per-step arrival rate outside `(0, 1]` either never produces a
+    /// request (the schedule would not terminate) or is not a
+    /// probability.
+    ArrivalRateOutOfRange(f64),
+    /// A background rate outside `[0, 1]` is not a probability.
+    BackgroundRateOutOfRange(f64),
+    /// A periodic process needs a period of at least one step.
+    ZeroArrivalPeriod,
+    /// A burst of zero requests is no burst.
+    ZeroBurst,
+    /// A diurnal trough above the peak inverts the day.
+    DiurnalRangeInverted {
+        /// The off-peak arrival rate.
+        trough: f64,
+        /// The peak arrival rate.
+        peak: f64,
+    },
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingError::ZeroOutputRequest => {
+                write!(f, "a request must generate at least one token")
+            }
+            ServingError::EmptyMix => write!(f, "a request mix cannot be empty"),
+            ServingError::ZeroCapacity => {
+                write!(f, "a schedule needs at least one decode slot")
+            }
+            ServingError::ZeroPrefillChunk => {
+                write!(f, "a prefill chunk must cover at least one token")
+            }
+            ServingError::ArrivalRateOutOfRange(rate) => write!(
+                f,
+                "arrival rate {rate} must lie in (0, 1] requests per step"
+            ),
+            ServingError::BackgroundRateOutOfRange(rate) => write!(
+                f,
+                "background arrival rate {rate} must lie in [0, 1] requests per step"
+            ),
+            ServingError::ZeroArrivalPeriod => {
+                write!(f, "an arrival period must span at least one step")
+            }
+            ServingError::ZeroBurst => {
+                write!(f, "a burst must carry at least one request")
+            }
+            ServingError::DiurnalRangeInverted { trough, peak } => write!(
+                f,
+                "diurnal trough rate {trough} exceeds the peak rate {peak}"
+            ),
+        }
+    }
+}
+
+impl Error for ServingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let cases: Vec<ServingError> = vec![
+            ServingError::ZeroOutputRequest,
+            ServingError::EmptyMix,
+            ServingError::ZeroCapacity,
+            ServingError::ZeroPrefillChunk,
+            ServingError::ArrivalRateOutOfRange(1.5),
+            ServingError::BackgroundRateOutOfRange(-0.25),
+            ServingError::ZeroArrivalPeriod,
+            ServingError::ZeroBurst,
+            ServingError::DiurnalRangeInverted {
+                trough: 0.8,
+                peak: 0.2,
+            },
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "error messages start lowercase: {msg}"
+            );
+        }
+        assert!(ServingError::ArrivalRateOutOfRange(1.5)
+            .to_string()
+            .contains("1.5"));
+    }
+}

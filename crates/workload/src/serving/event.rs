@@ -1,0 +1,515 @@
+//! The event-driven serving core: arrival -> admission/prefill ->
+//! token -> retire.
+//!
+//! [`ServingSchedule::try_build`] runs a discrete-event loop in
+//! scheduler-step time. Each step it (1) moves newly arrived requests
+//! into the admission queue, (2) fills free slots from the queue under
+//! the configured [`AdmissionPolicy`], (3) snapshots the active set —
+//! slots still prefilling their prompt and slots decoding — and (4)
+//! advances every slot by one event: a prefill chunk or one generated
+//! token. Steps where nothing is active and nothing is queued are
+//! fast-forwarded (the server is work-conserving; an idle server
+//! prefills an arriving prompt immediately), so every emitted
+//! [`ServingStep`] carries work and the wall index records the gap.
+//!
+//! Prefill is where PR 5's free lunch ends: under
+//! [`PrefillMode::OnAdmission`] an admitted request occupies its slot
+//! for one or more *prefill events* — each lowering a prompt chunk
+//! through the dense attention path — before its first decode step, so
+//! prompt tokens cost MACs, energy and cycles exactly once per
+//! request. [`PrefillMode::Resident`] reproduces the PR 5 accounting
+//! (prompts materialize pre-cached) and is what keeps
+//! [`BatchSchedule`](super::BatchSchedule) bit-identical for the
+//! legacy goldens: with a closed loop, FIFO admission and resident
+//! prefill, this core reduces exactly to the old scheduler loop.
+
+use super::{ActiveSlot, AdmissionPolicy, ArrivalProcess, RequestMix, ServingError};
+
+/// How a request's prompt enters the KV cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefillMode {
+    /// PR 5 semantics: the prompt is assumed resident at admission and
+    /// costs nothing. Kept for closed-loop compatibility studies; the
+    /// saved energy is exactly what the old schedule under-counted.
+    Resident,
+    /// The fix: admission triggers prefill events that lower the
+    /// prompt through the dense attention path before decoding starts.
+    /// `chunk` bounds the tokens prefilled per step (`None` prefills
+    /// the whole prompt in one step).
+    OnAdmission {
+        /// Largest prompt slice lowered per step, if bounded.
+        chunk: Option<usize>,
+    },
+}
+
+/// Configuration of the event core: slots, arrivals, admission order
+/// and prefill accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConfig {
+    capacity: usize,
+    arrival: ArrivalProcess,
+    policy: AdmissionPolicy,
+    prefill: PrefillMode,
+}
+
+impl ServingConfig {
+    /// A config with `capacity` decode slots and the defaults: closed
+    /// loop, FIFO admission, prefill charged on admission (unchunked).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::ZeroCapacity`] if `capacity` is zero.
+    pub fn try_new(capacity: usize) -> Result<ServingConfig, ServingError> {
+        if capacity == 0 {
+            return Err(ServingError::ZeroCapacity);
+        }
+        Ok(ServingConfig {
+            capacity,
+            arrival: ArrivalProcess::ClosedLoop,
+            policy: AdmissionPolicy::Fifo,
+            prefill: PrefillMode::OnAdmission { chunk: None },
+        })
+    }
+
+    /// Panicking wrapper over [`ServingConfig::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ServingConfig {
+        ServingConfig::try_new(capacity).expect("a schedule needs at least one decode slot")
+    }
+
+    /// Replaces the arrival process.
+    pub fn with_arrival(mut self, arrival: ArrivalProcess) -> ServingConfig {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Replaces the admission policy.
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> ServingConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the prefill mode (chunk validity is checked at
+    /// [`ServingSchedule::try_build`]).
+    pub fn with_prefill(mut self, prefill: PrefillMode) -> ServingConfig {
+        self.prefill = prefill;
+        self
+    }
+
+    /// Decode slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The arrival process.
+    pub fn arrival(&self) -> &ArrivalProcess {
+        &self.arrival
+    }
+
+    /// The admission policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// The prefill mode.
+    pub fn prefill(&self) -> PrefillMode {
+        self.prefill
+    }
+}
+
+/// One slot prefilling part of its prompt this step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillSlot {
+    /// Index of the request in its [`RequestMix`].
+    pub request: usize,
+    /// Prompt tokens already prefilled before this step.
+    pub cached: usize,
+    /// Prompt tokens prefilled by this step (>= 1).
+    pub chunk: usize,
+}
+
+/// The active set of one emitted event-core step: slots mid-prefill
+/// plus slots decoding, with the wall-clock step index (gaps where the
+/// server idled are fast-forwarded, so `wall` can jump between
+/// consecutive steps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServingStep {
+    wall: usize,
+    prefill: Vec<PrefillSlot>,
+    decode: Vec<ActiveSlot>,
+}
+
+impl ServingStep {
+    /// Scheduler-step index on the arrival clock.
+    pub fn wall(&self) -> usize {
+        self.wall
+    }
+
+    /// Slots prefilling prompt chunks this step, admission order.
+    pub fn prefill(&self) -> &[PrefillSlot] {
+        &self.prefill
+    }
+
+    /// Slots decoding this step (each generates exactly one token),
+    /// admission order.
+    pub fn decode(&self) -> &[ActiveSlot] {
+        &self.decode
+    }
+
+    /// Occupied slots this step (prefilling + decoding).
+    pub fn occupancy(&self) -> usize {
+        self.prefill.len() + self.decode.len()
+    }
+
+    /// The heterogeneous KV lengths of the decoding slots.
+    pub fn decode_kv_lens(&self) -> Vec<usize> {
+        self.decode.iter().map(|s| s.kv_len).collect()
+    }
+
+    /// Prompt tokens prefilled by this step.
+    pub fn prefill_tokens(&self) -> usize {
+        self.prefill.iter().map(|s| s.chunk).sum()
+    }
+}
+
+/// What a slot is doing.
+#[derive(Debug, Clone, Copy)]
+enum SlotState {
+    /// `done` prompt tokens prefilled so far.
+    Prefilling { done: usize },
+    /// `generated` output tokens produced so far.
+    Decoding { generated: usize },
+}
+
+/// The full event-driven trace of a [`RequestMix`] through a
+/// [`ServingConfig`]: per-step active sets plus each request's arrival
+/// step, everything downstream latency accounting needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingSchedule {
+    capacity: usize,
+    steps: Vec<ServingStep>,
+    arrivals: Vec<usize>,
+}
+
+impl ServingSchedule {
+    /// Runs the event core over `mix` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::ZeroCapacity`] on a zero-slot config (only
+    /// reachable through a deserialized/hand-rolled config — the
+    /// constructor already rejects it) and
+    /// [`ServingError::ZeroPrefillChunk`] on a zero prefill chunk.
+    pub fn try_build(
+        mix: &RequestMix,
+        config: &ServingConfig,
+    ) -> Result<ServingSchedule, ServingError> {
+        if config.capacity == 0 {
+            return Err(ServingError::ZeroCapacity);
+        }
+        if matches!(config.prefill, PrefillMode::OnAdmission { chunk: Some(0) }) {
+            return Err(ServingError::ZeroPrefillChunk);
+        }
+        let arrivals = config.arrival.arrival_steps(mix.len());
+        let mut queue: Vec<usize> = Vec::new();
+        let mut next_arrival = 0usize;
+        let mut slots: Vec<(usize, SlotState)> = Vec::with_capacity(config.capacity);
+        let mut steps = Vec::new();
+        let mut wall = 0usize;
+
+        loop {
+            while next_arrival < mix.len() && arrivals[next_arrival] <= wall {
+                queue.push(next_arrival);
+                next_arrival += 1;
+            }
+            if slots.is_empty() && queue.is_empty() {
+                match arrivals.get(next_arrival) {
+                    // Idle server: fast-forward to the next arrival.
+                    Some(&next) => {
+                        wall = next;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            while slots.len() < config.capacity && !queue.is_empty() {
+                let pick = config.policy.select(&queue, mix, &arrivals);
+                let request = queue.remove(pick);
+                let state = match config.prefill {
+                    PrefillMode::Resident => SlotState::Decoding { generated: 0 },
+                    PrefillMode::OnAdmission { .. } if mix.requests()[request].prompt == 0 => {
+                        SlotState::Decoding { generated: 0 }
+                    }
+                    PrefillMode::OnAdmission { .. } => SlotState::Prefilling { done: 0 },
+                };
+                slots.push((request, state));
+            }
+
+            let mut prefill = Vec::new();
+            let mut decode = Vec::new();
+            for &(request, state) in &slots {
+                let prompt = mix.requests()[request].prompt;
+                match state {
+                    SlotState::Prefilling { done } => prefill.push(PrefillSlot {
+                        request,
+                        cached: done,
+                        chunk: config.prefill_chunk(prompt, done),
+                    }),
+                    SlotState::Decoding { generated } => decode.push(ActiveSlot {
+                        request,
+                        kv_len: prompt + generated,
+                    }),
+                }
+            }
+            steps.push(ServingStep {
+                wall,
+                prefill,
+                decode,
+            });
+
+            for (request, state) in &mut slots {
+                let prompt = mix.requests()[*request].prompt;
+                match state {
+                    SlotState::Prefilling { done } => {
+                        *done += config.prefill_chunk(prompt, *done);
+                        if *done >= prompt {
+                            *state = SlotState::Decoding { generated: 0 };
+                        }
+                    }
+                    SlotState::Decoding { generated } => *generated += 1,
+                }
+            }
+            slots.retain(|&(request, state)| match state {
+                SlotState::Prefilling { .. } => true,
+                SlotState::Decoding { generated } => generated < mix.requests()[request].output,
+            });
+            wall += 1;
+        }
+
+        Ok(ServingSchedule {
+            capacity: config.capacity,
+            steps,
+            arrivals,
+        })
+    }
+
+    /// Panicking wrapper over [`ServingSchedule::try_build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity or a zero prefill chunk.
+    pub fn build(mix: &RequestMix, config: &ServingConfig) -> ServingSchedule {
+        ServingSchedule::try_build(mix, config).expect("serving config must be schedulable")
+    }
+
+    /// The slot count the schedule was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The emitted steps, execution order (idle gaps skipped).
+    pub fn steps(&self) -> &[ServingStep] {
+        &self.steps
+    }
+
+    /// Each request's arrival step, indexed by request.
+    pub fn arrivals(&self) -> &[usize] {
+        &self.arrivals
+    }
+
+    /// Emitted (busy) steps until the last request retired.
+    pub fn total_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Tokens generated over the whole schedule.
+    pub fn total_decode_tokens(&self) -> u64 {
+        self.steps.iter().map(|s| s.decode.len() as u64).sum()
+    }
+
+    /// Prompt tokens prefilled over the whole schedule — equal to the
+    /// mix's total prompt tokens under [`PrefillMode::OnAdmission`],
+    /// zero under [`PrefillMode::Resident`].
+    pub fn total_prefill_tokens(&self) -> u64 {
+        self.steps.iter().map(|s| s.prefill_tokens() as u64).sum()
+    }
+
+    /// Mean slot occupancy (prefilling + decoding) over the emitted
+    /// steps, in `(0, 1]`; 0.0 for an empty schedule.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        let occupied: u64 = self.steps.iter().map(|s| s.occupancy() as u64).sum();
+        occupied as f64 / (self.steps.len() * self.capacity) as f64
+    }
+}
+
+impl ServingConfig {
+    /// Tokens the next prefill event covers for a `prompt` with `done`
+    /// tokens already cached.
+    fn prefill_chunk(&self, prompt: usize, done: usize) -> usize {
+        match self.prefill {
+            PrefillMode::Resident => 0,
+            PrefillMode::OnAdmission { chunk } => {
+                let remaining = prompt - done;
+                chunk.map_or(remaining, |c| c.min(remaining))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serving::{BatchSchedule, Request};
+
+    fn mix() -> RequestMix {
+        RequestMix::custom(
+            "m",
+            vec![
+                Request::new(100, 3),
+                Request::new(300, 2),
+                Request::new(100, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn closed_loop_resident_matches_the_legacy_scheduler() {
+        let mix = mix();
+        for capacity in [1, 2, 3, 5] {
+            let legacy = BatchSchedule::build(&mix, capacity);
+            let config = ServingConfig::new(capacity).with_prefill(PrefillMode::Resident);
+            let event = ServingSchedule::build(&mix, &config);
+            assert_eq!(event.total_steps(), legacy.total_steps());
+            for (e, l) in event.steps().iter().zip(legacy.steps()) {
+                assert!(e.prefill().is_empty());
+                assert_eq!(e.decode(), l.active());
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_events_precede_decode_and_cover_the_prompt_once() {
+        let mix = mix();
+        let config =
+            ServingConfig::new(2).with_prefill(PrefillMode::OnAdmission { chunk: Some(64) });
+        let schedule = ServingSchedule::build(&mix, &config);
+        assert_eq!(schedule.total_prefill_tokens(), 100 + 300 + 100);
+        assert_eq!(schedule.total_decode_tokens(), 3 + 2 + 2);
+        // Request 1 (prompt 300, chunk 64): ceil(300/64) = 5 prefill
+        // events with chunks 64,64,64,64,44 and increasing cached.
+        let chunks: Vec<(usize, usize)> = schedule
+            .steps()
+            .iter()
+            .flat_map(ServingStep::prefill)
+            .filter(|p| p.request == 1)
+            .map(|p| (p.cached, p.chunk))
+            .collect();
+        assert_eq!(
+            chunks,
+            vec![(0, 64), (64, 64), (128, 64), (192, 64), (256, 44)]
+        );
+        // Its first decode step sits at kv_len = prompt.
+        let first_decode = schedule
+            .steps()
+            .iter()
+            .flat_map(ServingStep::decode)
+            .find(|s| s.request == 1)
+            .unwrap();
+        assert_eq!(first_decode.kv_len, 300);
+    }
+
+    #[test]
+    fn unchunked_prefill_is_one_event() {
+        let mix = RequestMix::uniform(1, 128, 2);
+        let config = ServingConfig::new(1);
+        let schedule = ServingSchedule::build(&mix, &config);
+        // Step 0: prefill(0, 128). Steps 1-2: decode at kv 128, 129.
+        assert_eq!(schedule.total_steps(), 3);
+        assert_eq!(
+            schedule.steps()[0].prefill(),
+            &[PrefillSlot {
+                request: 0,
+                cached: 0,
+                chunk: 128
+            }]
+        );
+        assert_eq!(schedule.steps()[1].decode_kv_lens(), vec![128]);
+        assert_eq!(schedule.steps()[2].decode_kv_lens(), vec![129]);
+    }
+
+    #[test]
+    fn zero_prompt_requests_skip_prefill() {
+        let mix = RequestMix::custom("m", vec![Request::new(0, 2)]);
+        let schedule = ServingSchedule::build(&mix, &ServingConfig::new(1));
+        assert_eq!(schedule.total_prefill_tokens(), 0);
+        assert_eq!(schedule.steps()[0].decode_kv_lens(), vec![0]);
+    }
+
+    #[test]
+    fn idle_gaps_are_fast_forwarded() {
+        let mix = RequestMix::uniform(2, 8, 1);
+        let config = ServingConfig::new(1)
+            .with_arrival(ArrivalProcess::bursty(0.0, 50, 1, 0))
+            .with_prefill(PrefillMode::Resident);
+        let schedule = ServingSchedule::build(&mix, &config);
+        // Request 0 decodes at wall 0; the server idles until the
+        // second burst at wall 50.
+        let walls: Vec<usize> = schedule.steps().iter().map(ServingStep::wall).collect();
+        assert_eq!(walls, vec![0, 50]);
+        assert_eq!(schedule.arrivals(), &[0, 50]);
+    }
+
+    #[test]
+    fn occupancy_counts_prefill_slots() {
+        let mix = RequestMix::uniform(1, 64, 1);
+        let schedule = ServingSchedule::build(&mix, &ServingConfig::new(2));
+        // Step 0 prefills, step 1 decodes: both occupy 1 of 2 slots.
+        assert!((schedule.mean_occupancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        assert_eq!(
+            ServingConfig::try_new(0).unwrap_err(),
+            ServingError::ZeroCapacity
+        );
+        let config =
+            ServingConfig::new(1).with_prefill(PrefillMode::OnAdmission { chunk: Some(0) });
+        assert_eq!(
+            ServingSchedule::try_build(&RequestMix::uniform(1, 8, 1), &config).unwrap_err(),
+            ServingError::ZeroPrefillChunk
+        );
+    }
+
+    #[test]
+    fn shortest_prompt_reorders_admission() {
+        // Capacity 1, closed loop: FIFO admits 0 first; shortest-prompt
+        // admits the short request 2 first.
+        let mix = mix();
+        let fifo = ServingSchedule::build(
+            &mix,
+            &ServingConfig::new(1).with_prefill(PrefillMode::Resident),
+        );
+        assert_eq!(fifo.steps()[0].decode()[0].request, 0);
+        let sjf = ServingSchedule::build(
+            &mix,
+            &ServingConfig::new(1)
+                .with_policy(AdmissionPolicy::ShortestPrompt)
+                .with_prefill(PrefillMode::Resident),
+        );
+        assert_eq!(
+            sjf.steps()[0].decode()[0].request,
+            0,
+            "slot taken at step 0 keeps FIFO head"
+        );
+        // After request 0 retires the queue is {1, 2}: SJF picks 2.
+        let order: Vec<usize> = sjf.steps().iter().map(|s| s.decode()[0].request).collect();
+        assert_eq!(order, vec![0, 0, 0, 2, 2, 1, 1]);
+    }
+}

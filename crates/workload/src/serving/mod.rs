@@ -7,17 +7,31 @@
 //! *active set* is therefore heterogeneous — different requests sit at
 //! different KV lengths — and its composition changes every step.
 //!
-//! Three pieces model that regime:
+//! The pieces that model that regime:
 //!
 //! * [`RequestMix`] — a deterministic population of requests (per-request
 //!   prompt and output lengths), with seeded generators for the shapes
 //!   serving traffic actually takes: [`RequestMix::uniform`],
 //!   [`RequestMix::bimodal`] (chat + long-document), and
 //!   [`RequestMix::long_tail`] (geometric output tail).
-//! * [`BatchSchedule`] — the step-level continuous-batching simulation:
-//!   FIFO admission on free slot, retirement on completion, and one
-//!   [`ScheduleStep`] snapshot per step recording each active request's
-//!   KV length *before* the step (the [`DecodePhase`] convention).
+//! * [`ArrivalProcess`] — *when* requests show up, in scheduler steps:
+//!   closed-loop (everything at step 0), discrete Poisson, bursty, or
+//!   diurnal, all seeded and platform-exact.
+//! * [`AdmissionPolicy`] — which queued request takes a freed slot:
+//!   FIFO, shortest-prompt, or SLO-aware earliest-deadline-first.
+//! * [`ServingSchedule`] — the event-driven core (arrival ->
+//!   admission/prefill -> token -> retire), built from a
+//!   [`ServingConfig`]. Under [`PrefillMode::OnAdmission`] an admitted
+//!   prompt is lowered through the dense prefill path (optionally in
+//!   chunks) *before* its first decode step, so prefill MACs, energy
+//!   and cycles are charged exactly once per request.
+//! * [`BatchSchedule`] — the PR 5 closed-loop view, now a thin
+//!   projection of the event core at closed-loop/FIFO/resident
+//!   settings: FIFO admission on free slot, retirement on completion,
+//!   and one [`ScheduleStep`] snapshot per step recording each active
+//!   request's KV length *before* the step (the [`DecodePhase`]
+//!   convention). Prompts materialize pre-cached and cost nothing —
+//!   kept for saturation studies and golden compatibility.
 //! * [`ServingModel`] — lowers one scheduler step into bucketed decode
 //!   layers. Active requests are grouped by bucketed attend length (the
 //!   [`DecodePhase::with_kv_bucket`] machinery), each group becoming one
@@ -26,6 +40,8 @@
 //!   [`crate::LayerSignature`]s — a multi-thousand-step trace through an
 //!   `EvalSession` costs mapping searches bounded by the number of
 //!   distinct *(bucket, group-size)* pairs, not the step count.
+//!   [`ServingModel::lower_serving_step`] additionally lowers the
+//!   step's prefill chunks through the dense attention path.
 //!
 //! # Examples
 //!
@@ -45,16 +61,25 @@
 //! assert_eq!(net.total_macs(), model.step_macs(&step.kv_lens(), 64));
 //! ```
 
+mod arrival;
+mod error;
+mod event;
+mod policy;
+
+pub use arrival::ArrivalProcess;
+pub use error::ServingError;
+pub use event::{PrefillMode, PrefillSlot, ServingConfig, ServingSchedule, ServingStep};
+pub use policy::AdmissionPolicy;
+
 use crate::decode::decode_block_macs;
 use crate::{DecodePhase, Layer, Network};
 use std::collections::BTreeMap;
 
-/// One serving request: `prompt` tokens already in the KV cache when
-/// decoding starts (prefill is assumed done), `output` tokens to
-/// generate.
+/// One serving request: `prompt` tokens to place in the KV cache
+/// before decoding starts, `output` tokens to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
-    /// Prompt tokens resident in the cache before the first decode step.
+    /// Prompt tokens in the cache before the first decode step.
     pub prompt: usize,
     /// Tokens the request generates before retiring (>= 1).
     pub output: usize,
@@ -63,13 +88,24 @@ pub struct Request {
 impl Request {
     /// Builds a request description.
     ///
+    /// # Errors
+    ///
+    /// [`ServingError::ZeroOutputRequest`] if `output` is zero — a
+    /// request that generates nothing never occupies a decode slot.
+    pub fn try_new(prompt: usize, output: usize) -> Result<Request, ServingError> {
+        if output == 0 {
+            return Err(ServingError::ZeroOutputRequest);
+        }
+        Ok(Request { prompt, output })
+    }
+
+    /// Panicking wrapper over [`Request::try_new`].
+    ///
     /// # Panics
     ///
-    /// Panics if `output` is zero — a request that generates nothing
-    /// never occupies a decode slot.
+    /// Panics if `output` is zero.
     pub fn new(prompt: usize, output: usize) -> Request {
-        assert!(output > 0, "a request must generate at least one token");
-        Request { prompt, output }
+        Request::try_new(prompt, output).expect("a request must generate at least one token")
     }
 }
 
@@ -109,15 +145,29 @@ pub struct RequestMix {
 impl RequestMix {
     /// A mix from explicit requests.
     ///
+    /// # Errors
+    ///
+    /// [`ServingError::EmptyMix`] if `requests` is empty.
+    pub fn try_custom(
+        name: impl Into<String>,
+        requests: Vec<Request>,
+    ) -> Result<RequestMix, ServingError> {
+        if requests.is_empty() {
+            return Err(ServingError::EmptyMix);
+        }
+        Ok(RequestMix {
+            name: name.into(),
+            requests,
+        })
+    }
+
+    /// Panicking wrapper over [`RequestMix::try_custom`].
+    ///
     /// # Panics
     ///
     /// Panics if `requests` is empty.
     pub fn custom(name: impl Into<String>, requests: Vec<Request>) -> RequestMix {
-        assert!(!requests.is_empty(), "a request mix cannot be empty");
-        RequestMix {
-            name: name.into(),
-            requests,
-        }
+        RequestMix::try_custom(name, requests).expect("a request mix cannot be empty")
     }
 
     /// `count` identical requests — the degenerate mix that reproduces
@@ -152,7 +202,16 @@ impl RequestMix {
                 Request::new(prompt, output)
             })
             .collect();
-        RequestMix::custom(format!("bimodal({long_percent}% long)"), requests)
+        // The name pins every distinguishing parameter (shapes, split,
+        // seed) so two different bimodal mixes never collide in a
+        // report row or golden label.
+        RequestMix::custom(
+            format!(
+                "bimodal(p{}o{}|p{}o{}@{long_percent}%,s{seed:x})",
+                short.0, short.1, long.0, long.1
+            ),
+            requests,
+        )
     }
 
     /// A long-tail mix: prompts uniform in `prompt` (inclusive bounds),
@@ -184,8 +243,13 @@ impl RequestMix {
                 Request::new(p, output_base << doublings)
             })
             .collect();
+        // As with `bimodal`: prompt bounds and seed join the name so
+        // distinct mixes get distinct labels.
         RequestMix::custom(
-            format!("long-tail(o{output_base}<<{max_doublings})"),
+            format!(
+                "long-tail(p{}-{},o{output_base}<<{max_doublings},s{seed:x})",
+                prompt.0, prompt.1
+            ),
             requests,
         )
     }
@@ -273,35 +337,35 @@ pub struct BatchSchedule {
 impl BatchSchedule {
     /// Runs the scheduler over `mix` with `capacity` decode slots.
     ///
+    /// Since the event-core refactor this is a projection of
+    /// [`ServingSchedule`] at closed-loop arrivals, FIFO admission and
+    /// [`PrefillMode::Resident`] — the configuration that reproduces
+    /// the PR 5 step compositions bit for bit (pinned by
+    /// `tests/serving_properties.rs`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::ZeroCapacity`] if `capacity` is zero.
+    pub fn try_build(mix: &RequestMix, capacity: usize) -> Result<BatchSchedule, ServingError> {
+        let config = ServingConfig::try_new(capacity)?.with_prefill(PrefillMode::Resident);
+        let event = ServingSchedule::try_build(mix, &config)?;
+        let steps = event
+            .steps()
+            .iter()
+            .map(|step| ScheduleStep {
+                active: step.decode().to_vec(),
+            })
+            .collect();
+        Ok(BatchSchedule { capacity, steps })
+    }
+
+    /// Panicking wrapper over [`BatchSchedule::try_build`].
+    ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn build(mix: &RequestMix, capacity: usize) -> BatchSchedule {
-        assert!(capacity > 0, "a schedule needs at least one decode slot");
-        let mut next_admission = 0usize;
-        // (request index, tokens generated so far)
-        let mut active: Vec<(usize, usize)> = Vec::with_capacity(capacity);
-        let mut steps = Vec::new();
-        while next_admission < mix.len() || !active.is_empty() {
-            while active.len() < capacity && next_admission < mix.len() {
-                active.push((next_admission, 0));
-                next_admission += 1;
-            }
-            steps.push(ScheduleStep {
-                active: active
-                    .iter()
-                    .map(|&(request, generated)| ActiveSlot {
-                        request,
-                        kv_len: mix.requests()[request].prompt + generated,
-                    })
-                    .collect(),
-            });
-            for slot in &mut active {
-                slot.1 += 1;
-            }
-            active.retain(|&(request, generated)| generated < mix.requests()[request].output);
-        }
-        BatchSchedule { capacity, steps }
+        BatchSchedule::try_build(mix, capacity).expect("a schedule needs at least one decode slot")
     }
 
     /// The slot count the schedule was built with.
@@ -325,7 +389,10 @@ impl BatchSchedule {
         self.steps.iter().map(|s| s.occupancy() as u64).sum()
     }
 
-    /// Mean slot occupancy over the schedule, in (0, 1].
+    /// Mean slot occupancy over the schedule: in (0, 1] for a schedule
+    /// with steps, 0.0 for an empty one (an empty mix never reaches
+    /// construction, but a consumer holding a default/cleared schedule
+    /// still gets a finite answer).
     pub fn mean_occupancy(&self) -> f64 {
         if self.steps.is_empty() {
             return 0.0;
@@ -345,6 +412,7 @@ pub struct ServingModel {
     d_ff: usize,
     blocks: usize,
     vocab: usize,
+    max_context: Option<usize>,
 }
 
 impl ServingModel {
@@ -377,15 +445,33 @@ impl ServingModel {
             d_ff,
             blocks,
             vocab,
+            max_context: None,
         }
     }
 
     /// GPT-2 small: 12 blocks, d_model 768, 12 heads, d_ff 3072, vocab
-    /// 50257 — the same shape as
+    /// 50257, 1024-token context — the same shape as
     /// [`crate::networks::gpt2_small_decode`], which a single-slot
     /// schedule reproduces signature for signature.
     pub fn gpt2_small() -> ServingModel {
-        ServingModel::new("gpt2-small", 768, 12, 3072, 12, 50257)
+        ServingModel::new("gpt2-small", 768, 12, 3072, 12, 50257).with_max_context(1024)
+    }
+
+    /// Declares the longest KV sequence (prompt + generated) the model
+    /// supports — checked by the `L0404` lint, not enforced here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_context` is zero.
+    pub fn with_max_context(mut self, max_context: usize) -> ServingModel {
+        assert!(max_context > 0, "a context window must hold a token");
+        self.max_context = Some(max_context);
+        self
+    }
+
+    /// The declared context window, if any.
+    pub fn max_context(&self) -> Option<usize> {
+        self.max_context
     }
 
     /// The model's display name.
@@ -423,8 +509,21 @@ impl ServingModel {
     /// Panics if `active_kv` is empty or `kv_bucket` is zero.
     pub fn lower_step(&self, active_kv: &[usize], kv_bucket: usize) -> Network {
         assert!(!active_kv.is_empty(), "a step lowers a nonempty active set");
+        let net = Network::new(format!("{}-serving@occ{}", self.name, active_kv.len()));
+        self.push_decode_groups(net, active_kv, kv_bucket)
+    }
+
+    /// Pushes the bucketed decode-group stacks of `active_kv` onto
+    /// `net` — the body shared by [`ServingModel::lower_step`] and
+    /// [`ServingModel::lower_serving_step`]. A no-op on an empty
+    /// active set (a pure-prefill event step).
+    fn push_decode_groups(
+        &self,
+        mut net: Network,
+        active_kv: &[usize],
+        kv_bucket: usize,
+    ) -> Network {
         let composition = ServingModel::bucketed_composition(active_kv, kv_bucket);
-        let mut net = Network::new(format!("{}-serving@occ{}", self.name, active_kv.len()));
         for &(attend_len, group) in &composition {
             let prefix = format!("kv{attend_len}x{group}");
             for block in 0..self.blocks {
@@ -477,6 +576,109 @@ impl ServingModel {
                     + (self.vocab * self.d_model) as u64
             })
             .sum()
+    }
+
+    /// Pushes one prefill chunk — `slot.chunk` prompt tokens entering
+    /// the cache on top of `slot.cached` already-prefilled ones —
+    /// through the dense attention path: the [`crate::Attention`]
+    /// lowering at seq = chunk, with the attended length padded to the
+    /// KV bucket (so in-bucket chunks share signatures, the same
+    /// economics as decode) and the chunk's K/V writes charged through
+    /// the KV-residency accounting. No LM head: the first sampled
+    /// token is the first *decode* step's, preserving the decode-path
+    /// semantics of `output` tokens per request.
+    fn push_prefill_chunk(
+        &self,
+        mut net: Network,
+        slot: &PrefillSlot,
+        kv_bucket: usize,
+    ) -> Network {
+        let (d, h, c) = (self.d_model, self.heads, slot.chunk);
+        // Every computed token attends over the whole cache-so-far plus
+        // the chunk, padded to the bucket — dense (non-causal)
+        // accounting, matching `Attention::lower` at seq = prompt when
+        // nothing is cached.
+        let len = (slot.cached + c).div_ceil(kv_bucket) * kv_bucket;
+        let prefix = format!("pf{}.kv{len}c{c}", slot.request);
+        for block in 0..self.blocks {
+            let name = |part: &str| format!("{prefix}.decoder.{block}.{part}");
+            net = net
+                .push(Layer::matmul(name("attn.query"), 1, d, d, c))
+                .push(Layer::matmul(name("attn.key"), 1, d, d, c))
+                .push(Layer::matmul(name("attn.value"), 1, d, d, c))
+                .push(
+                    Layer::matmul(name("attn.logits"), 1, h * len, d, c)
+                        .with_groups(h)
+                        .with_kv_cache_residency(c * d),
+                )
+                .push(
+                    Layer::matmul(name("attn.attend"), 1, d, h * len, c)
+                        .with_groups(h)
+                        .with_kv_cache_residency(c * d),
+                )
+                .push(Layer::matmul(name("attn.out"), 1, d, d, c))
+                .push(Layer::matmul(name("mlp.fc1"), 1, self.d_ff, d, c))
+                .push(Layer::matmul(name("mlp.fc2"), 1, d, self.d_ff, c));
+        }
+        net
+    }
+
+    /// Lowers one event-core step: the bucketed decode groups of the
+    /// decoding slots (exactly [`ServingModel::lower_step`]) plus one
+    /// dense prefill stack per prefilling slot. For a step with no
+    /// prefill slots this produces the same layers as `lower_step`, so
+    /// closed-loop resident traces keep PR 5's signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step is empty or `kv_bucket` is zero.
+    pub fn lower_serving_step(&self, step: &ServingStep, kv_bucket: usize) -> Network {
+        assert!(step.occupancy() > 0, "a step lowers a nonempty active set");
+        let mut net = Network::new(format!("{}-serving@occ{}", self.name, step.occupancy()));
+        let kv_lens = step.decode_kv_lens();
+        net = self.push_decode_groups(net, &kv_lens, kv_bucket);
+        for slot in step.prefill() {
+            net = self.push_prefill_chunk(net, slot, kv_bucket);
+        }
+        net
+    }
+
+    /// Closed-form MAC count of one prefill chunk, mirroring
+    /// [`ServingModel::push_prefill_chunk`]: per block `4·c·D² +
+    /// 2·c·L·D + 2·c·D·D_ff` at chunk size `c` and bucketed attended
+    /// length `L` — [`crate::attention::encoder_block_macs`] when the
+    /// whole prompt is one unpadded chunk.
+    pub fn prefill_chunk_macs(&self, cached: usize, chunk: usize, kv_bucket: usize) -> u64 {
+        assert!(kv_bucket > 0, "kv bucket must be nonzero");
+        let len = ((cached + chunk).div_ceil(kv_bucket) * kv_bucket) as u64;
+        let (c, d, f) = (chunk as u64, self.d_model as u64, self.d_ff as u64);
+        self.blocks as u64 * (4 * c * d * d + 2 * c * len * d + 2 * c * d * f)
+    }
+
+    /// Closed-form MAC count of a whole prompt's prefill at `chunk`
+    /// tokens per event (`None` = one event), summed over chunks.
+    pub fn prefill_macs(&self, prompt: usize, chunk: Option<usize>, kv_bucket: usize) -> u64 {
+        let step = chunk.unwrap_or(prompt.max(1));
+        let mut cached = 0;
+        let mut macs = 0;
+        while cached < prompt {
+            let c = step.min(prompt - cached);
+            macs += self.prefill_chunk_macs(cached, c, kv_bucket);
+            cached += c;
+        }
+        macs
+    }
+
+    /// Closed-form MAC count of [`ServingModel::lower_serving_step`]:
+    /// [`ServingModel::step_macs`] of the decoding slots plus
+    /// [`ServingModel::prefill_chunk_macs`] of each prefilling slot.
+    pub fn serving_step_macs(&self, step: &ServingStep, kv_bucket: usize) -> u64 {
+        self.step_macs(&step.decode_kv_lens(), kv_bucket)
+            + step
+                .prefill()
+                .iter()
+                .map(|s| self.prefill_chunk_macs(s.cached, s.chunk, kv_bucket))
+                .sum::<u64>()
     }
 }
 
@@ -621,6 +823,127 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn mix_names_pin_seed_and_shape() {
+        let a = RequestMix::bimodal(0xA, 4, (64, 16), (512, 48), 25);
+        let b = RequestMix::bimodal(0xB, 4, (64, 16), (512, 48), 25);
+        assert_eq!(a.name(), "bimodal(p64o16|p512o48@25%,sa)");
+        assert_ne!(a.name(), b.name(), "different seeds, different labels");
+        let t = RequestMix::long_tail(0xC, 4, (64, 384), 12, 3);
+        assert_eq!(t.name(), "long-tail(p64-384,o12<<3,sc)");
+        assert_ne!(
+            t.name(),
+            RequestMix::long_tail(0xC, 4, (32, 384), 12, 3).name(),
+            "different prompt bounds, different labels"
+        );
+    }
+
+    #[test]
+    fn prefill_chunk_lowering_matches_closed_form() {
+        let model = ServingModel::gpt2_small();
+        for (cached, chunk, bucket) in [(0, 128, 1), (0, 128, 256), (128, 128, 64), (192, 50, 256)]
+        {
+            let slot = PrefillSlot {
+                request: 0,
+                cached,
+                chunk,
+            };
+            let net = model.push_prefill_chunk(Network::new("pf"), &slot, bucket);
+            assert_eq!(
+                net.total_macs(),
+                model.prefill_chunk_macs(cached, chunk, bucket),
+                "cached={cached} chunk={chunk} bucket={bucket}"
+            );
+        }
+    }
+
+    #[test]
+    fn unpadded_whole_prompt_prefill_matches_the_encoder_closed_form() {
+        // One unchunked prefill event at bucket 1 is the dense
+        // attention lowering at seq = prompt: the per-block MACs equal
+        // `encoder_block_macs` exactly.
+        use crate::attention::encoder_block_macs;
+        let model = ServingModel::gpt2_small();
+        let prompt = 384;
+        assert_eq!(
+            model.prefill_macs(prompt, None, 1),
+            12 * encoder_block_macs(prompt, 768, 3072)
+        );
+        // Chunking at the full prompt length changes nothing.
+        assert_eq!(
+            model.prefill_macs(prompt, Some(prompt), 1),
+            model.prefill_macs(prompt, None, 1)
+        );
+        // Finer chunks repeat cache reads but never lose tokens: the
+        // projection/MLP terms are chunk-invariant.
+        assert!(model.prefill_macs(prompt, Some(128), 1) < model.prefill_macs(prompt, None, 1));
+    }
+
+    #[test]
+    fn serving_step_lowering_matches_closed_form_with_prefill() {
+        let model = ServingModel::gpt2_small();
+        let mix = RequestMix::custom(
+            "m",
+            vec![
+                Request::new(300, 4),
+                Request::new(64, 2),
+                Request::new(64, 2),
+            ],
+        );
+        let config =
+            ServingConfig::new(3).with_prefill(PrefillMode::OnAdmission { chunk: Some(128) });
+        let schedule = ServingSchedule::build(&mix, &config);
+        assert!(schedule
+            .steps()
+            .iter()
+            .any(|s| !s.prefill().is_empty() && !s.decode().is_empty()));
+        for step in schedule.steps() {
+            let net = model.lower_serving_step(step, 256);
+            assert_eq!(net.total_macs(), model.serving_step_macs(step, 256));
+        }
+    }
+
+    #[test]
+    fn pure_decode_serving_step_matches_lower_step() {
+        let model = ServingModel::gpt2_small();
+        let mix = RequestMix::uniform(3, 100, 4);
+        let config = ServingConfig::new(2).with_prefill(PrefillMode::Resident);
+        let schedule = ServingSchedule::build(&mix, &config);
+        for step in schedule.steps() {
+            let via_event = model.lower_serving_step(step, 64);
+            let via_legacy = model.lower_step(&step.decode_kv_lens(), 64);
+            assert_eq!(via_event.layers().len(), via_legacy.layers().len());
+            for (a, b) in via_event.layers().iter().zip(via_legacy.layers()) {
+                assert_eq!(a.signature(), b.signature());
+            }
+        }
+    }
+
+    #[test]
+    fn constructor_errors_are_typed() {
+        assert_eq!(
+            Request::try_new(10, 0),
+            Err(ServingError::ZeroOutputRequest)
+        );
+        assert_eq!(
+            RequestMix::try_custom("empty", vec![]).unwrap_err(),
+            ServingError::EmptyMix
+        );
+        assert_eq!(
+            BatchSchedule::try_build(&RequestMix::uniform(1, 1, 1), 0).unwrap_err(),
+            ServingError::ZeroCapacity
+        );
+    }
+
+    #[test]
+    fn gpt2_small_declares_its_context_window() {
+        assert_eq!(ServingModel::gpt2_small().max_context(), Some(1024));
+        assert_eq!(
+            ServingModel::new("toy", 64, 4, 128, 2, 1000).max_context(),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Admission policies: which queued request takes a freed decode slot.
+//!
+//! The closed-loop scheduler admitted strictly FIFO. Once arrivals are
+//! spread over time and requests queue behind busy slots, the admission
+//! order becomes a real serving lever: admitting short prompts first
+//! cuts median time-to-first-token at the cost of long-prompt tail
+//! latency, and an SLO-aware policy spends that lever only where a
+//! deadline is at risk. All policies are deterministic integer
+//! comparisons — no randomness, no floats — so schedules stay
+//! platform-exact.
+
+use super::RequestMix;
+use std::fmt;
+
+/// Which queued request is admitted into a free decode slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Arrival order — the PR 5 behavior and the fairness baseline.
+    Fifo,
+    /// Shortest prompt first (ties broken by arrival order): minimizes
+    /// the prefill work blocking the queue, the classic SJF trade.
+    ShortestPrompt,
+    /// Earliest-deadline-first over two SLO classes: requests with
+    /// `prompt <= interactive_prompt` are interactive and must start
+    /// within `slack` steps of arrival; the rest are batch with a
+    /// `4 * slack` budget. Ties broken by shortest prompt, then
+    /// arrival order.
+    SloAware {
+        /// Largest prompt still considered interactive.
+        interactive_prompt: usize,
+        /// Steps of queueing budget an interactive request gets.
+        slack: usize,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Index *into `queue`* of the request to admit next. `queue` holds
+    /// request indices in arrival order; `arrivals` maps request index
+    /// to arrival step.
+    ///
+    /// Never called on an empty queue by the event core; returns 0 for
+    /// robustness if it ever is.
+    pub(crate) fn select(&self, queue: &[usize], mix: &RequestMix, arrivals: &[usize]) -> usize {
+        match *self {
+            AdmissionPolicy::Fifo => 0,
+            AdmissionPolicy::ShortestPrompt => queue
+                .iter()
+                .enumerate()
+                .min_by_key(|&(pos, &r)| (mix.requests()[r].prompt, pos))
+                .map_or(0, |(pos, _)| pos),
+            AdmissionPolicy::SloAware {
+                interactive_prompt,
+                slack,
+            } => queue
+                .iter()
+                .enumerate()
+                .min_by_key(|&(pos, &r)| {
+                    let prompt = mix.requests()[r].prompt;
+                    let budget = if prompt <= interactive_prompt {
+                        slack
+                    } else {
+                        4 * slack
+                    };
+                    (arrivals[r].saturating_add(budget), prompt, pos)
+                })
+                .map_or(0, |(pos, _)| pos),
+        }
+    }
+}
+
+impl fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AdmissionPolicy::Fifo => write!(f, "fifo"),
+            AdmissionPolicy::ShortestPrompt => write!(f, "shortest-prompt"),
+            AdmissionPolicy::SloAware {
+                interactive_prompt,
+                slack,
+            } => write!(f, "slo(p<={interactive_prompt},slack{slack})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serving::Request;
+
+    fn mix() -> RequestMix {
+        RequestMix::custom(
+            "m",
+            vec![
+                Request::new(512, 8), // 0: long, arrives first
+                Request::new(64, 8),  // 1: short
+                Request::new(64, 8),  // 2: short, later
+                Request::new(256, 8), // 3: long-ish
+            ],
+        )
+    }
+
+    #[test]
+    fn fifo_takes_the_queue_head() {
+        let m = mix();
+        assert_eq!(AdmissionPolicy::Fifo.select(&[3, 1, 0], &m, &[0; 4]), 0);
+    }
+
+    #[test]
+    fn shortest_prompt_prefers_the_small_request() {
+        let m = mix();
+        let policy = AdmissionPolicy::ShortestPrompt;
+        assert_eq!(policy.select(&[0, 3, 2], &m, &[0; 4]), 2);
+        // Equal prompts: arrival (queue) order breaks the tie.
+        assert_eq!(policy.select(&[1, 2], &m, &[0; 4]), 0);
+    }
+
+    #[test]
+    fn slo_aware_is_deadline_ordered() {
+        let m = mix();
+        let policy = AdmissionPolicy::SloAware {
+            interactive_prompt: 128,
+            slack: 8,
+        };
+        // Request 0 (batch, arrived step 0): deadline 32.
+        // Request 2 (interactive, arrived step 20): deadline 28.
+        assert_eq!(policy.select(&[0, 2], &m, &[0, 0, 20, 0]), 1);
+        // But an old batch request eventually wins over a fresh
+        // interactive one: deadline 32 vs 40 + ... at arrival 35.
+        assert_eq!(policy.select(&[0, 2], &m, &[0, 0, 35, 0]), 0);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(AdmissionPolicy::Fifo.to_string(), "fifo");
+        assert_eq!(
+            AdmissionPolicy::ShortestPrompt.to_string(),
+            "shortest-prompt"
+        );
+        assert_eq!(
+            AdmissionPolicy::SloAware {
+                interactive_prompt: 128,
+                slack: 16
+            }
+            .to_string(),
+            "slo(p<=128,slack16)"
+        );
+    }
+}

@@ -8,13 +8,16 @@
 //! scaling corners), then walks one schedule step by step to show the
 //! occupancy dynamics and why the trace is affordable: steps dedupe by
 //! bucketed active-set composition, so hundreds of steps cost a few
-//! dozen mapping searches.
+//! dozen mapping searches. Finally it runs one *open-loop* trace —
+//! Poisson arrivals, prefill charged on admission — and prints the
+//! TTFT/TBT percentiles the closed-loop study cannot see.
 //!
 //! Run with: `cargo run --release --example serving_study`
 
 use lumen::albireo::{experiments, AlbireoConfig, ScalingProfile};
-use lumen::core::serving::serving_sweep;
+use lumen::core::serving::{serving_sweep, serving_trace};
 use lumen::core::{EvalSession, NetworkOptions};
+use lumen::workload::serving::{ArrivalProcess, PrefillMode, ServingConfig, ServingSchedule};
 use lumen::workload::{BatchSchedule, RequestMix, ServingModel};
 
 fn main() {
@@ -66,5 +69,47 @@ fn main() {
         stats.misses,
         stats.hits + stats.misses,
         100.0 * stats.hit_rate(),
+    );
+
+    // The same mix open-loop: Poisson arrivals drip requests in instead
+    // of queueing them all at step zero, and each admission pays for its
+    // prompt through the dense prefill path before the first token.
+    // With per-request arrival times the latency distribution exists:
+    // time-to-first-token (arrival -> first decode step done) and
+    // time-between-tokens (gaps between completions).
+    let config = ServingConfig::new(4)
+        .with_arrival(ArrivalProcess::poisson(0.1, 0xFEED_F00D))
+        .with_prefill(PrefillMode::OnAdmission { chunk: Some(256) });
+    let schedule = ServingSchedule::build(&mix, &config);
+    let open = serving_trace(
+        &session,
+        &ServingModel::gpt2_small(),
+        &schedule,
+        experiments::SERVING_KV_BUCKET,
+        &NetworkOptions::baseline(),
+    )
+    .expect("open-loop trace evaluates");
+
+    let clock = session.system().arch().clock();
+    let ttft = open.ttft_percentiles(clock);
+    let tbt = open.tbt_percentiles(clock);
+    println!(
+        "== open-loop: {} with {} through 4 slots ==",
+        mix.name(),
+        config.arrival()
+    );
+    println!(
+        "  {} steps ({} prefill tokens charged on admission, {} decode tokens)",
+        schedule.total_steps(),
+        open.total_prefill_tokens(),
+        open.total_tokens()
+    );
+    println!(
+        "  TTFT p50/p95/p99: {:.1}/{:.1}/{:.1} ms, TBT p50/p99: {:.2}/{:.2} ms",
+        ttft.p50 * 1e3,
+        ttft.p95 * 1e3,
+        ttft.p99 * 1e3,
+        tbt.p50 * 1e3,
+        tbt.p99 * 1e3,
     );
 }

@@ -159,6 +159,24 @@ fn serving_study_matches_snapshot() {
 }
 
 #[test]
+fn serving_slo_study_matches_snapshot() {
+    // Both corners of the open-loop study: every arrival process and
+    // admission policy, TTFT/TBT percentiles at the system clock, the
+    // admission-lever footer, the prefill-charged accounting and the
+    // eval-cache hit rate — all seeded, so exact across machines.
+    let mut rendered = String::new();
+    for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
+        rendered.push_str(
+            &experiments::serving_slo_study(scaling)
+                .expect("study evaluates")
+                .to_string(),
+        );
+        rendered.push('\n');
+    }
+    assert_golden("serving_slo_study", &rendered);
+}
+
+#[test]
 fn csv_rendering_matches_snapshot() {
     // The CSV path is the machine-readable export surface; lock one
     // figure's CSV too so escaping/format changes cannot slip through.

@@ -16,7 +16,8 @@ use lumen::lint::{
 use lumen::mapper::search::SearchConfig;
 use lumen::units::{Area, Energy, Frequency};
 use lumen::workload::{
-    networks, Dim, DimSet, Layer, LayerKind, Network, RequestMix, Shape, TensorKind, TensorSet,
+    networks, ArrivalProcess, Dim, DimSet, Layer, LayerKind, Network, RequestMix, Shape,
+    TensorKind, TensorSet,
 };
 use proptest::prelude::*;
 use std::fs;
@@ -362,6 +363,8 @@ fn l0401_zero_capacity_schedule() {
         mix: &mix,
         capacity: 0,
         kv_bucket: 64,
+        arrival: None,
+        max_context: None,
     };
     let report = run(&LintTarget::new().with_serving(&serving));
     assert_fires_only(&report, "L0401", Severity::Error);
@@ -374,6 +377,8 @@ fn l0402_zero_kv_bucket() {
         mix: &mix,
         capacity: 8,
         kv_bucket: 0,
+        arrival: None,
+        max_context: None,
     };
     let report = run(&LintTarget::new().with_serving(&serving));
     assert_fires_only(&report, "L0402", Severity::Warn);
@@ -388,9 +393,77 @@ fn l0402_kv_bucket_larger_than_any_sequence() {
         mix: &mix,
         capacity: 8,
         kv_bucket: 1024,
+        arrival: None,
+        max_context: None,
     };
     let report = run(&LintTarget::new().with_serving(&serving));
     assert_fires_only(&report, "L0402", Severity::Warn);
+}
+
+#[test]
+fn l0403_offered_load_exceeds_capacity() {
+    // Mean output is 32 decode steps per request; at one arrival per
+    // step the offered load is 32 slot-steps/step against 8 slots.
+    let mix = RequestMix::uniform(4, 128, 32);
+    let arrival = ArrivalProcess::poisson(1.0, 7);
+    let serving = ServingSpec {
+        mix: &mix,
+        capacity: 8,
+        kv_bucket: 64,
+        arrival: Some(&arrival),
+        max_context: None,
+    };
+    let report = run(&LintTarget::new().with_serving(&serving));
+    assert_fires_only(&report, "L0403", Severity::Warn);
+}
+
+#[test]
+fn l0403_stays_quiet_under_capacity_and_closed_loop() {
+    let mix = RequestMix::uniform(4, 128, 32);
+    // 0.1 arrivals/step × 32 steps/request = 3.2 < 8 slots.
+    let underload = ArrivalProcess::poisson(0.1, 7);
+    let closed = ArrivalProcess::ClosedLoop;
+    for arrival in [&underload, &closed] {
+        let serving = ServingSpec {
+            mix: &mix,
+            capacity: 8,
+            kv_bucket: 64,
+            arrival: Some(arrival),
+            max_context: None,
+        };
+        let report = run(&LintTarget::new().with_serving(&serving));
+        assert!(report.is_empty(), "{report}");
+    }
+}
+
+#[test]
+fn l0404_prompt_exceeds_model_context() {
+    // Longest request reaches 128 + 32 = 160 tokens against a
+    // 128-token window.
+    let mix = RequestMix::uniform(4, 128, 32);
+    let serving = ServingSpec {
+        mix: &mix,
+        capacity: 8,
+        kv_bucket: 64,
+        arrival: None,
+        max_context: Some(128),
+    };
+    let report = run(&LintTarget::new().with_serving(&serving));
+    assert_fires_only(&report, "L0404", Severity::Error);
+}
+
+#[test]
+fn l0404_stays_quiet_when_requests_fit() {
+    let mix = RequestMix::uniform(4, 128, 32);
+    let serving = ServingSpec {
+        mix: &mix,
+        capacity: 8,
+        kv_bucket: 64,
+        arrival: None,
+        max_context: Some(1024),
+    };
+    let report = run(&LintTarget::new().with_serving(&serving));
+    assert!(report.is_empty(), "{report}");
 }
 
 // --- golden-pinned JSON rendering -----------------------------------
@@ -435,6 +508,8 @@ fn json_rendering_matches_golden() {
         mix: &mix,
         capacity: 0,
         kv_bucket: 0,
+        arrival: None,
+        max_context: None,
     };
     let target = LintTarget::new()
         .with_network(&net)

@@ -7,13 +7,23 @@
 //! occupancy never exceeds capacity (and never idles while work waits),
 //! and a fully-uniform mix through a single slot reproduces PR 4's
 //! `decode_trace` totals bit-identically through the evaluator.
+//!
+//! The open-loop event schedule adds its own laws: seeded arrivals are
+//! deterministic, each prompt prefills exactly once in contiguous
+//! chunks, prefill+decode occupancy respects capacity, the evaluator
+//! charges every chunk exactly once, and a closed-loop FIFO
+//! resident-prefill configuration reproduces the legacy
+//! `BatchSchedule` slot for slot.
 
 use lumen::arch::{ArchBuilder, Architecture, Domain, Fanout};
-use lumen::core::serving::serving_sweep;
+use lumen::core::serving::{serving_sweep, serving_trace};
 use lumen::core::{EvalSession, MappingStrategy, NetworkOptions, System};
 use lumen::units::{Energy, Frequency};
-use lumen::workload::serving::{BatchSchedule, Request, RequestMix, ServingModel};
-use lumen::workload::{networks, Dim, DimSet, TensorSet};
+use lumen::workload::serving::{
+    ArrivalProcess, BatchSchedule, PrefillMode, Request, RequestMix, ServingConfig, ServingModel,
+    ServingSchedule,
+};
+use lumen::workload::{networks, AdmissionPolicy, Dim, DimSet, TensorSet};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -186,8 +196,176 @@ fn uniform_single_slot_schedule_matches_decode_trace_bit_identically() {
     assert_eq!(serving.total_macs(), trace_macs);
 }
 
+// --- open-loop event schedule (PR 7) --------------------------------
+
+/// Conservation for the event-driven scheduler: each admitted request
+/// prefills its prompt exactly once (contiguous chunks, no overlap) and
+/// decodes its output exactly once at consecutive KV lengths; the
+/// per-step slot count (prefill + decode) never exceeds capacity.
+fn assert_event_schedule_conserves(mix: &RequestMix, schedule: &ServingSchedule) {
+    let capacity = schedule.capacity();
+    let mut prefilled: HashMap<usize, usize> = HashMap::new();
+    let mut decoded: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, step) in schedule.steps().iter().enumerate() {
+        assert!(step.occupancy() >= 1, "no empty steps");
+        assert!(
+            step.occupancy() <= capacity,
+            "step {i}: occupancy {} over capacity {capacity}",
+            step.occupancy()
+        );
+        for slot in step.prefill() {
+            let done = prefilled.entry(slot.request).or_insert(0);
+            assert_eq!(
+                slot.cached, *done,
+                "step {i}: request {} prefill chunks are contiguous",
+                slot.request
+            );
+            assert!(slot.chunk > 0, "prefill chunks are non-empty");
+            *done += slot.chunk;
+        }
+        for slot in step.decode() {
+            decoded.entry(slot.request).or_default().push(slot.kv_len);
+        }
+    }
+    assert_eq!(decoded.len(), mix.len(), "every request decodes");
+    for (r, request) in mix.requests().iter().enumerate() {
+        assert_eq!(
+            prefilled.get(&r).copied().unwrap_or(0),
+            request.prompt,
+            "request {r}: prompt prefilled exactly once"
+        );
+        let expected: Vec<usize> = (request.prompt..request.prompt + request.output).collect();
+        assert_eq!(&decoded[&r], &expected, "request {r} decode KV lengths");
+    }
+}
+
+#[test]
+fn event_schedule_conserves_tokens_under_every_arrival_and_policy() {
+    let mix = RequestMix::bimodal(11, 18, (64, 6), (300, 24), 30);
+    let arrivals = [
+        ArrivalProcess::ClosedLoop,
+        ArrivalProcess::poisson(0.2, 0xD00D),
+        ArrivalProcess::bursty(0.05, 16, 3, 0xD00D),
+        ArrivalProcess::diurnal(0.05, 0.6, 40, 0xD00D),
+    ];
+    let policies = [
+        AdmissionPolicy::Fifo,
+        AdmissionPolicy::ShortestPrompt,
+        AdmissionPolicy::SloAware {
+            interactive_prompt: 128,
+            slack: 8,
+        },
+    ];
+    for arrival in &arrivals {
+        for policy in &policies {
+            for chunk in [None, Some(64)] {
+                let config = ServingConfig::new(3)
+                    .with_arrival(arrival.clone())
+                    .with_policy(*policy)
+                    .with_prefill(PrefillMode::OnAdmission { chunk });
+                let schedule = ServingSchedule::build(&mix, &config);
+                assert_event_schedule_conserves(&mix, &schedule);
+            }
+        }
+    }
+}
+
+/// Seeded arrivals are a pure function of their inputs: rebuilding the
+/// same open-loop schedule gives step-for-step identical walls, prefill
+/// events and decode slots.
+#[test]
+fn open_loop_schedules_are_deterministic() {
+    let mix = RequestMix::long_tail(5, 12, (32, 200), 10, 3);
+    let config = ServingConfig::new(2)
+        .with_arrival(ArrivalProcess::poisson(0.15, 0xABCD))
+        .with_policy(AdmissionPolicy::ShortestPrompt)
+        .with_prefill(PrefillMode::OnAdmission { chunk: Some(48) });
+    let a = ServingSchedule::build(&mix, &config);
+    let b = ServingSchedule::build(&mix, &config);
+    assert_eq!(a.arrivals(), b.arrivals());
+    assert_eq!(a.total_steps(), b.total_steps());
+    for (sa, sb) in a.steps().iter().zip(b.steps()) {
+        assert_eq!(sa.wall(), sb.wall());
+        assert_eq!(sa.prefill(), sb.prefill());
+        assert_eq!(sa.decode(), sb.decode());
+    }
+}
+
+/// The evaluator charges each prefill chunk exactly once: trace MACs
+/// equal per-request prefill closed forms plus the decode step sum —
+/// and the worker count does not change a bit of it.
+#[test]
+fn serving_trace_charges_prefill_exactly_once_and_is_thread_stable() {
+    let (bucket, chunk) = (32usize, Some(96usize));
+    let mix = RequestMix::uniform(3, 150, 4);
+    let model = ServingModel::gpt2_small();
+    let config = ServingConfig::new(2)
+        .with_arrival(ArrivalProcess::poisson(0.1, 0xBEEF))
+        .with_prefill(PrefillMode::OnAdmission { chunk });
+    let schedule = ServingSchedule::build(&mix, &config);
+
+    let session = EvalSession::new(System::new(toy_arch(), MappingStrategy::default()));
+    let eval = serving_trace(
+        &session,
+        &model,
+        &schedule,
+        bucket,
+        &NetworkOptions::baseline(),
+    )
+    .expect("trace evaluates");
+
+    let prefill: u64 = mix
+        .requests()
+        .iter()
+        .map(|r| model.prefill_macs(r.prompt, chunk, bucket))
+        .sum();
+    let decode: u64 = schedule
+        .steps()
+        .iter()
+        .map(|s| model.step_macs(&s.decode_kv_lens(), bucket))
+        .sum();
+    assert_eq!(eval.total_macs(), prefill + decode);
+
+    // The fanned-out trace is bit-identical to a sequential loop over
+    // the same step networks through the same session.
+    for (point, step) in eval.points.iter().zip(schedule.steps()) {
+        let net = model.lower_serving_step(step, bucket);
+        let reference = session
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .expect("step evaluates");
+        assert_eq!(point.macs, reference.macs, "wall {}", step.wall());
+        assert_eq!(
+            point.energy.picojoules().to_bits(),
+            reference.energy.total().picojoules().to_bits(),
+            "wall {}",
+            step.wall()
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The PR 5 equivalence: a closed-loop FIFO resident-prefill event
+    /// schedule is the legacy `BatchSchedule` loop, slot for slot, for
+    /// any seeded population.
+    #[test]
+    fn closed_loop_event_schedule_matches_legacy_batch_schedule(
+        seed in 0usize..1000,
+        count in 1usize..=24,
+        capacity in 1usize..=12,
+        long_percent in 0usize..=100,
+    ) {
+        let mix = RequestMix::bimodal(seed as u64, count, (16, 3), (128, 11), long_percent);
+        let legacy = BatchSchedule::build(&mix, capacity);
+        let config = ServingConfig::new(capacity).with_prefill(PrefillMode::Resident);
+        let event = ServingSchedule::build(&mix, &config);
+        prop_assert_eq!(legacy.total_steps(), event.total_steps());
+        for (b, s) in legacy.steps().iter().zip(event.steps()) {
+            prop_assert!(s.prefill().is_empty());
+            prop_assert_eq!(b.active(), s.decode());
+        }
+    }
 
     /// Random mixes and capacities: the scheduler's conservation laws
     /// hold for any seeded population.
