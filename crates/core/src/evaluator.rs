@@ -3,11 +3,12 @@
 use crate::{CostCategory, EnergyBreakdown};
 use lumen_arch::Architecture;
 use lumen_mapper::search::{
-    greedy_mapping, random_search, spatial_priority_for, SearchConfig, TemporalPlan,
+    greedy_mapping, random_search, random_search_pruned, spatial_priority_for, SearchConfig,
+    TemporalPlan,
 };
-use lumen_mapper::{analyze, LayerAnalysis, Mapping, MappingError};
+use lumen_mapper::{analyze, outer_read_traffic, LayerAnalysis, Mapping, MappingError};
 use lumen_units::Energy;
-use lumen_workload::{Layer, TensorKind};
+use lumen_workload::{Dim, Layer, TensorKind};
 use std::fmt;
 use std::sync::Arc;
 
@@ -28,7 +29,7 @@ pub enum MappingStrategy {
     /// weight fetches across a batch.
     Planned {
         /// Spatial packing priority.
-        priority: Vec<lumen_workload::Dim>,
+        priority: Vec<Dim>,
         /// Temporal loop placement.
         plan: TemporalPlan,
     },
@@ -296,11 +297,18 @@ impl System {
             }
             MappingStrategy::RandomSearch(cfg) => {
                 let arch = &self.arch;
-                let result = random_search(arch, layer, *cfg, |analysis| {
+                let cost = |analysis: &LayerAnalysis| {
                     energy_from_analysis(arch, analysis, &Reroute::default())
                         .total()
                         .picojoules()
-                })
+                };
+                // Prune with a mapping-only energy lower bound when the
+                // architecture admits one; the winner is bit-identical to
+                // the plain search either way.
+                let result = match energy_lower_bound(arch, layer) {
+                    Some(lb) => random_search_pruned(arch, layer, *cfg, lb, cost),
+                    None => random_search(arch, layer, *cfg, cost),
+                }
                 .ok_or_else(|| SystemError::NoMapping {
                     layer: layer.name().to_string(),
                     cause: None,
@@ -412,6 +420,56 @@ fn add_kv_append_energy(arch: &Architecture, layer: &Layer, breakdown: &mut Ener
         Some(TensorKind::Weight),
         home.write_energy() * appended as f64,
     );
+}
+
+/// A mapping-only lower bound on the random-search cost objective
+/// (`energy_from_analysis(..).total().picojoules()` with no reroute),
+/// used by [`System::map_layer`] to skip candidates that cannot beat the
+/// incumbent before paying for the full nest analysis.
+///
+/// The bound sums exactly the terms of the true objective that are
+/// computable from the [`Mapping`] alone — compute (padded MACs),
+/// per-cycle, static, and the outermost-keeper read traffic of the read
+/// tensors ([`outer_read_traffic`], bit-identical to the analyzer's
+/// entries) — and omits the rest. Omission is only conservative when
+/// every omitted term is non-negative, so architectures with a negative
+/// storage or conversion energy (nonsensical, but representable) get
+/// `None` and the caller falls back to the unpruned search.
+fn energy_lower_bound<'a>(
+    arch: &'a Architecture,
+    layer: &'a Layer,
+) -> Option<impl Fn(&Mapping) -> f64 + 'a> {
+    let omitted_terms_nonnegative = arch.levels().iter().all(|l| {
+        (!l.kind().is_storage() || (l.read_energy().raw() >= 0.0 && l.write_energy().raw() >= 0.0))
+            && (!l.kind().is_converter() || l.convert_energy().raw() >= 0.0)
+    });
+    if !omitted_terms_nonnegative {
+        return None;
+    }
+    let groups = layer.groups() as u64;
+    let peak = arch.peak_parallelism() as f64;
+    Some(move |m: &Mapping| {
+        // Mirrors the corresponding expressions of `Nest::run` and
+        // `energy_from_analysis` term by term.
+        let cycles = m.total_temporal_product() * groups;
+        let padded_volume: u64 = Dim::ALL.iter().map(|&d| m.total_bound(d)).product();
+        let padded_macs = padded_volume * groups;
+        let spatial_utilization = m.total_spatial_product() as f64 / peak;
+        let mut total = arch.mac_energy() * padded_macs as f64;
+        for cost in arch.per_cycle_costs() {
+            let factor = if cost.gateable {
+                spatial_utilization
+            } else {
+                1.0
+            };
+            total += cost.energy_per_cycle * (cycles as f64) * factor;
+        }
+        total += arch.total_static_power() * (arch.clock().period() * cycles as f64);
+        for (level, _tensor, reads) in outer_read_traffic(arch, layer, m) {
+            total += arch.levels()[level].read_energy() * reads;
+        }
+        total.picojoules()
+    })
 }
 
 /// Converts a nest analysis into an itemized energy breakdown under the

@@ -65,11 +65,15 @@ pub mod dse;
 mod energy;
 mod evaluator;
 mod network;
+mod persist;
 pub mod report;
 pub mod serving;
 pub mod sweep;
 
-pub use cache::{arch_fingerprint, CacheStats, EvalCache, EvalSession};
+pub use cache::{
+    arch_fingerprint, clear_cache_dir, flush_persistent_cache, inspect_cache_dir, CacheStats,
+    EvalCache, EvalSession, PersistentCacheInfo,
+};
 pub use decode::{decode_sweep, DecodePoint};
 pub use energy::{CostCategory, EnergyBreakdown, EnergyItem};
 pub use evaluator::{

@@ -1,0 +1,507 @@
+//! On-disk snapshots of the evaluation cache.
+//!
+//! A snapshot is a versioned, hand-rolled little-endian binary file (no
+//! serde exists in the offline shims) holding successful
+//! [`LayerEvaluation`]s keyed exactly as the in-memory [`crate::EvalCache`]
+//! keys them: architecture fingerprint × strategy fingerprint ×
+//! [`LayerSignature`] × fusion reroute. Every floating-point quantity is
+//! stored as raw IEEE-754 bits, so a warm-started session reproduces
+//! evaluations **bit-identically** to the cold path.
+//!
+//! Robustness contract: a snapshot that is truncated, bit-flipped,
+//! version-mismatched or otherwise unreadable is silently treated as a
+//! cold cache — [`read_snapshot`] returns `None`, never panics. A
+//! whole-payload FNV-1a checksum in the header catches corruption that
+//! the structural bounds checks cannot.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic    8 bytes  b"LUMENEC1"
+//! version  u32      SNAPSHOT_VERSION
+//! checksum u64      fnv1a of every byte after this field
+//! count    u64      number of entries
+//! entry*   — key: arch_fp u64, strategy_fp u64,
+//!                 signature 16×u64 (LayerSignature::encode_words),
+//!                 reroute u32 len + (tensor u8, from u64, to u64)*
+//!          — value: layer name (u32 len + utf8),
+//!                 mapping (u32 levels; per level u32+loops temporal,
+//!                          u32+loops spatial; loop = dim u8, bound u64),
+//!                 analysis (cycles/macs/padded_macs u64, 4×f64 bits,
+//!                          u32 levels; per level 3×reads, 3×writes,
+//!                          3×conversions f64 bits + 3×tile u64,
+//!                          tensors in TensorKind::ALL order),
+//!                 energy (u32 items; item = label, category u8,
+//!                         tensor u8 (0 = none, else index+1), f64 bits)
+//! ```
+
+use crate::{CostCategory, EnergyBreakdown, LayerEvaluation};
+use lumen_mapper::{LayerAnalysis, LevelTraffic, Mapping};
+use lumen_units::Energy;
+use lumen_workload::{fnv1a_bytes, Dim, LayerSignature, TensorKind};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"LUMENEC1";
+/// Bump on any change to the entry encoding; old files then read as cold.
+pub(crate) const SNAPSHOT_VERSION: u32 = 1;
+
+/// One persisted cache entry: the full key plus the successful value.
+/// (Failures are never persisted — a failed search re-pays cold.)
+pub(crate) struct PersistEntry {
+    pub arch: u64,
+    pub strategy: u64,
+    pub signature: LayerSignature,
+    pub reroute: Vec<(TensorKind, usize, usize)>,
+    pub value: LayerEvaluation,
+}
+
+/// Serializes `entries` into a snapshot byte buffer.
+pub(crate) fn encode_snapshot(entries: &[PersistEntry]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(entries.len() * 512 + 16);
+    put_u64(&mut payload, entries.len() as u64);
+    for e in entries {
+        put_u64(&mut payload, e.arch);
+        put_u64(&mut payload, e.strategy);
+        for w in e.signature.encode_words() {
+            put_u64(&mut payload, w);
+        }
+        put_u32(&mut payload, e.reroute.len() as u32);
+        for &(t, from, to) in &e.reroute {
+            payload.push(t.index() as u8);
+            put_u64(&mut payload, from as u64);
+            put_u64(&mut payload, to as u64);
+        }
+        put_str(&mut payload, &e.value.layer_name);
+        put_mapping(&mut payload, &e.value.mapping);
+        put_analysis(&mut payload, &e.value.analysis);
+        put_energy(&mut payload, &e.value.energy);
+    }
+    let mut out = Vec::with_capacity(payload.len() + 20);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, SNAPSHOT_VERSION);
+    put_u64(&mut out, fnv1a_bytes(b"snapshot", &payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parses a snapshot byte buffer; `None` on any structural problem,
+/// version mismatch or checksum failure.
+pub(crate) fn decode_snapshot(bytes: &[u8]) -> Option<Vec<PersistEntry>> {
+    let mut c = Cursor { bytes, at: 0 };
+    if c.take(MAGIC.len())? != &MAGIC[..] || c.u32()? != SNAPSHOT_VERSION {
+        return None;
+    }
+    let checksum = c.u64()?;
+    if fnv1a_bytes(b"snapshot", &bytes[c.at..]) != checksum {
+        return None;
+    }
+    let count = usize::try_from(c.u64()?).ok()?;
+    // A count that could not fit in the remaining bytes is corruption;
+    // refuse before reserving memory for it.
+    if count > bytes.len() {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let arch = c.u64()?;
+        let strategy = c.u64()?;
+        let mut words = [0u64; LayerSignature::ENCODED_WORDS];
+        for w in &mut words {
+            *w = c.u64()?;
+        }
+        let signature = LayerSignature::decode_words(&words)?;
+        let nreroute = c.u32()? as usize;
+        let mut reroute = Vec::with_capacity(nreroute.min(bytes.len()));
+        for _ in 0..nreroute {
+            let t = tensor_from_index(c.u8()?)?;
+            let from = usize::try_from(c.u64()?).ok()?;
+            let to = usize::try_from(c.u64()?).ok()?;
+            reroute.push((t, from, to));
+        }
+        let layer_name = c.str()?;
+        let mapping = get_mapping(&mut c)?;
+        let analysis = get_analysis(&mut c)?;
+        let energy = get_energy(&mut c)?;
+        entries.push(PersistEntry {
+            arch,
+            strategy,
+            signature,
+            reroute,
+            value: LayerEvaluation {
+                layer_name,
+                signature,
+                mapping,
+                analysis,
+                energy,
+            },
+        });
+    }
+    // Trailing garbage would have failed the checksum already; accept.
+    Some(entries)
+}
+
+/// Atomically replaces the snapshot at `path` (write temp + rename).
+pub(crate) fn write_snapshot(path: &Path, entries: &[PersistEntry]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let bytes = encode_snapshot(entries);
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, &bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Reads and parses the snapshot at `path`; `None` (a cold start) if the
+/// file is missing, unreadable or invalid in any way.
+pub(crate) fn read_snapshot(path: &Path) -> Option<Vec<PersistEntry>> {
+    decode_snapshot(&std::fs::read(path).ok()?)
+}
+
+// ---- primitive writers -------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_loops(out: &mut Vec<u8>, loops: &[lumen_mapper::Loop]) {
+    put_u32(out, loops.len() as u32);
+    for l in loops {
+        out.push(l.dim.index() as u8);
+        put_u64(out, l.bound as u64);
+    }
+}
+
+fn put_mapping(out: &mut Vec<u8>, mapping: &Mapping) {
+    put_u32(out, mapping.levels().len() as u32);
+    for level in mapping.levels() {
+        put_loops(out, &level.temporal);
+        put_loops(out, &level.spatial);
+    }
+}
+
+fn put_analysis(out: &mut Vec<u8>, a: &LayerAnalysis) {
+    put_u64(out, a.cycles);
+    put_u64(out, a.macs);
+    put_u64(out, a.padded_macs);
+    put_f64(out, a.throughput_macs_per_cycle);
+    put_f64(out, a.utilization);
+    put_f64(out, a.spatial_utilization);
+    put_f64(out, a.padding_factor);
+    put_u32(out, a.levels.len() as u32);
+    for level in &a.levels {
+        for t in TensorKind::ALL {
+            put_f64(out, level.reads[t]);
+        }
+        for t in TensorKind::ALL {
+            put_f64(out, level.writes[t]);
+        }
+        for t in TensorKind::ALL {
+            put_f64(out, level.conversions[t]);
+        }
+        for t in TensorKind::ALL {
+            put_u64(out, level.tile_elements[t]);
+        }
+    }
+}
+
+fn put_energy(out: &mut Vec<u8>, e: &EnergyBreakdown) {
+    put_u32(out, e.items().len() as u32);
+    for item in e.items() {
+        put_str(out, &item.label);
+        out.push(category_index(item.category));
+        out.push(match item.tensor {
+            None => 0,
+            Some(t) => t.index() as u8 + 1,
+        });
+        put_f64(out, item.energy.raw());
+    }
+}
+
+fn category_index(c: CostCategory) -> u8 {
+    match c {
+        CostCategory::Storage => 0,
+        CostCategory::Conversion => 1,
+        CostCategory::Compute => 2,
+        CostCategory::PerCycle => 3,
+        CostCategory::Static => 4,
+    }
+}
+
+// ---- primitive readers -------------------------------------------------
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let slice = self.bytes.get(self.at..end)?;
+        self.at = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let b = self.take(1)?;
+        Some(b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Some(u64::from_le_bytes(raw))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).ok()
+    }
+}
+
+fn tensor_from_index(i: u8) -> Option<TensorKind> {
+    TensorKind::ALL.get(i as usize).copied()
+}
+
+fn dim_from_index(i: u8) -> Option<Dim> {
+    Dim::ALL.get(i as usize).copied()
+}
+
+fn category_from_index(i: u8) -> Option<CostCategory> {
+    Some(match i {
+        0 => CostCategory::Storage,
+        1 => CostCategory::Conversion,
+        2 => CostCategory::Compute,
+        3 => CostCategory::PerCycle,
+        4 => CostCategory::Static,
+        _ => return None,
+    })
+}
+
+fn get_mapping(c: &mut Cursor<'_>) -> Option<Mapping> {
+    let num_levels = c.u32()? as usize;
+    if num_levels > c.bytes.len() {
+        return None;
+    }
+    let mut mapping = Mapping::new(num_levels);
+    for level in 0..num_levels {
+        for spatial in [false, true] {
+            let n = c.u32()? as usize;
+            for _ in 0..n {
+                let dim = dim_from_index(c.u8()?)?;
+                let bound = usize::try_from(c.u64()?).ok()?;
+                // Stored bounds are always > 1 (push elides unit loops),
+                // so the push-based rebuild is exact.
+                if bound <= 1 {
+                    return None;
+                }
+                if spatial {
+                    mapping.push_spatial(level, dim, bound);
+                } else {
+                    mapping.push_temporal(level, dim, bound);
+                }
+            }
+        }
+    }
+    Some(mapping)
+}
+
+fn get_analysis(c: &mut Cursor<'_>) -> Option<LayerAnalysis> {
+    let cycles = c.u64()?;
+    let macs = c.u64()?;
+    let padded_macs = c.u64()?;
+    let throughput_macs_per_cycle = c.f64()?;
+    let utilization = c.f64()?;
+    let spatial_utilization = c.f64()?;
+    let padding_factor = c.f64()?;
+    let num_levels = c.u32()? as usize;
+    if num_levels > c.bytes.len() {
+        return None;
+    }
+    let mut levels = Vec::with_capacity(num_levels);
+    for _ in 0..num_levels {
+        let mut traffic = LevelTraffic::default();
+        for t in TensorKind::ALL {
+            traffic.reads[t] = c.f64()?;
+        }
+        for t in TensorKind::ALL {
+            traffic.writes[t] = c.f64()?;
+        }
+        for t in TensorKind::ALL {
+            traffic.conversions[t] = c.f64()?;
+        }
+        for t in TensorKind::ALL {
+            traffic.tile_elements[t] = c.u64()?;
+        }
+        levels.push(traffic);
+    }
+    Some(LayerAnalysis {
+        cycles,
+        macs,
+        padded_macs,
+        throughput_macs_per_cycle,
+        utilization,
+        spatial_utilization,
+        padding_factor,
+        levels,
+    })
+}
+
+fn get_energy(c: &mut Cursor<'_>) -> Option<EnergyBreakdown> {
+    let n = c.u32()? as usize;
+    let mut energy = EnergyBreakdown::new();
+    for _ in 0..n {
+        let label = c.str()?;
+        let category = category_from_index(c.u8()?)?;
+        let tensor = match c.u8()? {
+            0 => None,
+            i => Some(tensor_from_index(i - 1)?),
+        };
+        // Stored items are non-zero and pre-merged (`add` skips zeros
+        // and merges identical keys), so the add-based rebuild is exact.
+        energy.add(label, category, tensor, Energy::from_raw(c.f64()?));
+    }
+    Some(energy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EvalSession, MappingStrategy, System};
+    use lumen_arch::{ArchBuilder, Domain, Fanout};
+    use lumen_units::Frequency;
+    use lumen_workload::{DimSet, Layer, TensorSet};
+
+    fn sample_entry() -> PersistEntry {
+        let arch = ArchBuilder::new("toy", Frequency::from_gigahertz(1.0))
+            .storage("dram", Domain::DigitalElectrical, TensorSet::all())
+            .read_energy(Energy::from_picojoules(100.0))
+            .write_energy(Energy::from_picojoules(100.0))
+            .done()
+            .storage("glb", Domain::DigitalElectrical, TensorSet::all())
+            .read_energy(Energy::from_picojoules(1.0))
+            .write_energy(Energy::from_picojoules(1.0))
+            .fanout(Fanout::new(8).allow(DimSet::from_dims(&[Dim::M, Dim::C])))
+            .done()
+            .compute(
+                "mac",
+                Domain::DigitalElectrical,
+                Energy::from_picojoules(0.05),
+            )
+            .build()
+            .unwrap();
+        let layer = Layer::conv2d("c", 1, 16, 8, 8, 8, 3, 3);
+        let session = EvalSession::new(System::new(arch, MappingStrategy::default()));
+        let value = session.evaluate_layer(&layer).unwrap();
+        PersistEntry {
+            arch: 0x1234,
+            strategy: 0x5678,
+            signature: layer.signature(),
+            reroute: vec![(TensorKind::Output, 0, 1)],
+            value,
+        }
+    }
+
+    fn assert_bit_identical(a: &LayerEvaluation, b: &LayerEvaluation) {
+        assert_eq!(a.layer_name, b.layer_name);
+        assert_eq!(a.signature, b.signature);
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.analysis, b.analysis);
+        assert_eq!(a.energy.items().len(), b.energy.items().len());
+        for (x, y) in a.energy.items().iter().zip(b.energy.items()) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.category, y.category);
+            assert_eq!(x.tensor, y.tensor);
+            assert_eq!(x.energy.raw().to_bits(), y.energy.raw().to_bits());
+        }
+        assert_eq!(
+            a.energy.total().picojoules().to_bits(),
+            b.energy.total().picojoules().to_bits()
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let entry = sample_entry();
+        let bytes = encode_snapshot(std::slice::from_ref(&entry));
+        let decoded = decode_snapshot(&bytes).expect("valid snapshot");
+        assert_eq!(decoded.len(), 1);
+        let d = &decoded[0];
+        assert_eq!(d.arch, entry.arch);
+        assert_eq!(d.strategy, entry.strategy);
+        assert_eq!(d.signature, entry.signature);
+        assert_eq!(d.reroute, entry.reroute);
+        assert_bit_identical(&d.value, &entry.value);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let bytes = encode_snapshot(&[]);
+        assert_eq!(decode_snapshot(&bytes).map(|v| v.len()), Some(0));
+    }
+
+    #[test]
+    fn truncated_and_corrupt_snapshots_are_cold() {
+        let bytes = encode_snapshot(&[sample_entry()]);
+        // Every truncation point is rejected without panicking.
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        // Any single flipped byte trips the checksum (or the magic).
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(decode_snapshot(&flipped).is_none());
+        // Wrong version reads as cold.
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = SNAPSHOT_VERSION as u8 + 1;
+        assert!(decode_snapshot(&wrong_version).is_none());
+        // Arbitrary garbage too.
+        assert!(decode_snapshot(b"not a snapshot at all").is_none());
+        assert!(decode_snapshot(&[]).is_none());
+    }
+
+    #[test]
+    fn write_and_read_snapshot_files() {
+        let dir = std::env::temp_dir().join(format!("lumen-persist-test-{}", std::process::id()));
+        let path = dir.join("snap.bin");
+        let entry = sample_entry();
+        write_snapshot(&path, std::slice::from_ref(&entry)).expect("write");
+        let back = read_snapshot(&path).expect("read");
+        assert_eq!(back.len(), 1);
+        assert_bit_identical(&back[0].value, &entry.value);
+        // Missing files are a cold start, not an error.
+        assert!(read_snapshot(&dir.join("missing.bin")).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

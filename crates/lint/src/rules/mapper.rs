@@ -74,6 +74,43 @@ impl Lint for DegenerateSearch {
     }
 }
 
+/// `L0405`: a zero-iteration search fails far from its cause.
+///
+/// Companion warning to the [`DegenerateSearch`] error, pointing at the
+/// *symptom*: `random_search` silently returns `None`, and what the user
+/// eventually sees is the evaluator's generic "no legal mapping" on some
+/// layer — nowhere near the `SearchConfig` that caused it. The warning
+/// survives `--allow L0302`, so the breadcrumb remains even when the
+/// hard error has been waved through.
+pub struct SilentSearchFailure;
+
+impl Lint for SilentSearchFailure {
+    fn code(&self) -> &'static str {
+        "L0405"
+    }
+
+    fn summary(&self) -> &'static str {
+        "zero-iteration searches fail far from their configuration"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(facts) = target.strategy else { return };
+        if let Some(search) = &facts.search {
+            if search.iterations == 0 {
+                out.push(Diagnostic::new(
+                    self.code(),
+                    Severity::Warn,
+                    format!("strategy/{}", facts.label),
+                    "the search returns no mapping; evaluation reports a generic \
+                     mapping failure far from this SearchConfig"
+                        .to_string(),
+                    "fix the iteration count here rather than debugging the layer error",
+                ));
+            }
+        }
+    }
+}
+
 /// `L0303`: a random search with an extreme iteration budget.
 pub struct ExcessiveSearch;
 

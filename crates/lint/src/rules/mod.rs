@@ -3,7 +3,9 @@
 //! Code blocks: `L01xx` architecture, `L02xx` workload, `L03xx` mapping
 //! strategy, `L04xx` serving schedule. `L0100` is reserved for
 //! architecture construction failures surfaced as diagnostics (see
-//! [`arch_error_diagnostic`]).
+//! [`arch_error_diagnostic`]). `L0405` is grandfathered into the
+//! `L04xx` range despite inspecting the mapping strategy — codes are
+//! append-only once published, so it keeps the number it shipped with.
 
 pub mod arch;
 pub mod mapper;
@@ -39,6 +41,7 @@ pub fn default_lints() -> Vec<Box<dyn Lint>> {
         Box::new(serving::KvBucketMismatch),
         Box::new(serving::OfferedLoadExceedsCapacity),
         Box::new(serving::PromptExceedsContext),
+        Box::new(mapper::SilentSearchFailure),
     ]
 }
 

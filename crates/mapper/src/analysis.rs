@@ -115,6 +115,42 @@ pub fn analyze(
     Ok(nest.run())
 }
 
+/// The exact read traffic [`analyze`] will charge at the **outermost
+/// keeper** of each read tensor (weights and inputs), computed without
+/// the full nest walk.
+///
+/// Returns `(level index, tensor, reads)` triples — each value is
+/// bit-identical to the corresponding `reads` entry of the full
+/// [`LayerAnalysis`], so the triples are a sound (and usually dominant,
+/// since the outermost level is the most expensive per access) *lower
+/// bound* on a candidate mapping's traffic cost. Search engines use this
+/// to prune candidates before paying for [`analyze`]; see
+/// [`crate::search::random_search_pruned`].
+///
+/// The mapping is **not** validated: an illegal candidate yields a
+/// number that would never be charged, which is harmless for pruning
+/// (the candidate is discarded either way). The mapping must still have
+/// one [`crate::LevelLoops`] per architecture level.
+pub fn outer_read_traffic(
+    arch: &Architecture,
+    layer: &Layer,
+    mapping: &Mapping,
+) -> Vec<(usize, TensorKind, f64)> {
+    let nest = Nest::new(arch, layer, mapping);
+    let g = nest.groups as f64;
+    let mut out = Vec::with_capacity(2);
+    for t in [TensorKind::Weight, TensorKind::Input] {
+        let chain = &nest.keepers[t];
+        if let Some(&k) = chain.first() {
+            let inner = chain.get(1).copied().unwrap_or(nest.num_levels - 1);
+            // Mirrors the read-tensor pass of `Nest::run` exactly.
+            let reads = nest.fills_total(t, inner) / nest.share_gap(t, k, inner) * g;
+            out.push((k, t, reads));
+        }
+    }
+    out
+}
+
 /// Precomputed nest state shared by the analysis passes.
 struct Nest<'a> {
     arch: &'a Architecture,

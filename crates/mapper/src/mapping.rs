@@ -37,7 +37,7 @@ impl fmt::Display for Loop {
 ///
 /// `temporal` is ordered **outermost first**; `spatial` is an unordered
 /// set of parallel loops realized by the level's fan-out.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct LevelLoops {
     /// Sequential loops, outermost first.
     pub temporal: Vec<Loop>,
@@ -85,7 +85,7 @@ impl LevelLoops {
 /// assert_eq!(m.total_bound(Dim::M), 16);
 /// assert_eq!(m.total_bound(Dim::N), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Mapping {
     levels: Vec<LevelLoops>,
 }

@@ -13,9 +13,10 @@
 
 use crate::{analyze, LayerAnalysis, Mapping};
 use lumen_arch::Architecture;
-use lumen_workload::{Dim, DimMap, Layer, LayerKind};
+use lumen_workload::{Dim, DimMap, Layer, LayerKind, LayerSignature};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
 
 /// Default spatial packing priority: parallelize output channels and
 /// spatial window dims first (they are the broadcast-friendly dims in
@@ -193,23 +194,164 @@ pub struct SearchResult {
     pub analysis: LayerAnalysis,
     /// Its cost under the caller's objective.
     pub cost: f64,
-    /// Legal candidates evaluated.
+    /// Legal candidates whose cost was actually evaluated (structural
+    /// duplicates and pruned candidates are excluded).
     pub evaluated: usize,
+    /// Structurally-identical candidates skipped before analysis.
+    pub deduped: usize,
+    /// Candidates skipped because a lower bound on their cost already
+    /// met or exceeded the incumbent's.
+    pub pruned: usize,
+}
+
+impl SearchResult {
+    /// Candidates skipped without an `analyze` call: `deduped + pruned`.
+    pub fn skipped(&self) -> usize {
+        self.deduped + self.pruned
+    }
+}
+
+/// Memoizes [`greedy_spatial`] bases across the layers of one search
+/// batch on **one architecture**.
+///
+/// The greedy spatial packing is a pure function of the architecture and
+/// the layer's [`LayerSignature`] (shape, kind, stride, dilation, groups
+/// — everything `usable_dims` and the packing walk read), so repeated
+/// searches over same-shaped layers can share the base instead of
+/// re-walking the hierarchy. A memo must not be reused across
+/// architectures: the signature key deliberately excludes the arch, which
+/// is fixed per batch.
+#[derive(Debug, Default)]
+pub struct SpatialBaseMemo {
+    entries: HashMap<LayerSignature, (Mapping, DimMap<usize>)>,
+    hits: usize,
+}
+
+impl SpatialBaseMemo {
+    /// An empty memo.
+    pub fn new() -> SpatialBaseMemo {
+        SpatialBaseMemo::default()
+    }
+
+    /// The greedy spatial base for `layer` on `arch`, computed on first
+    /// use and replayed from the memo afterwards.
+    pub fn base(&mut self, arch: &Architecture, layer: &Layer) -> (Mapping, DimMap<usize>) {
+        let key = layer.signature();
+        if let Some(cached) = self.entries.get(&key) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        let built = greedy_spatial(arch, layer, spatial_priority_for(layer));
+        self.entries.insert(key, built.clone());
+        built
+    }
+
+    /// Number of memo replays served so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of distinct layer signatures memoized.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 /// Seeded random mapping search.
 ///
 /// Spatial packing is fixed (greedy); temporal factorizations and level
 /// placements are randomized. Candidates failing validation or capacity
-/// checks are discarded. Returns `None` if no legal candidate was found.
+/// checks are discarded, and structurally-identical repeat draws are
+/// deduplicated before analysis (the winner is unaffected: a duplicate
+/// can never *strictly* beat the identical candidate that preceded it).
+/// Returns `None` if no legal candidate was found.
 pub fn random_search(
     arch: &Architecture,
     layer: &Layer,
     config: SearchConfig,
+    cost: impl FnMut(&LayerAnalysis) -> f64,
+) -> Option<SearchResult> {
+    let base = greedy_spatial(arch, layer, spatial_priority_for(layer));
+    search_core(arch, layer, config, base, None, true, cost)
+}
+
+/// [`random_search`] with a caller-supplied **lower bound** on the cost
+/// of a candidate, computable from the [`Mapping`] alone (before the full
+/// nest analysis). Candidates whose bound already meets or exceeds the
+/// incumbent's cost are skipped without an `analyze` call.
+///
+/// The bound must satisfy `lower_bound(m) ≤ cost(analyze(m))` for every
+/// legal mapping `m` (a small relative safety margin is applied
+/// internally to absorb floating-point summation-order noise). Under that
+/// contract the winning mapping and cost are bit-identical to the
+/// unpruned search: acceptance is strict (`<`), so a candidate at or
+/// above the incumbent could never have won.
+pub fn random_search_pruned(
+    arch: &Architecture,
+    layer: &Layer,
+    config: SearchConfig,
+    lower_bound: impl Fn(&Mapping) -> f64,
+    cost: impl FnMut(&LayerAnalysis) -> f64,
+) -> Option<SearchResult> {
+    let base = greedy_spatial(arch, layer, spatial_priority_for(layer));
+    search_core(arch, layer, config, base, Some(&lower_bound), true, cost)
+}
+
+/// [`random_search`] with the greedy spatial base served from a
+/// [`SpatialBaseMemo`], for batches of searches over repeating layer
+/// shapes on one architecture.
+pub fn random_search_with_memo(
+    arch: &Architecture,
+    layer: &Layer,
+    config: SearchConfig,
+    memo: &mut SpatialBaseMemo,
+    cost: impl FnMut(&LayerAnalysis) -> f64,
+) -> Option<SearchResult> {
+    let base = memo.base(arch, layer);
+    search_core(arch, layer, config, base, None, true, cost)
+}
+
+/// Reference implementation without deduplication or pruning: every
+/// legal candidate is analyzed, duplicates included. Exists so benches
+/// can A/B the optimized path against the naive one while asserting
+/// bit-identical winners; not part of the supported API.
+#[doc(hidden)]
+pub fn random_search_baseline(
+    arch: &Architecture,
+    layer: &Layer,
+    config: SearchConfig,
+    cost: impl FnMut(&LayerAnalysis) -> f64,
+) -> Option<SearchResult> {
+    let base = greedy_spatial(arch, layer, spatial_priority_for(layer));
+    search_core(arch, layer, config, base, None, false, cost)
+}
+
+/// Relative safety margin applied to lower bounds before pruning: shrinks
+/// the bound so floating-point summation-order noise can never promote a
+/// would-have-won candidate into the pruned set.
+const PRUNE_MARGIN: f64 = 1.0 - 1e-9;
+
+/// Shared engine behind the `random_search*` family. Candidate
+/// *generation* is identical across all variants — every RNG draw for an
+/// iteration happens before the dedup/prune decision — so skipping a
+/// candidate leaves the stream, and therefore every later candidate,
+/// untouched.
+fn search_core(
+    arch: &Architecture,
+    layer: &Layer,
+    config: SearchConfig,
+    base: (Mapping, DimMap<usize>),
+    lower_bound: Option<&dyn Fn(&Mapping) -> f64>,
+    dedup: bool,
     mut cost: impl FnMut(&LayerAnalysis) -> f64,
 ) -> Option<SearchResult> {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let (base, leftover) = greedy_spatial(arch, layer, spatial_priority_for(layer));
+    let (base, leftover) = base;
     let storage_levels: Vec<usize> = arch
         .levels()
         .iter()
@@ -218,8 +360,11 @@ pub fn random_search(
         .map(|(i, _)| i)
         .collect();
 
+    let mut seen: HashSet<Mapping> = HashSet::new();
     let mut best: Option<SearchResult> = None;
     let mut evaluated = 0usize;
+    let mut deduped = 0usize;
+    let mut pruned = 0usize;
     for _ in 0..config.iterations {
         let mut candidate = base.clone();
         // Randomly split each leftover extent across storage levels.
@@ -258,22 +403,47 @@ pub fn random_search(
                 candidate.push_temporal(level, d, f);
             }
         }
+        // All RNG draws for this iteration are complete: skipping from
+        // here on cannot perturb later candidates.
+        if dedup && !seen.insert(candidate.clone()) {
+            deduped += 1;
+            continue;
+        }
+        let bound = lower_bound.map(|lb| lb(&candidate));
+        if let (Some(bv), Some(b)) = (bound, best.as_ref()) {
+            if bv * PRUNE_MARGIN >= b.cost {
+                pruned += 1;
+                continue;
+            }
+        }
         let Ok(analysis) = analyze(arch, layer, &candidate) else {
             continue;
         };
         evaluated += 1;
         let c = cost(&analysis);
+        if let Some(bv) = bound {
+            debug_assert!(
+                bv <= c * (1.0 + 1e-6),
+                "lower bound {bv} exceeds true cost {c}: pruning would be unsound"
+            );
+        }
         if best.as_ref().is_none_or(|b| c < b.cost) {
             best = Some(SearchResult {
                 mapping: candidate,
                 analysis,
                 cost: c,
-                evaluated,
+                evaluated: 0,
+                deduped: 0,
+                pruned: 0,
             });
         }
     }
+    // Bookkeeping is stamped exactly once, after the loop: the fields
+    // describe the whole search, not the state at the last improvement.
     if let Some(b) = &mut best {
         b.evaluated = evaluated;
+        b.deduped = deduped;
+        b.pruned = pruned;
     }
     best
 }
@@ -297,8 +467,10 @@ pub fn exhaustive_search(
     let k = storage_levels.len();
     let total = (k as u64).pow(7);
 
+    let mut seen: HashSet<Mapping> = HashSet::new();
     let mut best: Option<SearchResult> = None;
     let mut evaluated = 0usize;
+    let mut deduped = 0usize;
     for combo in 0..total {
         let mut candidate = base.clone();
         let mut c = combo;
@@ -311,6 +483,12 @@ pub fn exhaustive_search(
                 candidate.push_temporal(level, d, leftover[d]);
             }
         }
+        // Combos differing only in the home of a dim with no leftover
+        // build the same mapping — skip the repeat analysis.
+        if !seen.insert(candidate.clone()) {
+            deduped += 1;
+            continue;
+        }
         let Ok(analysis) = analyze(arch, layer, &candidate) else {
             continue;
         };
@@ -321,12 +499,16 @@ pub fn exhaustive_search(
                 mapping: candidate,
                 analysis,
                 cost: cost_value,
-                evaluated,
+                evaluated: 0,
+                deduped: 0,
+                pruned: 0,
             });
         }
     }
+    // Stamped once after the loop, as in `search_core`.
     if let Some(b) = &mut best {
         b.evaluated = evaluated;
+        b.deduped = deduped;
     }
     best
 }
@@ -356,6 +538,7 @@ fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::outer_read_traffic;
     use lumen_arch::{ArchBuilder, Domain, Fanout};
     use lumen_units::{Energy, Frequency};
     use lumen_workload::{DimSet, TensorSet};
@@ -527,6 +710,120 @@ mod tests {
         let a = analyze(&arch(), &mm, &m).unwrap();
         assert_eq!(a.macs, mm.macs());
         assert!(a.utilization > 0.0 && a.utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn dedup_preserves_winner_and_skips_repeats() {
+        // A small leftover space with many iterations guarantees repeat
+        // draws; the deduplicated search must keep the baseline's winner
+        // bit-identical while skipping analyses.
+        let small = Layer::conv2d("s", 1, 8, 4, 4, 4, 3, 3);
+        let cfg = SearchConfig {
+            iterations: 400,
+            seed: 21,
+        };
+        let cost = |a: &LayerAnalysis| a.level(0).total_accesses();
+        let naive = random_search_baseline(&arch(), &small, cfg, cost).unwrap();
+        let deduped = random_search(&arch(), &small, cfg, cost).unwrap();
+        assert_eq!(naive.mapping, deduped.mapping);
+        assert_eq!(naive.cost.to_bits(), deduped.cost.to_bits());
+        assert!(deduped.deduped > 0, "expected repeat draws to be skipped");
+        assert!(deduped.evaluated < naive.evaluated);
+        assert_eq!(deduped.skipped(), deduped.deduped + deduped.pruned);
+        assert_eq!(naive.deduped, 0);
+        assert_eq!(naive.pruned, 0);
+    }
+
+    #[test]
+    fn pruned_search_matches_unpruned_winner() {
+        // Cost = total outermost-level accesses; the outer *read* traffic
+        // of the read tensors is an exact subset of it, computable from
+        // the mapping alone — a sound, candidate-varying lower bound.
+        let a = arch();
+        let l = layer();
+        let cfg = SearchConfig {
+            iterations: 300,
+            seed: 9,
+        };
+        let cost = |x: &LayerAnalysis| x.level(0).total_accesses();
+        let plain = random_search(&a, &l, cfg, cost).unwrap();
+        let pruned = random_search_pruned(
+            &a,
+            &l,
+            cfg,
+            |m: &Mapping| {
+                outer_read_traffic(&a, &l, m)
+                    .iter()
+                    .filter(|(level, _, _)| *level == 0)
+                    .map(|(_, _, reads)| reads)
+                    .sum()
+            },
+            cost,
+        )
+        .unwrap();
+        assert_eq!(plain.mapping, pruned.mapping);
+        assert_eq!(plain.cost.to_bits(), pruned.cost.to_bits());
+        assert!(pruned.pruned > 0, "outer-read bound should prune losers");
+        assert!(pruned.evaluated < plain.evaluated);
+    }
+
+    #[test]
+    fn outer_read_traffic_matches_full_analysis() {
+        // The fast bound must reproduce the analyzer's outer-keeper read
+        // entries bit-for-bit on legal mappings.
+        let a = arch();
+        let l = layer();
+        let cfg = SearchConfig {
+            iterations: 50,
+            seed: 13,
+        };
+        let r =
+            random_search(&a, &l, cfg, |x: &LayerAnalysis| x.level(0).total_accesses()).unwrap();
+        let full = analyze(&a, &l, &r.mapping).unwrap();
+        for (level, tensor, reads) in outer_read_traffic(&a, &l, &r.mapping) {
+            assert_eq!(
+                reads.to_bits(),
+                full.level(level).reads[tensor].to_bits(),
+                "{tensor:?} at level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_base_memo_replays_identical_bases() {
+        let a = arch();
+        let mut memo = SpatialBaseMemo::new();
+        assert!(memo.is_empty());
+        let direct = greedy_spatial(&a, &layer(), spatial_priority_for(&layer()));
+        let first = memo.base(&a, &layer());
+        // Same shape, different name: replayed from the memo.
+        let twin = Layer::conv2d("renamed", 1, 16, 8, 8, 8, 3, 3);
+        let second = memo.base(&a, &twin);
+        assert_eq!(first, direct);
+        assert_eq!(second, direct);
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.len(), 1);
+        // And the memoized search agrees with the plain one.
+        let cfg = SearchConfig {
+            iterations: 60,
+            seed: 5,
+        };
+        let cost = |x: &LayerAnalysis| x.level(0).total_accesses();
+        let plain = random_search(&a, &layer(), cfg, cost).unwrap();
+        let memoized = random_search_with_memo(&a, &twin, cfg, &mut memo, cost).unwrap();
+        assert_eq!(plain.mapping, memoized.mapping);
+        assert_eq!(plain.cost.to_bits(), memoized.cost.to_bits());
+    }
+
+    #[test]
+    fn exhaustive_search_dedupes_redundant_homes() {
+        // A layer with several fully-packed (no-leftover) dims: the level
+        // choice for those dims is irrelevant, so most combos repeat.
+        let small = Layer::conv2d("s", 1, 8, 4, 4, 4, 3, 3);
+        let cost = |a: &LayerAnalysis| a.level(0).total_accesses();
+        let ex = exhaustive_search(&arch(), &small, cost).unwrap();
+        assert!(ex.deduped > 0);
+        assert!(ex.evaluated > 0);
     }
 
     #[test]

@@ -344,7 +344,29 @@ fn l0301_address_fingerprinted_strategy() {
 
 #[test]
 fn l0302_zero_iteration_search() {
-    assert_fires_only(&strategy_report(&search_facts(0)), "L0302", Severity::Error);
+    // The only fixture that legitimately fires two codes: the L0302
+    // error on the cause plus the L0405 warning on the symptom.
+    let report = strategy_report(&search_facts(0));
+    assert_eq!(report.diagnostics().len(), 2, "{report}");
+    assert!(
+        report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "L0302" && d.severity == Severity::Error),
+        "{report}"
+    );
+    assert!(
+        report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "L0405" && d.severity == Severity::Warn),
+        "{report}"
+    );
+}
+
+#[test]
+fn l0405_stays_quiet_for_positive_iterations() {
+    assert!(strategy_report(&search_facts(1)).is_empty());
 }
 
 #[test]
@@ -517,7 +539,7 @@ fn json_rendering_matches_golden() {
         .with_serving(&serving);
     let report = run(&target);
     assert_eq!(report.errors(), 2, "{report}");
-    assert_eq!(report.warnings(), 2, "{report}");
+    assert_eq!(report.warnings(), 3, "{report}");
     assert_golden("lint_check.json", &report.render_json());
 }
 

@@ -1,0 +1,216 @@
+//! Cross-process guarantees of the persistent evaluation cache: a
+//! session warm-started from a disk snapshot reproduces the cold
+//! session **bit for bit** without re-running any mapping search, and
+//! every way a snapshot file can be damaged degrades silently to a cold
+//! start.
+//!
+//! These tests simulate "another process" the honest way: a fresh
+//! `EvalCache::persistent_in` over the same directory, which re-reads
+//! the snapshot from disk exactly as a new CLI invocation with
+//! `--cache-dir` would.
+
+use lumen::albireo::{AlbireoConfig, ScalingProfile};
+use lumen::core::{
+    inspect_cache_dir, EvalCache, EvalSession, MappingStrategy, NetworkOptions, System,
+};
+use lumen::mapper::search::SearchConfig;
+use lumen::workload::{networks, Layer};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A unique scratch directory per call, so parallel tests (and proptest
+/// cases) never share snapshots.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "lumen-persist-test-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn strategies() -> Vec<(&'static str, MappingStrategy)> {
+    vec![
+        ("greedy", MappingStrategy::default()),
+        (
+            "random-search",
+            MappingStrategy::RandomSearch(SearchConfig {
+                iterations: 60,
+                seed: 0xC0FFEE,
+            }),
+        ),
+    ]
+}
+
+fn albireo_system(strategy: MappingStrategy) -> System {
+    System::new(
+        AlbireoConfig::new(ScalingProfile::Aggressive).build_arch(),
+        strategy,
+    )
+}
+
+/// The headline property: for both mapping-strategy families, a session
+/// warm-started from disk reproduces the cold session's evaluation of a
+/// transformer network bit for bit — per-layer mappings, analyses and
+/// energy items included — while answering every lookup from the
+/// snapshot.
+#[test]
+fn disk_warm_session_is_bit_identical_to_cold() {
+    let net = networks::bert_base();
+    let options = NetworkOptions::baseline();
+    for (name, strategy) in strategies() {
+        let dir = scratch_dir(name);
+
+        let cache = EvalCache::persistent_in(&dir);
+        let cold_session =
+            EvalSession::new(albireo_system(strategy.clone())).with_cache(Arc::clone(&cache));
+        let cold = cold_session
+            .evaluate_network(&net, &options)
+            .expect("cold evaluation maps");
+        assert!(
+            cold_session.cache_stats().misses > 0,
+            "{name}: cold run searched"
+        );
+        cache.save().expect("snapshot writes");
+        drop(cold_session);
+        drop(cache);
+
+        let cache = EvalCache::persistent_in(&dir);
+        assert!(!cache.is_empty(), "{name}: snapshot warm-started the cache");
+        let warm_session =
+            EvalSession::new(albireo_system(strategy.clone())).with_cache(Arc::clone(&cache));
+        let warm = warm_session
+            .evaluate_network(&net, &options)
+            .expect("warm evaluation maps");
+        assert_eq!(
+            warm_session.cache_stats().misses,
+            0,
+            "{name}: warm-from-disk run re-ran a search"
+        );
+
+        assert_eq!(
+            cold.energy.total().picojoules().to_bits(),
+            warm.energy.total().picojoules().to_bits(),
+            "{name}: total energy drifted"
+        );
+        assert_eq!(cold.cycles.to_bits(), warm.cycles.to_bits(), "{name}");
+        for (c, w) in cold.per_layer.iter().zip(&warm.per_layer) {
+            assert_eq!(c.layer_name, w.layer_name, "{name}");
+            assert_eq!(
+                c.mapping, w.mapping,
+                "{name}: {} mapping drifted",
+                c.layer_name
+            );
+            assert_eq!(
+                c.analysis, w.analysis,
+                "{name}: {} analysis drifted",
+                c.layer_name
+            );
+            assert_eq!(
+                c.energy, w.energy,
+                "{name}: {} energy drifted",
+                c.layer_name
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Every damaged-snapshot shape — truncation at every byte boundary, a
+/// flipped payload byte, plain garbage — cold-starts silently: the
+/// session still evaluates, it just searches again.
+#[test]
+fn damaged_snapshots_degrade_to_cold_without_panicking() {
+    let layer = Layer::conv2d("probe", 1, 16, 8, 8, 8, 3, 3);
+    let dir = scratch_dir("damage");
+
+    // Produce one valid snapshot to mutilate.
+    let cache = EvalCache::persistent_in(&dir);
+    EvalSession::new(albireo_system(MappingStrategy::default()))
+        .with_cache(Arc::clone(&cache))
+        .evaluate_layer(&layer)
+        .expect("probe maps");
+    cache.save().expect("snapshot writes");
+    drop(cache);
+    let info = inspect_cache_dir(&dir).expect("valid snapshot");
+    assert_eq!(info.entries, 1);
+    let snapshot = std::fs::read(&info.path).expect("snapshot readable");
+
+    let mut variants: Vec<Vec<u8>> = Vec::new();
+    for len in 0..snapshot.len() {
+        variants.push(snapshot[..len].to_vec());
+    }
+    for i in 0..snapshot.len() {
+        let mut flipped = snapshot.clone();
+        flipped[i] ^= 0x40;
+        variants.push(flipped);
+    }
+    variants.push(b"not a snapshot".to_vec());
+
+    for (i, bytes) in variants.iter().enumerate() {
+        std::fs::write(&info.path, bytes).expect("write damaged snapshot");
+        let cache = EvalCache::persistent_in(&dir);
+        assert!(
+            cache.is_empty(),
+            "damaged variant {i} ({} bytes) must cold-start",
+            bytes.len()
+        );
+        let session = EvalSession::new(albireo_system(MappingStrategy::default()))
+            .with_cache(Arc::clone(&cache));
+        session
+            .evaluate_layer(&layer)
+            .expect("cold path still maps");
+        assert_eq!(session.cache_stats().misses, 1);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The round trip holds for arbitrary layer shapes, not just the
+    /// bundled networks: evaluate → save → reload-from-disk → evaluate
+    /// is a bit-identical warm hit for conv and GEMM layers alike.
+    #[test]
+    fn arbitrary_layers_round_trip_through_the_snapshot(
+        m in 1usize..64,
+        c in 1usize..64,
+        pq in 1usize..16,
+        rs in 1usize..=3,
+        gemm in 0usize..2,
+    ) {
+        let layer = if gemm == 1 {
+            Layer::matmul("probe", 1, m, c, pq)
+        } else {
+            Layer::conv2d("probe", 1, m, c, pq, pq, rs, rs)
+        };
+        let dir = scratch_dir("prop");
+
+        let cache = EvalCache::persistent_in(&dir);
+        let cold_session = EvalSession::new(albireo_system(MappingStrategy::default()))
+            .with_cache(Arc::clone(&cache));
+        let cold = cold_session.evaluate_layer(&layer).expect("cold maps");
+        cache.save().expect("snapshot writes");
+        drop(cold_session);
+        drop(cache);
+
+        let cache = EvalCache::persistent_in(&dir);
+        let warm_session = EvalSession::new(albireo_system(MappingStrategy::default()))
+            .with_cache(Arc::clone(&cache));
+        let warm = warm_session.evaluate_layer(&layer).expect("warm maps");
+        prop_assert_eq!(warm_session.cache_stats().misses, 0);
+        prop_assert_eq!(warm_session.cache_stats().hits, 1);
+        prop_assert_eq!(&cold.mapping, &warm.mapping);
+        prop_assert_eq!(&cold.analysis, &warm.analysis);
+        prop_assert_eq!(&cold.energy, &warm.energy);
+        prop_assert_eq!(
+            cold.energy.total().picojoules().to_bits(),
+            warm.energy.total().picojoules().to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
