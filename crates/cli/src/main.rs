@@ -150,6 +150,7 @@ fn print_help() {
     println!("  serving     continuous batching of mixed-length traffic [--scaling <corner>]");
     println!("              [--arrival closed-loop|poisson[:rate]|bursty|diurnal]");
     println!("              [--policy fifo|shortest-prompt|slo]   (open-loop SLO study)");
+    println!("              [--kv-page N [--shared-prefix L]]     (paged KV residency study)");
     println!("  components  print the component library report");
     println!("  cache       inspect the persistent eval cache [--clear] (needs --cache-dir)");
     println!("  check       static pre-flight lint of architectures x workloads x strategies");
@@ -318,6 +319,26 @@ fn serving_cmd(args: &[String]) -> Result<(), String> {
     let scaling = parse_scaling(args)?;
     let arrival_flag = option_value(args, "--arrival");
     let policy_flag = option_value(args, "--policy");
+    let page_flag = option_value(args, "--kv-page");
+    let shared_flag = option_value(args, "--shared-prefix");
+    if page_flag.is_none() && shared_flag.is_some() {
+        return Err("--shared-prefix needs --kv-page (prefix pages only exist when paged)".into());
+    }
+    if page_flag.is_some() && (arrival_flag.is_some() || policy_flag.is_some()) {
+        return Err("--kv-page runs the closed-loop paged study; drop --arrival/--policy".into());
+    }
+    if let Some(raw) = page_flag {
+        let page: usize = raw
+            .parse()
+            .map_err(|_| format!("--kv-page expects a token count, got `{raw}`"))?;
+        let shared: usize = match shared_flag {
+            None => 0,
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--shared-prefix expects a token count, got `{raw}`"))?,
+        };
+        return paged_serving_cmd(scaling, page, shared);
+    }
     if arrival_flag.is_none() && policy_flag.is_none() {
         // Legacy closed-loop study: capacity sweep over the three mixes.
         let result = experiments::serving_study(scaling).map_err(|e| e.to_string())?;
@@ -336,6 +357,7 @@ fn serving_cmd(args: &[String]) -> Result<(), String> {
         mix: &mix,
         capacity: experiments::SLO_CAPACITY,
         kv_bucket: experiments::SERVING_KV_BUCKET,
+        kv_page: None,
         arrival: Some(&arrival),
         max_context: lumen_workload::ServingModel::gpt2_small().max_context(),
     };
@@ -352,6 +374,42 @@ fn serving_cmd(args: &[String]) -> Result<(), String> {
 
     let result = experiments::serving_scenario_study(scaling, &[(arrival, policy)])
         .map_err(|e| e.to_string())?;
+    println!("{result}");
+    Ok(())
+}
+
+/// `lumen serving --kv-page N [--shared-prefix L]`: the paged KV study
+/// — bucket padding vs exact per-page residency vs prefix sharing —
+/// lint-gated the same way as the SLO path (L0406/L0407 inspect the
+/// page itself).
+fn paged_serving_cmd(scaling: ScalingProfile, page: usize, shared: usize) -> Result<(), String> {
+    use lumen_lint::{LintRegistry, LintTarget, ServingSpec};
+    let mix = experiments::slo_mix();
+    let spec = ServingSpec {
+        mix: &mix,
+        capacity: experiments::SLO_CAPACITY,
+        kv_bucket: experiments::SERVING_KV_BUCKET,
+        kv_page: Some(page),
+        arrival: None,
+        max_context: lumen_workload::ServingModel::gpt2_small().max_context(),
+    };
+    let report = LintRegistry::with_default_lints().run(&LintTarget::new().with_serving(&spec));
+    if !report.is_empty() {
+        print!("{}", report.render_text());
+    }
+    if !report.is_clean() {
+        return Err(format!(
+            "serving pre-flight found {} error(s)",
+            report.errors()
+        ));
+    }
+    // The typed constructor owns shared-prefix validation; surface its
+    // error instead of panicking through the study's infallible path.
+    mix.try_with_shared_prefix(shared)
+        .map_err(|e| e.to_string())?;
+
+    let result =
+        experiments::paged_serving_study_with(scaling, page, shared).map_err(|e| e.to_string())?;
     println!("{result}");
     Ok(())
 }

@@ -286,12 +286,21 @@ impl EvalCache {
 }
 
 impl Drop for EvalCache {
-    /// Persistent caches flush themselves when the last `Arc` drops;
-    /// save errors at this point have no caller to report to and are
-    /// ignored (the next cold run simply re-pays the searches).
+    /// Persistent caches flush themselves when the last `Arc` drops.
+    /// Save errors at this point have no caller to return to, but they
+    /// must not vanish either — a full disk or revoked permission would
+    /// otherwise silently cost every future run its warm start — so the
+    /// failure is reported once on stderr and the drop continues (the
+    /// next cold run simply re-pays the searches).
     fn drop(&mut self) {
         if self.persist_path.is_some() && self.dirty.load(Ordering::Relaxed) {
-            let _ = self.save();
+            if let Err(e) = self.save() {
+                let path = self
+                    .persist_path
+                    .as_deref()
+                    .map_or_else(String::new, |p| p.display().to_string());
+                eprintln!("warning: failed to save the eval-cache snapshot to {path}: {e}");
+            }
         }
     }
 }

@@ -389,6 +389,12 @@ impl System {
 /// extra term: the cache is never reused across steps, so the weight
 /// traffic of each step's own evaluation already re-reads it in full.
 ///
+/// A step that privatises a shared cache page before appending — the
+/// copy-on-write of a shared prompt prefix's trailing partial page
+/// ([`Layer::with_kv_cow`]) — additionally pays one read (the shared
+/// source page) and one write (the private copy) per copied element, at
+/// the same home.
+///
 /// Nothing is charged for ordinary layers (`kv_append_elements() == 0`),
 /// so every pre-existing evaluation is bit-identical to before.
 ///
@@ -398,7 +404,8 @@ impl System {
 /// debug assertion rather than passing silently.
 fn add_kv_append_energy(arch: &Architecture, layer: &Layer, breakdown: &mut EnergyBreakdown) {
     let appended = layer.kv_append_elements();
-    if appended == 0 {
+    let copied = layer.kv_cow_elements();
+    if appended == 0 && copied == 0 {
         return;
     }
     let Some(home) = arch
@@ -418,7 +425,7 @@ fn add_kv_append_energy(arch: &Architecture, layer: &Layer, breakdown: &mut Ener
         home.name().to_string(),
         CostCategory::Storage,
         Some(TensorKind::Weight),
-        home.write_energy() * appended as f64,
+        home.write_energy() * (appended + copied) as f64 + home.read_energy() * copied as f64,
     );
 }
 

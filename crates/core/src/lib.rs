@@ -81,6 +81,7 @@ pub use evaluator::{
 };
 pub use network::{FusionConfig, NetworkEvaluation, NetworkOptions};
 pub use serving::{
-    serving_sweep, serving_trace, Percentiles, RequestLatency, ServingEvaluation, ServingStepPoint,
+    serving_sweep, serving_trace, serving_trace_with, Percentiles, RequestLatency,
+    ServingEvaluation, ServingStepPoint,
 };
 pub use sweep::SweepRunner;

@@ -43,7 +43,9 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"LUMENEC1";
 /// Bump on any change to the entry encoding; old files then read as cold.
-pub(crate) const SNAPSHOT_VERSION: u32 = 1;
+/// v2: `LayerSignature::ENCODED_WORDS` grew 16 -> 17 (the KV
+/// copy-on-write count).
+pub(crate) const SNAPSHOT_VERSION: u32 = 2;
 
 /// One persisted cache entry: the full key plus the successful value.
 /// (Failures are never persisted — a failed search re-pays cold.)

@@ -61,9 +61,9 @@
 //! assert!(result.pj_per_token() > 0.0);
 //! ```
 
-use crate::{EvalSession, NetworkOptions, SystemError};
+use crate::{EvalSession, NetworkEvaluation, NetworkOptions, SystemError};
 use lumen_units::{Energy, Frequency};
-use lumen_workload::serving::{BatchSchedule, ServingModel, ServingSchedule};
+use lumen_workload::serving::{BatchSchedule, KvLayout, ServingModel, ServingSchedule};
 
 /// One scheduler step of a serving sweep, reduced to scalars so a long
 /// trace stays cheap to hold.
@@ -78,6 +78,10 @@ pub struct ServingStepPoint {
     pub prefill_tokens: usize,
     /// True MACs of the step's lowered network (padded accounting).
     pub macs: u64,
+    /// Element accesses (reads + writes + conversions) at the
+    /// outermost architecture level — the backing store's traffic, the
+    /// quantity bucket padding inflates and paged residency trims.
+    pub backing_accesses: f64,
     /// Total energy of the step.
     pub energy: Energy,
     /// Total cycles of the step.
@@ -102,19 +106,26 @@ pub struct Percentiles {
 
 impl Percentiles {
     /// Nearest-rank percentiles of `samples` (order irrelevant).
+    ///
+    /// Textbook nearest rank, computed in integers: the P-th percentile
+    /// of `n` sorted samples is the one at rank `ceil(P·n/100)`
+    /// (1-based). The previous float formulation (`(q * n).ceil()`)
+    /// drifted off by one whenever `q·n` landed an ulp above an integer
+    /// — `0.95 × 20 = 19.000000000000004` rounded up to rank 20 —
+    /// which exact-value tests now pin.
     pub fn from_samples(mut samples: Vec<f64>) -> Percentiles {
         samples.sort_by(f64::total_cmp);
-        let rank = |q: f64| -> f64 {
+        let rank = |percent: usize| -> f64 {
             if samples.is_empty() {
                 return 0.0;
             }
-            let idx = (q * samples.len() as f64).ceil() as usize;
-            samples[idx.clamp(1, samples.len()) - 1]
+            let rank = (percent * samples.len()).div_ceil(100).max(1);
+            samples[rank - 1]
         };
         Percentiles {
-            p50: rank(0.50),
-            p95: rank(0.95),
-            p99: rank(0.99),
+            p50: rank(50),
+            p95: rank(95),
+            p99: rank(99),
         }
     }
 }
@@ -164,7 +175,9 @@ impl RequestLatency {
 pub struct ServingEvaluation {
     /// Decode slots of the schedule the sweep evaluated.
     pub capacity: usize,
-    /// The KV bucket the steps were lowered with.
+    /// The KV rounding quantum the steps were lowered with: the bucket
+    /// for [`serving_sweep`]/[`serving_trace`], the page for a
+    /// [`serving_trace_with`] under [`KvLayout::Paged`].
     pub kv_bucket: usize,
     /// One point per scheduler step, execution order.
     pub points: Vec<ServingStepPoint>,
@@ -200,6 +213,13 @@ impl ServingEvaluation {
     /// Prompt tokens prefilled over the whole trace.
     pub fn total_prefill_tokens(&self) -> u64 {
         self.points.iter().map(|p| p.prefill_tokens as u64).sum()
+    }
+
+    /// Element accesses at the outermost (backing-store) architecture
+    /// level over the whole trace — the DRAM-traffic axis of the
+    /// bucketed-vs-paged comparison.
+    pub fn total_backing_accesses(&self) -> f64 {
+        self.points.iter().map(|p| p.backing_accesses).sum()
     }
 
     /// Aggregate serving throughput in generated tokens per second:
@@ -349,6 +369,18 @@ fn request_latencies(
     records
 }
 
+/// Element accesses at the outermost architecture level of one
+/// evaluated step network: the backing store's read+write+conversion
+/// traffic, summed over the step's layers. (`LayerAnalysis::levels` is
+/// outermost-first, so index 0 is the DRAM-like level.)
+fn step_backing_accesses(eval: &NetworkEvaluation) -> f64 {
+    eval.per_layer
+        .iter()
+        .filter_map(|l| l.analysis.levels.first())
+        .map(lumen_mapper::LevelTraffic::total_accesses)
+        .sum()
+}
+
 /// Evaluates every step of `schedule` — lowered by `model` at
 /// `kv_bucket` — through `session`, in execution order against the
 /// session's shared cache.
@@ -383,6 +415,7 @@ pub fn serving_sweep(
                 occupancy: state.occupancy(),
                 prefill_tokens: 0,
                 macs: eval.macs,
+                backing_accesses: step_backing_accesses(&eval),
                 energy: eval.energy.total(),
                 cycles: eval.cycles,
                 utilization: eval.average_utilization(),
@@ -433,18 +466,50 @@ pub fn serving_trace(
     kv_bucket: usize,
     options: &NetworkOptions,
 ) -> Result<ServingEvaluation, SystemError> {
+    serving_trace_with(
+        session,
+        model,
+        schedule,
+        &KvLayout::Bucketed { bucket: kv_bucket },
+        options,
+    )
+}
+
+/// [`serving_trace`] under an explicit KV residency [`KvLayout`]:
+/// [`KvLayout::Bucketed`] reproduces `serving_trace` exactly, while
+/// [`KvLayout::Paged`] lowers every step through
+/// [`ServingModel::lower_serving_step_with`] — attend lengths padded to
+/// the page instead of the bucket, shared-prefix copy-on-write charged
+/// on each sharer's first private chunk. Because a page divides the
+/// usual bucket, the paged trace's backing-store traffic
+/// ([`ServingEvaluation::total_backing_accesses`]) is bounded above by
+/// the bucketed trace's — the delta is the padding waste the page
+/// table eliminates.
+///
+/// # Errors
+///
+/// [`SystemError::NoMapping`] for the first step (in execution order)
+/// with an unmappable layer.
+pub fn serving_trace_with(
+    session: &EvalSession,
+    model: &ServingModel,
+    schedule: &ServingSchedule,
+    layout: &KvLayout,
+    options: &NetworkOptions,
+) -> Result<ServingEvaluation, SystemError> {
     let points = schedule
         .steps()
         .iter()
         .enumerate()
         .map(|(step, state)| {
-            let net = model.lower_serving_step(state, kv_bucket);
+            let net = model.lower_serving_step_with(state, layout);
             let eval = session.evaluate_network(&net, options)?;
             Ok(ServingStepPoint {
                 step,
                 occupancy: state.decode().len(),
                 prefill_tokens: state.prefill_tokens(),
                 macs: eval.macs,
+                backing_accesses: step_backing_accesses(&eval),
                 energy: eval.energy.total(),
                 cycles: eval.cycles,
                 utilization: eval.average_utilization(),
@@ -464,7 +529,7 @@ pub fn serving_trace(
     let requests = request_latencies(Some(schedule.arrivals()), &members, &cycles);
     Ok(ServingEvaluation {
         capacity: schedule.capacity(),
-        kv_bucket,
+        kv_bucket: layout.quantum(),
         points,
         requests,
     })
@@ -557,6 +622,7 @@ mod tests {
                 occupancy: 0,
                 prefill_tokens: 0,
                 macs: 0,
+                backing_accesses: 0.0,
                 energy: Energy::ZERO,
                 cycles: 0.0,
                 utilization: 0.0,
@@ -579,6 +645,129 @@ mod tests {
         let two = Percentiles::from_samples(vec![3.0, 1.0]);
         assert_eq!(two.p50, 1.0);
         assert_eq!(two.p99, 3.0);
+    }
+
+    #[test]
+    fn percentiles_match_the_textbook_ranks_exactly() {
+        // n = 20 is the float-drift regression: 0.95 × 20 =
+        // 19.000000000000004, whose ceil() is 20 — one rank too high.
+        // Textbook nearest rank: ceil(95·20/100) = 19.
+        let p = Percentiles::from_samples((1..=20).map(f64::from).collect());
+        assert_eq!((p.p50, p.p95, p.p99), (10.0, 19.0, 20.0));
+        // Same drift class at n = 40: ceil(0.95·40) must be 38, and
+        // p50 of an even count is the lower of the middle pair.
+        let p = Percentiles::from_samples((1..=40).map(f64::from).collect());
+        assert_eq!((p.p50, p.p95, p.p99), (20.0, 38.0, 40.0));
+        // Two samples: rank(50) = ceil(100/100) = 1, rank(95) =
+        // ceil(190/100) = 2.
+        let p = Percentiles::from_samples(vec![1.0, 3.0]);
+        assert_eq!((p.p50, p.p95, p.p99), (1.0, 3.0, 3.0));
+        // Three samples: p50 is the true median.
+        let p = Percentiles::from_samples(vec![5.0, 1.0, 3.0]);
+        assert_eq!((p.p50, p.p95, p.p99), (3.0, 5.0, 5.0));
+        // Unsorted input and an exact-boundary count (n = 200, all
+        // ranks integral before rounding).
+        let mut v: Vec<f64> = (1..=200).map(f64::from).collect();
+        v.reverse();
+        let p = Percentiles::from_samples(v);
+        assert_eq!((p.p50, p.p95, p.p99), (100.0, 190.0, 198.0));
+    }
+
+    #[test]
+    fn paged_layout_trims_backing_traffic_and_macs() {
+        use lumen_workload::serving::{PageTable, PrefillMode, ServingConfig};
+
+        let model = ServingModel::gpt2_small();
+        let mix = RequestMix::uniform(2, 100, 6);
+        let config =
+            ServingConfig::new(2).with_prefill(PrefillMode::OnAdmission { chunk: Some(64) });
+        let schedule = ServingSchedule::build(&mix, &config);
+        let options = NetworkOptions::baseline();
+
+        let bucketed = serving_trace(&session(), &model, &schedule, 256, &options).unwrap();
+        assert!(bucketed.total_backing_accesses() > 0.0);
+        let paged = serving_trace_with(
+            &session(),
+            &model,
+            &schedule,
+            &KvLayout::Paged(PageTable::new(16)),
+            &options,
+        )
+        .unwrap();
+        assert_eq!(paged.kv_bucket, 16);
+        // Page 16 divides bucket 256: every paged attend length is ≤
+        // its bucketed counterpart, so MACs and backing traffic are
+        // bounded by the bucketed trace's.
+        assert!(paged.total_macs() <= bucketed.total_macs());
+        assert!(paged.total_backing_accesses() <= bucketed.total_backing_accesses());
+        assert!(
+            paged.total_backing_accesses() < bucketed.total_backing_accesses(),
+            "kv 100..106 pads to 256 under the bucket but to ≤112 under page 16"
+        );
+        // Same schedule, same tokens — only the residency accounting
+        // moved.
+        assert_eq!(paged.total_tokens(), bucketed.total_tokens());
+        assert_eq!(
+            paged.total_prefill_tokens(),
+            bucketed.total_prefill_tokens()
+        );
+
+        // A bucketed trace through the explicit-layout entry point is
+        // the legacy path exactly.
+        let via_layout = serving_trace_with(
+            &session(),
+            &model,
+            &schedule,
+            &KvLayout::Bucketed { bucket: 256 },
+            &options,
+        )
+        .unwrap();
+        assert_eq!(via_layout.total_macs(), bucketed.total_macs());
+        assert_eq!(
+            via_layout.total_backing_accesses(),
+            bucketed.total_backing_accesses()
+        );
+    }
+
+    #[test]
+    fn shared_prefix_saves_prefill_work_and_charges_cow() {
+        use lumen_workload::serving::{PageTable, PrefillMode, ServingConfig};
+
+        let model = ServingModel::gpt2_small();
+        let config =
+            ServingConfig::new(4).with_prefill(PrefillMode::OnAdmission { chunk: Some(64) });
+        let options = NetworkOptions::baseline();
+        // 42 is deliberately page-misaligned at page 16: 32 full shared
+        // tokens + a 10-token tail each sharer copies.
+        let table = PageTable::new(16).with_shared_prefix(42);
+        let plain_mix = RequestMix::uniform(4, 128, 4);
+        let shared_mix = RequestMix::uniform(4, 128, 4).with_shared_prefix(42);
+
+        let plain = serving_trace_with(
+            &session(),
+            &model,
+            &ServingSchedule::build(&plain_mix, &config),
+            &KvLayout::Paged(PageTable::new(16)),
+            &options,
+        )
+        .unwrap();
+        let shared = serving_trace_with(
+            &session(),
+            &model,
+            &ServingSchedule::build(&shared_mix, &config),
+            &KvLayout::Paged(table),
+            &options,
+        )
+        .unwrap();
+        // Three sharers skip 42 prompt tokens each.
+        assert_eq!(
+            plain.total_prefill_tokens() - shared.total_prefill_tokens(),
+            3 * 42
+        );
+        assert!(shared.total_macs() < plain.total_macs());
+        assert!(shared.total_energy() < plain.total_energy());
+        // Decode output is untouched.
+        assert_eq!(shared.total_tokens(), plain.total_tokens());
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub fn default_lints() -> Vec<Box<dyn Lint>> {
         Box::new(serving::OfferedLoadExceedsCapacity),
         Box::new(serving::PromptExceedsContext),
         Box::new(mapper::SilentSearchFailure),
+        Box::new(serving::PageTileMismatch),
+        Box::new(serving::FragmentationHeavyPage),
     ]
 }
 

@@ -140,6 +140,112 @@ impl Lint for OfferedLoadExceedsCapacity {
     }
 }
 
+/// `L0406`: the KV page does not tile the hardware bucket.
+///
+/// Paged-vs-bucketed comparisons lean on the soundness bound *bucketed
+/// ≥ paged*, which only holds when the page divides the bucket (every
+/// bucketed attend length is then a whole number of pages). A zero
+/// page is an outright error — `PageTable::new` panics on it.
+pub struct PageTileMismatch;
+
+impl Lint for PageTileMismatch {
+    fn code(&self) -> &'static str {
+        "L0406"
+    }
+
+    fn summary(&self) -> &'static str {
+        "the KV page must be positive and divide the KV bucket"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(serving) = target.serving else {
+            return;
+        };
+        let Some(page) = serving.kv_page else {
+            return;
+        };
+        let path = format!("serving/{}", serving.mix.name());
+        if page == 0 {
+            out.push(Diagnostic::new(
+                self.code(),
+                Severity::Error,
+                path,
+                "KV page is 0; a page must cover at least one token".to_string(),
+                "use a positive page (a small power of two, e.g. 16)",
+            ));
+            return;
+        }
+        if serving.kv_bucket > 0 && !serving.kv_bucket.is_multiple_of(page) {
+            out.push(Diagnostic::new(
+                self.code(),
+                Severity::Warn,
+                path,
+                format!(
+                    "KV page {page} does not divide the hardware bucket {}; bucketed \
+                     accounting is no longer an upper bound on paged residency",
+                    serving.kv_bucket
+                ),
+                "pick a page that tiles the bucket (bucket % page == 0)",
+            ));
+        }
+    }
+}
+
+/// `L0407`: the KV page is so coarse the study mostly measures
+/// fragmentation.
+///
+/// Each active request wastes up to `page − 1` allocated-but-unused
+/// tokens (its last, partially-filled page). When the page is a large
+/// fraction of the mix's mean sequence length that waste dominates the
+/// residency the paged study was meant to trim, and the configuration
+/// behaves like the bucket padding it is supposed to replace.
+pub struct FragmentationHeavyPage;
+
+impl Lint for FragmentationHeavyPage {
+    fn code(&self) -> &'static str {
+        "L0407"
+    }
+
+    fn summary(&self) -> &'static str {
+        "the KV page should be small relative to the mix's mean sequence"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(serving) = target.serving else {
+            return;
+        };
+        let Some(page) = serving.kv_page else {
+            return;
+        };
+        if page == 0 || serving.mix.is_empty() {
+            return;
+        }
+        let total: u64 = serving
+            .mix
+            .requests()
+            .iter()
+            .map(|r| (r.prompt + r.output) as u64)
+            .sum();
+        let mean_seq = total as f64 / serving.mix.len() as f64;
+        // Worst-case per-request waste approaches one page; flag pages
+        // above a quarter of the mean sequence, where that waste is a
+        // double-digit share of the average request's whole residency.
+        if page as f64 > mean_seq / 4.0 {
+            out.push(Diagnostic::new(
+                self.code(),
+                Severity::Warn,
+                format!("serving/{}", serving.mix.name()),
+                format!(
+                    "KV page {page} exceeds a quarter of the mix's mean sequence \
+                     ({mean_seq:.0} tokens); up to one page per request sits allocated \
+                     but unused, so the study mostly measures fragmentation"
+                ),
+                "shrink the page (or grow the sequences) until page <= mean/4",
+            ));
+        }
+    }
+}
+
 /// `L0404`: a request does not fit the model's context window.
 ///
 /// A request whose prompt plus output exceeds the declared context

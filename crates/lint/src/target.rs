@@ -38,6 +38,9 @@ pub struct ServingSpec<'a> {
     pub capacity: usize,
     /// KV attend-length rounding quantum (elements).
     pub kv_bucket: usize,
+    /// Tokens per KV page when the study runs paged residency; `None`
+    /// for the legacy bucket-padded accounting.
+    pub kv_page: Option<usize>,
     /// The arrival process feeding the scheduler, when open-loop.
     pub arrival: Option<&'a ArrivalProcess>,
     /// The served model's context window (tokens), when declared.

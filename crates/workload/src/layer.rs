@@ -98,6 +98,11 @@ pub struct Layer {
     /// Stationary-operand elements appended to a KV cache per evaluated
     /// step, per batch sample (0 = the operand is not a growing cache).
     kv_append: usize,
+    /// Cache elements copied copy-on-write before this step's append,
+    /// per batch sample: a shared page the sample must privatise before
+    /// writing into it (0 = no copy). Only meaningful alongside
+    /// `kv_append`.
+    kv_cow: usize,
 }
 
 impl Layer {
@@ -274,6 +279,7 @@ impl Layer {
             batch_replicas: 1,
             per_sample_stationary: false,
             kv_append: 0,
+            kv_cow: 0,
         })
     }
 
@@ -443,6 +449,39 @@ impl Layer {
     /// [`Layer::with_kv_cache_residency`].
     pub fn kv_append_per_sample(&self) -> usize {
         self.kv_append
+    }
+
+    /// Marks this step as privatising `copied` shared cache elements per
+    /// batch sample before its append lands (builder style): the
+    /// copy-on-write of a shared prefix's trailing partial page. The
+    /// evaluator charges `copied × batch` extra reads *and* writes of the
+    /// weight tensor at its backing store, on top of the append writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copied` is zero or the layer is not KV-cache resident
+    /// (call [`Layer::with_kv_cache_residency`] first — a copy without an
+    /// append has no modeled trigger).
+    #[must_use]
+    pub fn with_kv_cow(mut self, copied: usize) -> Layer {
+        assert!(copied > 0, "copied elements must be nonzero");
+        assert!(
+            self.kv_append > 0,
+            "copy-on-write applies only to KV-cache-resident layers"
+        );
+        self.kv_cow = copied;
+        self
+    }
+
+    /// Shared cache elements copied copy-on-write by this step, across
+    /// all batch samples (0 for ordinary layers and plain appends).
+    pub fn kv_cow_elements(&self) -> u64 {
+        self.kv_cow as u64 * self.batch_replicas as u64
+    }
+
+    /// Per-sample copy-on-write count, as given to [`Layer::with_kv_cow`].
+    pub fn kv_cow_per_sample(&self) -> usize {
+        self.kv_cow
     }
 
     /// `true` if both strides are 1 (many photonic dataflows require this

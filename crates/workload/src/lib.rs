@@ -58,9 +58,9 @@ pub use dims::{Dim, DimMap, DimSet, Shape};
 pub use layer::{Layer, LayerError, LayerKind};
 pub use network::{Network, NetworkStats};
 pub use serving::{
-    ActiveSlot, AdmissionPolicy, ArrivalProcess, BatchSchedule, PrefillMode, PrefillSlot, Request,
-    RequestMix, ScheduleStep, ServingConfig, ServingError, ServingModel, ServingSchedule,
-    ServingStep,
+    ActiveSlot, AdmissionPolicy, ArrivalProcess, BatchSchedule, KvLayout, PageTable,
+    PagedResidency, PrefillMode, PrefillSlot, Request, RequestMix, ScheduleStep, ServingConfig,
+    ServingError, ServingModel, ServingSchedule, ServingStep, StepResidency,
 };
 pub use signature::{fnv1a, fnv1a_bytes, LayerSignature};
 pub use tensor::{TensorKind, TensorMap, TensorSet};

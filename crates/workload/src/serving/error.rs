@@ -37,6 +37,27 @@ pub enum ServingError {
         /// The peak arrival rate.
         peak: f64,
     },
+    /// A KV page of zero tokens allocates nothing.
+    ZeroKvPage,
+    /// A shared prefix longer than the shortest prompt cannot be a
+    /// prefix of every request.
+    SharedPrefixExceedsPrompt {
+        /// The declared shared-prefix length.
+        shared: usize,
+        /// The shortest prompt in the mix.
+        min_prompt: usize,
+    },
+    /// A request whose prompt alone fills the model's context window can
+    /// never generate a token; the schedule rejects it at admission.
+    ContextOverflow {
+        /// The offending request's index in the mix.
+        request: usize,
+        /// Tokens the request needs before generating anything
+        /// (prompt + 1).
+        needed: usize,
+        /// The model's context window.
+        max_context: usize,
+    },
 }
 
 impl fmt::Display for ServingError {
@@ -70,6 +91,21 @@ impl fmt::Display for ServingError {
                 f,
                 "diurnal trough rate {trough} exceeds the peak rate {peak}"
             ),
+            ServingError::ZeroKvPage => {
+                write!(f, "a KV page must cover at least one token")
+            }
+            ServingError::SharedPrefixExceedsPrompt { shared, min_prompt } => write!(
+                f,
+                "shared prefix of {shared} tokens exceeds the shortest prompt ({min_prompt} tokens)"
+            ),
+            ServingError::ContextOverflow {
+                request,
+                needed,
+                max_context,
+            } => write!(
+                f,
+                "request {request} needs {needed} context tokens but the model caps at {max_context}"
+            ),
         }
     }
 }
@@ -94,6 +130,16 @@ mod tests {
             ServingError::DiurnalRangeInverted {
                 trough: 0.8,
                 peak: 0.2,
+            },
+            ServingError::ZeroKvPage,
+            ServingError::SharedPrefixExceedsPrompt {
+                shared: 96,
+                min_prompt: 64,
+            },
+            ServingError::ContextOverflow {
+                request: 3,
+                needed: 1025,
+                max_context: 1024,
             },
         ];
         for err in cases {

@@ -50,6 +50,7 @@ pub struct ServingConfig {
     arrival: ArrivalProcess,
     policy: AdmissionPolicy,
     prefill: PrefillMode,
+    max_context: Option<usize>,
 }
 
 impl ServingConfig {
@@ -68,6 +69,7 @@ impl ServingConfig {
             arrival: ArrivalProcess::ClosedLoop,
             policy: AdmissionPolicy::Fifo,
             prefill: PrefillMode::OnAdmission { chunk: None },
+            max_context: None,
         })
     }
 
@@ -99,6 +101,23 @@ impl ServingConfig {
         self
     }
 
+    /// Enforces a context window at runtime: a request whose prompt
+    /// alone fills the window is rejected at build time
+    /// ([`ServingError::ContextOverflow`]), and a request whose cache
+    /// would outgrow the window mid-decode retires early at the
+    /// boundary (recorded in [`ServingSchedule::truncated`]). Without
+    /// this, only the static `L0404` lint watches the boundary and the
+    /// event loop happily grows caches past it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_context` is zero.
+    pub fn with_max_context(mut self, max_context: usize) -> ServingConfig {
+        assert!(max_context > 0, "a context window must hold a token");
+        self.max_context = Some(max_context);
+        self
+    }
+
     /// Decode slots.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -118,6 +137,11 @@ impl ServingConfig {
     pub fn prefill(&self) -> PrefillMode {
         self.prefill
     }
+
+    /// The enforced context window, if any.
+    pub fn max_context(&self) -> Option<usize> {
+        self.max_context
+    }
 }
 
 /// One slot prefilling part of its prompt this step.
@@ -125,10 +149,17 @@ impl ServingConfig {
 pub struct PrefillSlot {
     /// Index of the request in its [`RequestMix`].
     pub request: usize,
-    /// Prompt tokens already prefilled before this step.
+    /// Prompt tokens already prefilled before this step (for a request
+    /// sharing a cached prefix, this starts at `shared`, not 0).
     pub cached: usize,
     /// Prompt tokens prefilled by this step (>= 1).
     pub chunk: usize,
+    /// Shared-prefix tokens this request skipped by referencing another
+    /// request's cached pages (0 = this slot prefilled its whole
+    /// prompt, including any prefix it owns). A slot's *first* chunk
+    /// has `cached == shared`; paged lowering charges the prefix's
+    /// partial-page copy-on-write there.
+    pub shared: usize,
 }
 
 /// The active set of one emitted event-core step: slots mid-prefill
@@ -192,6 +223,7 @@ pub struct ServingSchedule {
     capacity: usize,
     steps: Vec<ServingStep>,
     arrivals: Vec<usize>,
+    truncated: Vec<usize>,
 }
 
 impl ServingSchedule {
@@ -201,8 +233,12 @@ impl ServingSchedule {
     ///
     /// [`ServingError::ZeroCapacity`] on a zero-slot config (only
     /// reachable through a deserialized/hand-rolled config — the
-    /// constructor already rejects it) and
-    /// [`ServingError::ZeroPrefillChunk`] on a zero prefill chunk.
+    /// constructor already rejects it),
+    /// [`ServingError::ZeroPrefillChunk`] on a zero prefill chunk, and
+    /// [`ServingError::ContextOverflow`] when the config enforces a
+    /// context window some request's prompt alone fills — such a
+    /// request could never generate a token, so admission rejects the
+    /// whole trace loudly rather than modeling an impossible serve.
     pub fn try_build(
         mix: &RequestMix,
         config: &ServingConfig,
@@ -213,11 +249,39 @@ impl ServingSchedule {
         if matches!(config.prefill, PrefillMode::OnAdmission { chunk: Some(0) }) {
             return Err(ServingError::ZeroPrefillChunk);
         }
+        if let Some(max) = config.max_context {
+            for (request, r) in mix.requests().iter().enumerate() {
+                if r.prompt + 1 > max {
+                    return Err(ServingError::ContextOverflow {
+                        request,
+                        needed: r.prompt + 1,
+                        max_context: max,
+                    });
+                }
+            }
+        }
+        // The shared prompt prefix only saves work when prompts are
+        // actually prefilled: under `Resident` prompts cost nothing
+        // either way.
+        let shared = match config.prefill {
+            PrefillMode::OnAdmission { .. } => mix.shared_prefix(),
+            PrefillMode::Resident => 0,
+        };
+        // `false` until the first prefilling request is admitted; that
+        // request owns the prefix and prefills it (its whole prompt,
+        // from 0). Every later admission references the owner's cached
+        // prefix pages and skips straight to its private suffix — the
+        // model assumes the prefix is resident once its owner is
+        // admitted (the owner's prefill is scheduled first; same-step
+        // overlap is ignored).
+        let mut prefix_ready = false;
         let arrivals = config.arrival.arrival_steps(mix.len());
         let mut queue: Vec<usize> = Vec::new();
         let mut next_arrival = 0usize;
-        let mut slots: Vec<(usize, SlotState)> = Vec::with_capacity(config.capacity);
+        // (request, state, shared tokens the slot skipped at admission)
+        let mut slots: Vec<(usize, SlotState, usize)> = Vec::with_capacity(config.capacity);
         let mut steps = Vec::new();
+        let mut truncated = Vec::new();
         let mut wall = 0usize;
 
         loop {
@@ -238,25 +302,37 @@ impl ServingSchedule {
             while slots.len() < config.capacity && !queue.is_empty() {
                 let pick = config.policy.select(&queue, mix, &arrivals);
                 let request = queue.remove(pick);
-                let state = match config.prefill {
-                    PrefillMode::Resident => SlotState::Decoding { generated: 0 },
-                    PrefillMode::OnAdmission { .. } if mix.requests()[request].prompt == 0 => {
-                        SlotState::Decoding { generated: 0 }
+                let (state, skipped) = match config.prefill {
+                    PrefillMode::Resident => (SlotState::Decoding { generated: 0 }, 0),
+                    PrefillMode::OnAdmission { .. } => {
+                        let prompt = mix.requests()[request].prompt;
+                        let skipped = if prefix_ready { shared } else { 0 };
+                        if shared > 0 && prompt > 0 {
+                            prefix_ready = true;
+                        }
+                        if prompt <= skipped {
+                            // Nothing (left) to prefill: a zero-length
+                            // prompt, or a prompt that *is* the shared
+                            // prefix.
+                            (SlotState::Decoding { generated: 0 }, skipped)
+                        } else {
+                            (SlotState::Prefilling { done: skipped }, skipped)
+                        }
                     }
-                    PrefillMode::OnAdmission { .. } => SlotState::Prefilling { done: 0 },
                 };
-                slots.push((request, state));
+                slots.push((request, state, skipped));
             }
 
             let mut prefill = Vec::new();
             let mut decode = Vec::new();
-            for &(request, state) in &slots {
+            for &(request, state, skipped) in &slots {
                 let prompt = mix.requests()[request].prompt;
                 match state {
                     SlotState::Prefilling { done } => prefill.push(PrefillSlot {
                         request,
                         cached: done,
                         chunk: config.prefill_chunk(prompt, done),
+                        shared: skipped,
                     }),
                     SlotState::Decoding { generated } => decode.push(ActiveSlot {
                         request,
@@ -270,7 +346,7 @@ impl ServingSchedule {
                 decode,
             });
 
-            for (request, state) in &mut slots {
+            for (request, state, _) in &mut slots {
                 let prompt = mix.requests()[*request].prompt;
                 match state {
                     SlotState::Prefilling { done } => {
@@ -282,9 +358,23 @@ impl ServingSchedule {
                     SlotState::Decoding { generated } => *generated += 1,
                 }
             }
-            slots.retain(|&(request, state)| match state {
+            slots.retain(|&(request, state, _)| match state {
                 SlotState::Prefilling { .. } => true,
-                SlotState::Decoding { generated } => generated < mix.requests()[request].output,
+                SlotState::Decoding { generated } => {
+                    if generated >= mix.requests()[request].output {
+                        return false;
+                    }
+                    // The next decode step would grow the cache to
+                    // prompt + generated + 1 tokens; at the window, the
+                    // request retires early instead (truncated).
+                    if let Some(max) = config.max_context {
+                        if mix.requests()[request].prompt + generated + 1 > max {
+                            truncated.push(request);
+                            return false;
+                        }
+                    }
+                    true
+                }
             });
             wall += 1;
         }
@@ -293,6 +383,7 @@ impl ServingSchedule {
             capacity: config.capacity,
             steps,
             arrivals,
+            truncated,
         })
     }
 
@@ -318,6 +409,14 @@ impl ServingSchedule {
     /// Each request's arrival step, indexed by request.
     pub fn arrivals(&self) -> &[usize] {
         &self.arrivals
+    }
+
+    /// Requests that retired early at the context-window boundary
+    /// (generated fewer than their requested output tokens), in
+    /// retirement order. Empty unless the config set
+    /// [`ServingConfig::with_max_context`].
+    pub fn truncated(&self) -> &[usize] {
+        &self.truncated
     }
 
     /// Emitted (busy) steps until the last request retired.
@@ -436,7 +535,8 @@ mod tests {
             &[PrefillSlot {
                 request: 0,
                 cached: 0,
-                chunk: 128
+                chunk: 128,
+                shared: 0
             }]
         );
         assert_eq!(schedule.steps()[1].decode_kv_lens(), vec![128]);
@@ -485,6 +585,120 @@ mod tests {
             ServingSchedule::try_build(&RequestMix::uniform(1, 8, 1), &config).unwrap_err(),
             ServingError::ZeroPrefillChunk
         );
+    }
+
+    #[test]
+    fn overlong_prompts_are_rejected_at_the_window() {
+        // Prompt 1024 + 1 generated token does not fit a 1024 window.
+        let mix = RequestMix::custom("m", vec![Request::new(1024, 4)]);
+        let config = ServingConfig::new(1).with_max_context(1024);
+        assert_eq!(
+            ServingSchedule::try_build(&mix, &config).unwrap_err(),
+            ServingError::ContextOverflow {
+                request: 0,
+                needed: 1025,
+                max_context: 1024,
+            }
+        );
+        // Prompt 1023 fits: exactly one token of headroom.
+        let mix = RequestMix::custom("m", vec![Request::new(1023, 4)]);
+        let schedule = ServingSchedule::build(&mix, &config);
+        assert_eq!(schedule.total_decode_tokens(), 1);
+        assert_eq!(schedule.truncated(), &[0]);
+    }
+
+    #[test]
+    fn decode_retires_early_at_the_window_boundary() {
+        // Prompt 100, wants 50 tokens, window 120: it can only grow the
+        // cache to 120, i.e. generate 20 tokens.
+        let mix = RequestMix::custom("m", vec![Request::new(100, 50), Request::new(10, 3)]);
+        let config = ServingConfig::new(1)
+            .with_prefill(PrefillMode::Resident)
+            .with_max_context(120);
+        let schedule = ServingSchedule::build(&mix, &config);
+        let decoded_0 = schedule
+            .steps()
+            .iter()
+            .flat_map(ServingStep::decode)
+            .filter(|s| s.request == 0)
+            .count();
+        assert_eq!(decoded_0, 20, "truncated at the boundary, not past it");
+        assert!(schedule
+            .steps()
+            .iter()
+            .flat_map(ServingStep::decode)
+            .all(|s| s.kv_len < 120));
+        assert_eq!(schedule.truncated(), &[0]);
+        // The freed slot still serves the short request in full.
+        assert_eq!(schedule.total_decode_tokens(), 20 + 3);
+        // Without the window the same mix decodes everything.
+        let unbounded = ServingSchedule::build(
+            &mix,
+            &ServingConfig::new(1).with_prefill(PrefillMode::Resident),
+        );
+        assert_eq!(unbounded.total_decode_tokens(), 50 + 3);
+        assert!(unbounded.truncated().is_empty());
+    }
+
+    #[test]
+    fn shared_prefix_is_prefilled_once() {
+        // Three prompts sharing 64 tokens: the owner prefills 100, the
+        // sharers skip to token 64.
+        let mix = RequestMix::uniform(3, 100, 2).with_shared_prefix(64);
+        let config =
+            ServingConfig::new(3).with_prefill(PrefillMode::OnAdmission { chunk: Some(32) });
+        let schedule = ServingSchedule::build(&mix, &config);
+        assert_eq!(
+            schedule.total_prefill_tokens(),
+            100 + 2 * (100 - 64),
+            "sharers skip the prefix"
+        );
+        // Owner: chunks from 0 with shared = 0; sharers: from 64 with
+        // shared = 64.
+        let first_chunks: Vec<(usize, usize, usize)> = schedule.steps()[0]
+            .prefill()
+            .iter()
+            .map(|p| (p.request, p.cached, p.shared))
+            .collect();
+        assert_eq!(first_chunks, vec![(0, 0, 0), (1, 64, 64), (2, 64, 64)]);
+        // Decode is unaffected: every request still generates its
+        // output at full context.
+        assert_eq!(schedule.total_decode_tokens(), 6);
+        let first_decode = schedule
+            .steps()
+            .iter()
+            .flat_map(ServingStep::decode)
+            .find(|s| s.request == 1)
+            .unwrap();
+        assert_eq!(first_decode.kv_len, 100);
+    }
+
+    #[test]
+    fn prompt_equal_to_prefix_skips_prefill_entirely() {
+        let mix = RequestMix::custom(
+            "m",
+            vec![
+                Request::new(64, 2),
+                Request::new(64, 2),
+                Request::new(96, 2),
+            ],
+        )
+        .with_shared_prefix(64);
+        let config = ServingConfig::new(3).with_prefill(PrefillMode::OnAdmission { chunk: None });
+        let schedule = ServingSchedule::build(&mix, &config);
+        // Owner prefills 64; request 1's whole prompt is the prefix
+        // (decodes immediately); request 2 prefills its 32-token tail.
+        assert_eq!(schedule.total_prefill_tokens(), 64 + 32);
+        assert_eq!(schedule.steps()[0].decode_kv_lens(), vec![64]);
+    }
+
+    #[test]
+    fn resident_prefill_ignores_the_shared_prefix() {
+        let mix = RequestMix::uniform(2, 64, 2).with_shared_prefix(32);
+        let config = ServingConfig::new(2).with_prefill(PrefillMode::Resident);
+        let schedule = ServingSchedule::build(&mix, &config);
+        assert_eq!(schedule.total_prefill_tokens(), 0);
+        assert_eq!(schedule.total_decode_tokens(), 4);
     }
 
     #[test]

@@ -64,11 +64,13 @@
 mod arrival;
 mod error;
 mod event;
+mod paging;
 mod policy;
 
 pub use arrival::ArrivalProcess;
 pub use error::ServingError;
 pub use event::{PrefillMode, PrefillSlot, ServingConfig, ServingSchedule, ServingStep};
+pub use paging::{KvLayout, PageTable, PagedResidency, StepResidency};
 pub use policy::AdmissionPolicy;
 
 use crate::decode::decode_block_macs;
@@ -140,6 +142,9 @@ fn draw_range(state: &mut u64, lo: usize, hi: usize) -> usize {
 pub struct RequestMix {
     name: String,
     requests: Vec<Request>,
+    /// Leading tokens every prompt has in common (a shared system
+    /// prompt); 0 = no sharing.
+    shared_prefix: usize,
 }
 
 impl RequestMix {
@@ -158,6 +163,7 @@ impl RequestMix {
         Ok(RequestMix {
             name: name.into(),
             requests,
+            shared_prefix: 0,
         })
     }
 
@@ -277,6 +283,52 @@ impl RequestMix {
     /// Total tokens the whole mix generates (the schedule's token count).
     pub fn total_output_tokens(&self) -> u64 {
         self.requests.iter().map(|r| r.output as u64).sum()
+    }
+
+    /// Declares that every prompt starts with the same `shared` tokens —
+    /// a common system prompt. Under [`PrefillMode::OnAdmission`] the
+    /// first admitted request prefills the prefix once; every later
+    /// request skips it and references the cached pages (the trailing
+    /// partial page copy-on-write, when the trace is lowered with
+    /// [`KvLayout::Paged`]). The mix's name gains a `+shared{L}` suffix
+    /// so shared and unshared variants never collide in report rows.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::SharedPrefixExceedsPrompt`] if `shared` exceeds
+    /// the shortest prompt in the mix — it would not be a prefix of
+    /// every request.
+    pub fn try_with_shared_prefix(mut self, shared: usize) -> Result<RequestMix, ServingError> {
+        let min_prompt = self
+            .requests
+            .iter()
+            .map(|r| r.prompt)
+            .min()
+            .expect("a mix is never empty");
+        if shared > min_prompt {
+            return Err(ServingError::SharedPrefixExceedsPrompt { shared, min_prompt });
+        }
+        if shared > 0 && self.shared_prefix == 0 {
+            self.name = format!("{}+shared{shared}", self.name);
+        }
+        self.shared_prefix = shared;
+        Ok(self)
+    }
+
+    /// Panicking wrapper over [`RequestMix::try_with_shared_prefix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shared` exceeds the shortest prompt.
+    #[must_use]
+    pub fn with_shared_prefix(self, shared: usize) -> RequestMix {
+        self.try_with_shared_prefix(shared)
+            .expect("a shared prefix must fit inside every prompt")
+    }
+
+    /// The shared-prompt-prefix length, in tokens (0 = no sharing).
+    pub fn shared_prefix(&self) -> usize {
+        self.shared_prefix
     }
 }
 
@@ -592,6 +644,7 @@ impl ServingModel {
         mut net: Network,
         slot: &PrefillSlot,
         kv_bucket: usize,
+        cow_tokens: usize,
     ) -> Network {
         let (d, h, c) = (self.d_model, self.heads, slot.chunk);
         // Every computed token attends over the whole cache-so-far plus
@@ -599,28 +652,53 @@ impl ServingModel {
         // accounting, matching `Attention::lower` at seq = prompt when
         // nothing is cached.
         let len = (slot.cached + c).div_ceil(kv_bucket) * kv_bucket;
-        let prefix = format!("pf{}.kv{len}c{c}", slot.request);
+        let prefix = if cow_tokens > 0 {
+            format!("pf{}.kv{len}c{c}+cow{cow_tokens}", slot.request)
+        } else {
+            format!("pf{}.kv{len}c{c}", slot.request)
+        };
+        // A sharer's first private chunk privatises the shared prefix's
+        // trailing partial page before its K/V land: `cow_tokens · d`
+        // cache elements are re-read and re-written once, split across
+        // the two cache-resident layers like the append itself.
+        let cow = |layer: Layer| {
+            if cow_tokens > 0 {
+                layer.with_kv_cow(cow_tokens * d)
+            } else {
+                layer
+            }
+        };
         for block in 0..self.blocks {
             let name = |part: &str| format!("{prefix}.decoder.{block}.{part}");
             net = net
                 .push(Layer::matmul(name("attn.query"), 1, d, d, c))
                 .push(Layer::matmul(name("attn.key"), 1, d, d, c))
                 .push(Layer::matmul(name("attn.value"), 1, d, d, c))
-                .push(
-                    Layer::matmul(name("attn.logits"), 1, h * len, d, c)
-                        .with_groups(h)
-                        .with_kv_cache_residency(c * d),
-                )
-                .push(
-                    Layer::matmul(name("attn.attend"), 1, d, h * len, c)
-                        .with_groups(h)
-                        .with_kv_cache_residency(c * d),
-                )
+                .push(cow(Layer::matmul(name("attn.logits"), 1, h * len, d, c)
+                    .with_groups(h)
+                    .with_kv_cache_residency(c * d)))
+                .push(cow(Layer::matmul(name("attn.attend"), 1, d, h * len, c)
+                    .with_groups(h)
+                    .with_kv_cache_residency(c * d)))
                 .push(Layer::matmul(name("attn.out"), 1, d, d, c))
                 .push(Layer::matmul(name("mlp.fc1"), 1, self.d_ff, d, c))
                 .push(Layer::matmul(name("mlp.fc2"), 1, d, self.d_ff, c));
         }
         net
+    }
+
+    /// The copy-on-write token count a prefill slot pays under `layout`:
+    /// the shared prefix's trailing partial page, charged exactly once —
+    /// on the sharer's *first* private chunk (the chunk starting at
+    /// `cached == shared`). Zero for the prefix owner, for bucketed
+    /// layouts, and for page-aligned prefixes.
+    fn prefill_cow_tokens(layout: &KvLayout, slot: &PrefillSlot) -> usize {
+        match layout {
+            KvLayout::Paged(table) if slot.shared > 0 && slot.cached == slot.shared => {
+                table.cow_tokens()
+            }
+            _ => 0,
+        }
     }
 
     /// Lowers one event-core step: the bucketed decode groups of the
@@ -633,14 +711,93 @@ impl ServingModel {
     ///
     /// Panics if the step is empty or `kv_bucket` is zero.
     pub fn lower_serving_step(&self, step: &ServingStep, kv_bucket: usize) -> Network {
+        self.lower_serving_step_with(step, &KvLayout::Bucketed { bucket: kv_bucket })
+    }
+
+    /// Lowers one event-core step under an explicit KV residency
+    /// [`KvLayout`]. [`KvLayout::Bucketed`] reproduces
+    /// [`ServingModel::lower_serving_step`] exactly; [`KvLayout::Paged`]
+    /// pads attend lengths to the page instead of the bucket (so decode
+    /// reads cover exactly the allocated pages), batches the
+    /// KV-independent layers over the *whole* decode set (see
+    /// [`ServingModel::push_decode_groups_paged`] — splitting them per
+    /// length class is an artifact of bucket padding), and charges each
+    /// sharer's first private chunk with the shared prefix's partial-page
+    /// copy-on-write (see [`Layer::with_kv_cow`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step is empty or the layout's quantum is zero.
+    pub fn lower_serving_step_with(&self, step: &ServingStep, layout: &KvLayout) -> Network {
         assert!(step.occupancy() > 0, "a step lowers a nonempty active set");
+        let quantum = layout.quantum();
         let mut net = Network::new(format!("{}-serving@occ{}", self.name, step.occupancy()));
         let kv_lens = step.decode_kv_lens();
-        net = self.push_decode_groups(net, &kv_lens, kv_bucket);
+        net = match layout {
+            KvLayout::Bucketed { bucket } => self.push_decode_groups(net, &kv_lens, *bucket),
+            KvLayout::Paged(table) => self.push_decode_groups_paged(net, &kv_lens, table.page()),
+        };
         for slot in step.prefill() {
-            net = self.push_prefill_chunk(net, slot, kv_bucket);
+            let cow = ServingModel::prefill_cow_tokens(layout, slot);
+            net = self.push_prefill_chunk(net, slot, quantum, cow);
         }
         net
+    }
+
+    /// Pushes the decoding slots under exact paged residency. The
+    /// KV-*independent* layers — QKV/output projections, the MLP pair
+    /// and the LM head — batch over the whole decode set: every member
+    /// multiplies the same weights, so one fetch serves all of them
+    /// regardless of how long each member's cache is (the per-length
+    /// grouping of [`ServingModel::push_decode_groups`] is an artifact
+    /// of bucket padding, and reproducing it at page granularity would
+    /// shred the batch lever into near-singleton groups and *inflate*
+    /// weight traffic). Only the logits/attend pair, whose reduction
+    /// length *is* the cache, splits by page-padded attend length —
+    /// each group reads exactly its allocated pages and appends one
+    /// `d_model`-slice per member. Per-request MACs are identical to
+    /// [`ServingModel::step_macs`] at `kv_bucket = page`: batching
+    /// moves weight traffic, not arithmetic. A no-op on an empty
+    /// active set (a pure-prefill event step).
+    fn push_decode_groups_paged(
+        &self,
+        mut net: Network,
+        active_kv: &[usize],
+        page: usize,
+    ) -> Network {
+        if active_kv.is_empty() {
+            return net;
+        }
+        let (d, h, n) = (self.d_model, self.heads, active_kv.len());
+        let composition = ServingModel::bucketed_composition(active_kv, page);
+        for block in 0..self.blocks {
+            let name = |part: &str| format!("pg.occ{n}.decoder.{block}.{part}");
+            net = net
+                .push(Layer::gemv(name("attn.query"), n, d, d))
+                .push(Layer::gemv(name("attn.key"), n, d, d))
+                .push(Layer::gemv(name("attn.value"), n, d, d));
+            for &(len, group) in &composition {
+                let gname = |part: &str| format!("pg{len}x{group}.decoder.{block}.attn.{part}");
+                net = net
+                    .push(
+                        Layer::matmul(gname("logits"), 1, h * len, d, 1)
+                            .with_groups(h)
+                            .with_kv_cache_residency(d)
+                            .with_batch(group),
+                    )
+                    .push(
+                        Layer::matmul(gname("attend"), 1, d, h * len, 1)
+                            .with_groups(h)
+                            .with_kv_cache_residency(d)
+                            .with_batch(group),
+                    );
+            }
+            net = net
+                .push(Layer::gemv(name("attn.out"), n, d, d))
+                .push(Layer::gemv(name("mlp.fc1"), n, self.d_ff, d))
+                .push(Layer::gemv(name("mlp.fc2"), n, d, self.d_ff));
+        }
+        net.push(Layer::gemv(format!("pg.occ{n}.lm-head"), n, self.vocab, d))
     }
 
     /// Closed-form MAC count of one prefill chunk, mirroring
@@ -679,6 +836,14 @@ impl ServingModel {
                 .iter()
                 .map(|s| self.prefill_chunk_macs(s.cached, s.chunk, kv_bucket))
                 .sum::<u64>()
+    }
+
+    /// Closed-form MAC count of [`ServingModel::lower_serving_step_with`]:
+    /// the bucketed closed forms evaluated at the layout's quantum.
+    /// Copy-on-write moves cache bytes but multiplies nothing, so the
+    /// layout's page table affects MACs only through the attend padding.
+    pub fn serving_step_macs_with(&self, step: &ServingStep, layout: &KvLayout) -> u64 {
+        self.serving_step_macs(step, layout.quantum())
     }
 }
 
@@ -849,8 +1014,9 @@ mod tests {
                 request: 0,
                 cached,
                 chunk,
+                shared: 0,
             };
-            let net = model.push_prefill_chunk(Network::new("pf"), &slot, bucket);
+            let net = model.push_prefill_chunk(Network::new("pf"), &slot, bucket, 0);
             assert_eq!(
                 net.total_macs(),
                 model.prefill_chunk_macs(cached, chunk, bucket),

@@ -69,8 +69,9 @@ pub fn fnv1a(tag: &[u8], words: &[u64]) -> u64 {
 /// analyses and energy breakdowns on every architecture and under every
 /// deterministic mapping strategy. The signature covers the per-group
 /// loop bounds, operator class, stride, dilation, group count, batch
-/// replicas, the per-sample-stationary flag and the KV-cache append
-/// count; it deliberately excludes the layer's name.
+/// replicas, the per-sample-stationary flag, the KV-cache append count
+/// and the copy-on-write count; it deliberately excludes the layer's
+/// name.
 ///
 /// The struct itself is the collision-free cache key (derived `Eq` /
 /// `Hash` over all fields); [`LayerSignature::digest`] additionally
@@ -87,6 +88,7 @@ pub struct LayerSignature {
     batch_replicas: usize,
     per_sample_stationary: bool,
     kv_append: usize,
+    kv_cow: usize,
 }
 
 impl LayerSignature {
@@ -101,6 +103,7 @@ impl LayerSignature {
             batch_replicas: layer.batch_replicas(),
             per_sample_stationary: layer.per_sample_stationary(),
             kv_append: layer.kv_append_per_sample(),
+            kv_cow: layer.kv_cow_per_sample(),
         }
     }
 
@@ -135,11 +138,19 @@ impl LayerSignature {
         if self.kv_append > 0 {
             words.push(self.kv_append as u64);
         }
+        // Same preservation rule for the copy-on-write count (PR 9):
+        // only layers that actually privatise a shared page extend the
+        // encoding further. `kv_cow > 0` implies `kv_append > 0` (the
+        // `Layer::with_kv_cow` precondition), so the variable-length
+        // word list stays prefix-unambiguous.
+        if self.kv_cow > 0 {
+            words.push(self.kv_cow as u64);
+        }
         fnv1a(b"layer", &words)
     }
 
     /// Number of words in the [`LayerSignature::encode_words`] encoding.
-    pub const ENCODED_WORDS: usize = 16;
+    pub const ENCODED_WORDS: usize = 17;
 
     /// A lossless fixed-width word encoding of the signature, suitable
     /// for on-disk cache snapshots. Unlike [`LayerSignature::digest`]
@@ -149,7 +160,8 @@ impl LayerSignature {
     ///
     /// Layout: kind tag, the 7 shape bounds in [`Dim::ALL`] order,
     /// stride (h, w), dilation (h, w), groups, batch replicas, the
-    /// per-sample-stationary flag and the KV append count.
+    /// per-sample-stationary flag, the KV append count and the
+    /// copy-on-write count.
     pub fn encode_words(&self) -> [u64; Self::ENCODED_WORDS] {
         let mut words = [0u64; Self::ENCODED_WORDS];
         words[0] = match self.kind {
@@ -169,6 +181,7 @@ impl LayerSignature {
         words[13] = self.batch_replicas as u64;
         words[14] = u64::from(self.per_sample_stationary);
         words[15] = self.kv_append as u64;
+        words[16] = self.kv_cow as u64;
         words
     }
 
@@ -193,6 +206,11 @@ impl LayerSignature {
         if words[14] > 1 {
             return None;
         }
+        // A copy-on-write count without an append count has no valid
+        // `Layer` constructor; reject it like any other corrupt word.
+        if words[16] > 0 && words[15] == 0 {
+            return None;
+        }
         Some(LayerSignature {
             kind,
             shape: Shape::new(n, m, c, p, q, r, s),
@@ -202,6 +220,7 @@ impl LayerSignature {
             batch_replicas: to_usize(words[13])?,
             per_sample_stationary: words[14] == 1,
             kv_append: to_usize(words[15])?,
+            kv_cow: to_usize(words[16])?,
         })
     }
 }
@@ -292,6 +311,21 @@ mod tests {
     }
 
     #[test]
+    fn kv_cow_is_distinguished() {
+        let append = Layer::matmul("kv", 1, 96, 96, 1)
+            .with_groups(4)
+            .with_kv_cache_residency(96);
+        let cow = append.clone().with_kv_cow(10 * 96);
+        // The copy-on-write privatisation pays extra backing-store
+        // traffic, so it is a distinct evaluation identity.
+        assert_ne!(append.signature(), cow.signature());
+        assert_ne!(append.signature().digest(), cow.signature().digest());
+        let bigger = append.clone().with_kv_cow(12 * 96);
+        assert_ne!(cow.signature(), bigger.signature());
+        assert_ne!(cow.signature().digest(), bigger.signature().digest());
+    }
+
+    #[test]
     fn digest_is_stable_across_calls_and_clones() {
         let l = Layer::matmul("mm", 1, 768, 768, 128);
         assert_eq!(l.signature().digest(), l.clone().signature().digest());
@@ -330,6 +364,10 @@ mod tests {
             Layer::matmul("kv", 1, 96, 96, 1)
                 .with_groups(4)
                 .with_kv_cache_residency(192),
+            Layer::matmul("cow", 1, 96, 96, 1)
+                .with_groups(4)
+                .with_kv_cache_residency(192)
+                .with_kv_cow(960),
             Layer::fully_connected("fc", 8, 1000, 2048),
         ];
         for l in &layers {
@@ -349,6 +387,10 @@ mod tests {
         let mut bad_flag = good;
         bad_flag[14] = 2;
         assert_eq!(LayerSignature::decode_words(&bad_flag), None);
+        // A cow count without an append count is unconstructible.
+        let mut bad_cow = good;
+        bad_cow[16] = 5;
+        assert_eq!(LayerSignature::decode_words(&bad_cow), None);
     }
 
     #[test]

@@ -393,6 +393,66 @@ fn serving_trace_800_steps_costs_a_handful_of_searches() {
     assert!(stats.hit_rate() >= 0.99, "hit rate {:.4}", stats.hit_rate());
 }
 
+/// The paged analogue of the 800-step scaling test: the same kind of
+/// mixed-length population, event-scheduled with chunked prefill and
+/// lowered at exact page residency (page 32) instead of bucket
+/// padding. Finer pages visit many more distinct attend lengths than
+/// a coarse bucket, yet the search count stays pinned to the unique
+/// layer signatures — the page-residency variants dedupe through the
+/// same content-addressed path.
+#[test]
+fn paged_serving_trace_dedups_by_unique_signature() {
+    use lumen::workload::serving::{
+        KvLayout, PageTable, PrefillMode, RequestMix, ServingConfig, ServingModel, ServingSchedule,
+    };
+
+    let searches = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&searches);
+    let counting = MappingStrategy::Custom(Arc::new(move |arch, layer| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        greedy_mapping(
+            arch,
+            layer,
+            spatial_priority_for(layer),
+            &TemporalPlan::all_at(1),
+        )
+    }));
+
+    let model = ServingModel::new("toy-lm", 256, 4, 512, 2, 4096);
+    let mix = RequestMix::long_tail(0x51EED, 28, (64, 320), 80, 2);
+    let config = ServingConfig::new(8).with_prefill(PrefillMode::OnAdmission { chunk: Some(96) });
+    let schedule = ServingSchedule::build(&mix, &config);
+    assert!(
+        schedule.total_steps() >= 400,
+        "the trace is long enough to prove scaling: {} steps",
+        schedule.total_steps()
+    );
+
+    let layout = KvLayout::Paged(PageTable::new(32));
+    let session = EvalSession::new(System::new(generic_arch(), counting));
+    let mut layer_evals = 0usize;
+    let mut unique: HashSet<LayerSignature> = HashSet::new();
+    for step in schedule.steps() {
+        let net = model.lower_serving_step_with(step, &layout);
+        unique.extend(net.layers().iter().map(Layer::signature));
+        let eval = session
+            .evaluate_network(&net, &NetworkOptions::baseline())
+            .unwrap_or_else(|e| panic!("step occupancy {}: {e}", step.occupancy()));
+        layer_evals += eval.per_layer.len();
+    }
+
+    let searched = searches.load(Ordering::Relaxed);
+    assert_eq!(searched, unique.len(), "one search per unique signature");
+    assert!(
+        searched * 20 <= layer_evals,
+        "{searched} searches exceed 5% of the naive {layer_evals}"
+    );
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses as usize, searched, "every miss is one search");
+    assert_eq!(stats.hits + stats.misses, layer_evals as u64);
+    assert!(stats.hit_rate() >= 0.95, "hit rate {:.4}", stats.hit_rate());
+}
+
 /// Albireo's bespoke dataflow (a `Custom` strategy) rides the same
 /// pipeline: the figure drivers moved onto sessions, so the golden suite
 /// already pins their exact output; here we pin the per-layer identity.

@@ -177,6 +177,25 @@ fn serving_slo_study_matches_snapshot() {
 }
 
 #[test]
+fn paged_serving_study_matches_snapshot() {
+    // Both corners of the paged-residency study: the exact bucketed vs
+    // paged backing-store delta, the peak-waste collapse, the prefix-
+    // sharing prefill/MAC/energy savings net of the copy-on-write tail,
+    // and the eval-cache accounting — all deterministic, so the measured
+    // deltas the README quotes are pinned here.
+    let mut rendered = String::new();
+    for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
+        rendered.push_str(
+            &experiments::paged_serving_study(scaling)
+                .expect("study evaluates")
+                .to_string(),
+        );
+        rendered.push('\n');
+    }
+    assert_golden("paged_serving_study", &rendered);
+}
+
+#[test]
 fn csv_rendering_matches_snapshot() {
     // The CSV path is the machine-readable export surface; lock one
     // figure's CSV too so escaping/format changes cannot slip through.

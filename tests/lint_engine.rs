@@ -385,6 +385,7 @@ fn l0401_zero_capacity_schedule() {
         mix: &mix,
         capacity: 0,
         kv_bucket: 64,
+        kv_page: None,
         arrival: None,
         max_context: None,
     };
@@ -399,6 +400,7 @@ fn l0402_zero_kv_bucket() {
         mix: &mix,
         capacity: 8,
         kv_bucket: 0,
+        kv_page: None,
         arrival: None,
         max_context: None,
     };
@@ -415,6 +417,7 @@ fn l0402_kv_bucket_larger_than_any_sequence() {
         mix: &mix,
         capacity: 8,
         kv_bucket: 1024,
+        kv_page: None,
         arrival: None,
         max_context: None,
     };
@@ -432,6 +435,7 @@ fn l0403_offered_load_exceeds_capacity() {
         mix: &mix,
         capacity: 8,
         kv_bucket: 64,
+        kv_page: None,
         arrival: Some(&arrival),
         max_context: None,
     };
@@ -450,6 +454,7 @@ fn l0403_stays_quiet_under_capacity_and_closed_loop() {
             mix: &mix,
             capacity: 8,
             kv_bucket: 64,
+            kv_page: None,
             arrival: Some(arrival),
             max_context: None,
         };
@@ -467,6 +472,7 @@ fn l0404_prompt_exceeds_model_context() {
         mix: &mix,
         capacity: 8,
         kv_bucket: 64,
+        kv_page: None,
         arrival: None,
         max_context: Some(128),
     };
@@ -481,9 +487,59 @@ fn l0404_stays_quiet_when_requests_fit() {
         mix: &mix,
         capacity: 8,
         kv_bucket: 64,
+        kv_page: None,
         arrival: None,
         max_context: Some(1024),
     };
+    let report = run(&LintTarget::new().with_serving(&serving));
+    assert!(report.is_empty(), "{report}");
+}
+
+/// A well-formed paged serving spec the `L0406`/`L0407` tests perturb.
+fn paged_spec(mix: &RequestMix, page: usize) -> ServingSpec<'_> {
+    ServingSpec {
+        mix,
+        capacity: 8,
+        kv_bucket: 64,
+        kv_page: Some(page),
+        arrival: None,
+        max_context: None,
+    }
+}
+
+#[test]
+fn l0406_zero_page_is_an_error() {
+    let mix = RequestMix::uniform(4, 128, 32);
+    let serving = paged_spec(&mix, 0);
+    let report = run(&LintTarget::new().with_serving(&serving));
+    assert_fires_only(&report, "L0406", Severity::Error);
+}
+
+#[test]
+fn l0406_page_must_tile_the_bucket() {
+    // 24 does not divide the 64-token bucket, so bucketed accounting
+    // stops being an upper bound on paged residency.
+    let mix = RequestMix::uniform(4, 128, 32);
+    let serving = paged_spec(&mix, 24);
+    let report = run(&LintTarget::new().with_serving(&serving));
+    assert_fires_only(&report, "L0406", Severity::Warn);
+}
+
+#[test]
+fn l0407_fragmentation_heavy_page() {
+    // Mean sequence is 160 tokens; a 64-token page is over a quarter
+    // of it, so per-request tail pages dominate the residency. 64
+    // tiles the bucket, so L0406 stays quiet.
+    let mix = RequestMix::uniform(4, 128, 32);
+    let serving = paged_spec(&mix, 64);
+    let report = run(&LintTarget::new().with_serving(&serving));
+    assert_fires_only(&report, "L0407", Severity::Warn);
+}
+
+#[test]
+fn paged_spec_with_a_fine_page_stays_quiet() {
+    let mix = RequestMix::uniform(4, 128, 32);
+    let serving = paged_spec(&mix, 16);
     let report = run(&LintTarget::new().with_serving(&serving));
     assert!(report.is_empty(), "{report}");
 }
@@ -530,6 +586,7 @@ fn json_rendering_matches_golden() {
         mix: &mix,
         capacity: 0,
         kv_bucket: 0,
+        kv_page: None,
         arrival: None,
         max_context: None,
     };

@@ -20,8 +20,8 @@ use lumen::core::serving::{serving_sweep, serving_trace};
 use lumen::core::{EvalSession, MappingStrategy, NetworkOptions, System};
 use lumen::units::{Energy, Frequency};
 use lumen::workload::serving::{
-    ArrivalProcess, BatchSchedule, PrefillMode, Request, RequestMix, ServingConfig, ServingModel,
-    ServingSchedule,
+    ArrivalProcess, BatchSchedule, KvLayout, PageTable, PrefillMode, Request, RequestMix,
+    ServingConfig, ServingModel, ServingSchedule,
 };
 use lumen::workload::{networks, AdmissionPolicy, Dim, DimSet, TensorSet};
 use proptest::prelude::*;
@@ -420,6 +420,85 @@ proptest! {
         );
         for (len, _) in composition {
             prop_assert_eq!(len % bucket, 0, "padded lengths are bucket multiples");
+        }
+    }
+}
+
+// --- paged KV residency (PR 9) --------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Page allocation covers the cache — `pages × page_size ≥ kv_len`
+    /// — and wastes strictly less than one page per request.
+    #[test]
+    fn page_allocation_covers_the_cache(
+        page in 1usize..=512,
+        kv in 0usize..=4096,
+    ) {
+        let t = PageTable::new(page);
+        prop_assert!(t.pages_for(kv) * page >= kv);
+        prop_assert_eq!(t.allocated_tokens(kv), t.pages_for(kv) * page);
+        prop_assert!(t.allocated_tokens(kv) >= kv);
+        prop_assert!(t.fragmentation(kv) < page);
+        prop_assert_eq!(t.allocated_tokens(kv) - t.fragmentation(kv), kv);
+    }
+
+    /// A one-token page is exact per-token residency: zero
+    /// fragmentation and attend lengths of exactly `kv + 1`.
+    #[test]
+    fn unit_page_recovers_exact_residency(kv in 0usize..=4096) {
+        let t = PageTable::new(1);
+        prop_assert_eq!(t.allocated_tokens(kv), kv);
+        prop_assert_eq!(t.fragmentation(kv), 0);
+        prop_assert_eq!(t.attend_len(kv), kv + 1);
+    }
+
+    /// Whenever the page tiles the bucket, bucketed accounting is a
+    /// sound upper bound on paged residency — per cache length, per
+    /// scheduled step, and through the lowering's MAC closed forms.
+    #[test]
+    fn bucketed_is_an_upper_bound_when_the_page_tiles_the_bucket(
+        page_pow in 0usize..=6,
+        factor in 1usize..=8,
+        seed in 0usize..1000,
+        count in 1usize..=16,
+        capacity in 1usize..=8,
+    ) {
+        let page = 1usize << page_pow;
+        let bucket = page * factor;
+        let paged = PageTable::new(page);
+        let bucketed = PageTable::new(bucket);
+        for kv in 0..=600 {
+            prop_assert!(paged.allocated_tokens(kv) <= bucketed.allocated_tokens(kv));
+            prop_assert!(paged.attend_len(kv) <= bucketed.attend_len(kv));
+        }
+        let mix = RequestMix::bimodal(seed as u64, count, (16, 3), (128, 11), 25);
+        let config = ServingConfig::new(capacity)
+            .with_prefill(PrefillMode::OnAdmission { chunk: Some(32) });
+        let schedule = ServingSchedule::build(&mix, &config);
+        for step in schedule.steps() {
+            let p = paged.step_residency(step);
+            let b = bucketed.step_residency(step);
+            prop_assert_eq!(p.used_tokens, b.used_tokens);
+            prop_assert!(p.allocated_tokens <= b.allocated_tokens);
+            prop_assert!(p.used_tokens <= p.allocated_tokens);
+        }
+        // The paged lowering's MACs match its closed form and never
+        // exceed the bucketed lowering's.
+        let model = ServingModel::new("toy", 64, 4, 128, 2, 1000);
+        let paged_layout = KvLayout::Paged(paged);
+        let bucketed_layout = KvLayout::Bucketed { bucket };
+        for step in schedule.steps().iter().take(8) {
+            let net = model.lower_serving_step_with(step, &paged_layout);
+            prop_assert_eq!(
+                net.total_macs(),
+                model.serving_step_macs_with(step, &paged_layout)
+            );
+            prop_assert!(
+                model.serving_step_macs_with(step, &paged_layout)
+                    <= model.serving_step_macs_with(step, &bucketed_layout)
+            );
         }
     }
 }
