@@ -1164,7 +1164,7 @@ impl fmt::Display for ServingStudyResult {
 pub fn serving_study(scaling: ScalingProfile) -> Result<ServingStudyResult, SystemError> {
     use crate::DigitalBaseline;
     use lumen_core::serving::serving_sweep;
-    use lumen_workload::{BatchSchedule, ServingModel};
+    use lumen_workload::{BatchSchedule, ServingModel, ServingScenario};
 
     let photonic = EvalSession::new(AlbireoConfig::new(scaling).build_system());
     let digital = EvalSession::new(DigitalBaseline::new().build_system());
@@ -1177,13 +1177,17 @@ pub fn serving_study(scaling: ScalingProfile) -> Result<ServingStudyResult, Syst
     let mut rows = Vec::new();
     for mix in serving_mixes() {
         for capacity in SERVING_CAPACITIES {
-            let schedule = BatchSchedule::build(&mix, capacity);
-            let p = serving_sweep(&photonic, &model, &schedule, SERVING_KV_BUCKET, &options)?;
-            let d = serving_sweep(&digital, &model, &schedule, SERVING_KV_BUCKET, &options)?;
+            let scenario = ServingScenario::builder(mix.clone(), capacity)
+                .kv_bucket(SERVING_KV_BUCKET)
+                .build()
+                .expect("the closed-loop study's fixed parameters are valid");
+            let schedule = BatchSchedule::build(scenario.mix(), scenario.capacity());
+            let p = serving_sweep(&photonic, &model, &schedule, scenario.kv_bucket(), &options)?;
+            let d = serving_sweep(&digital, &model, &schedule, scenario.kv_bucket(), &options)?;
             rows.push(ServingRow {
-                mix: mix.name().to_string(),
+                mix: scenario.mix().name().to_string(),
                 capacity,
-                requests: mix.len(),
+                requests: scenario.mix().len(),
                 steps: schedule.total_steps(),
                 mean_occupancy: p.mean_occupancy(),
                 vs: PhotonicVsDigital {
@@ -1240,6 +1244,29 @@ pub fn slo_policy() -> lumen_workload::AdmissionPolicy {
         interactive_prompt: 128,
         slack: 16,
     }
+}
+
+/// The single construction path for the SLO study's serving
+/// description: the [`slo_mix`] population through [`SLO_CAPACITY`]
+/// decode slots with [`SLO_PREFILL_CHUNK`]-token chunked prefill and
+/// [`SERVING_KV_BUCKET`]-token bucketed residency, under the given
+/// arrival process and admission policy. The CLI, the study drivers and
+/// the fleet templates all build their scenarios here (or through the
+/// paged sibling [`try_paged_slo_scenario`]), so flag combinations are
+/// validated exactly once, by [`ServingScenarioBuilder::build`].
+///
+/// [`ServingScenarioBuilder::build`]: lumen_workload::ServingScenarioBuilder::build
+pub fn slo_scenario(
+    arrival: lumen_workload::ArrivalProcess,
+    policy: lumen_workload::AdmissionPolicy,
+) -> lumen_workload::ServingScenario {
+    lumen_workload::ServingScenario::builder(slo_mix(), SLO_CAPACITY)
+        .kv_bucket(SERVING_KV_BUCKET)
+        .arrival(arrival)
+        .policy(policy)
+        .prefill_chunk(SLO_PREFILL_CHUNK)
+        .build()
+        .expect("the SLO study's fixed parameters are valid under every arrival and policy")
 }
 
 /// The (arrival, policy) scenarios of [`serving_slo_study`]: the
@@ -1472,33 +1499,27 @@ pub fn serving_scenario_study(
     )],
 ) -> Result<SloStudyResult, SystemError> {
     use crate::DigitalBaseline;
-    use lumen_core::serving::serving_trace;
-    use lumen_workload::{PrefillMode, ServingConfig, ServingModel, ServingSchedule};
+    use lumen_core::scenario_trace;
+    use lumen_workload::ServingModel;
 
     let photonic = EvalSession::new(AlbireoConfig::new(scaling).build_system());
     let digital = EvalSession::new(DigitalBaseline::new().build_system());
     let photonic_clock = photonic.system().arch().clock();
     let digital_clock = digital.system().arch().clock();
     let model = ServingModel::gpt2_small();
-    let mix = slo_mix();
     let options = NetworkOptions::baseline();
 
     let before = photonic.cache_stats();
     let mut rows = Vec::new();
     for (arrival, policy) in scenarios {
-        let config = ServingConfig::new(SLO_CAPACITY)
-            .with_arrival(arrival.clone())
-            .with_policy(*policy)
-            .with_prefill(PrefillMode::OnAdmission {
-                chunk: Some(SLO_PREFILL_CHUNK),
-            });
-        let schedule = ServingSchedule::build(&mix, &config);
-        let p = serving_trace(&photonic, &model, &schedule, SERVING_KV_BUCKET, &options)?;
-        let d = serving_trace(&digital, &model, &schedule, SERVING_KV_BUCKET, &options)?;
+        let scenario = slo_scenario(arrival.clone(), *policy);
+        let schedule = scenario.schedule();
+        let p = scenario_trace(&photonic, &model, &scenario, &options)?;
+        let d = scenario_trace(&digital, &model, &scenario, &options)?;
         rows.push(SloRow {
             arrival: arrival.to_string(),
             policy: policy.to_string(),
-            requests: mix.len(),
+            requests: scenario.mix().len(),
             steps: schedule.total_steps(),
             mean_occupancy: schedule.mean_occupancy(),
             prefill_tokens: p.total_prefill_tokens(),
@@ -1762,18 +1783,35 @@ pub fn paged_serving_study(
     paged_serving_study_with(scaling, PAGED_KV_PAGE, PAGED_SHARED_PREFIX)
 }
 
+/// The paged scenario the study and the CLI's `--kv-page` path build:
+/// [`slo_mix`] through [`SLO_CAPACITY`] closed-loop FIFO slots, paged
+/// at `page` tokens with the first `shared` prompt tokens stored once
+/// and referenced copy-on-write.
+///
+/// # Errors
+///
+/// The [`lumen_workload::ServingError`]s of scenario validation — a
+/// zero page, or a prefix longer than the mix's shortest prompt.
+pub fn try_paged_slo_scenario(
+    page: usize,
+    shared: usize,
+) -> Result<lumen_workload::ServingScenario, lumen_workload::ServingError> {
+    lumen_workload::ServingScenario::builder(slo_mix(), SLO_CAPACITY)
+        .kv_bucket(SERVING_KV_BUCKET)
+        .kv_page(page)
+        .shared_prefix(shared)
+        .prefill_chunk(SLO_PREFILL_CHUNK)
+        .build()
+}
+
 /// [`paged_serving_study`] at an explicit page size and shared-prefix
-/// length — the CLI's `--kv-page` / `--shared-prefix` entry point.
-/// Lowers the [`slo_mix`] population through a closed-loop FIFO
-/// schedule three times on one photonic [`EvalSession`]: padded to
-/// [`SERVING_KV_BUCKET`], allocated per `page`, and allocated per
-/// `page` with the first `shared` prompt tokens prefilled once and
-/// referenced copy-on-write by every later request.
+/// length.
 ///
 /// # Panics
 ///
 /// If `page` is zero or `shared` exceeds the mix's shortest prompt —
-/// the CLI pre-validates both (and `lumen check` lints them).
+/// the CLI constructs the scenario itself via [`try_paged_slo_scenario`]
+/// and surfaces those as typed errors before calling in here.
 ///
 /// # Errors
 ///
@@ -1783,58 +1821,101 @@ pub fn paged_serving_study_with(
     page: usize,
     shared: usize,
 ) -> Result<PagedServingStudyResult, SystemError> {
+    let scenario = try_paged_slo_scenario(page, shared)
+        .expect("the paged study's page and shared-prefix must validate against the SLO mix");
+    paged_serving_scenario_study(scaling, &scenario)
+}
+
+/// The paged KV study over one validated paged [`ServingScenario`] —
+/// the scenario *is* the `paged(page)+shared(shared)` row, and the
+/// study derives its bucketed and unshared siblings from the same
+/// description (same requests, same scheduler knobs, only the KV
+/// residency changed). Lowers all three on one photonic
+/// [`EvalSession`], so identical steps dedupe in the shared cache.
+///
+/// # Panics
+///
+/// If the scenario is not paged (`kv_page` unset) — the flag parser
+/// only produces paged scenarios for this path.
+///
+/// # Errors
+///
+/// [`SystemError::NoMapping`] if any step has an unmappable layer.
+///
+/// [`ServingScenario`]: lumen_workload::ServingScenario
+pub fn paged_serving_scenario_study(
+    scaling: ScalingProfile,
+    scenario: &lumen_workload::ServingScenario,
+) -> Result<PagedServingStudyResult, SystemError> {
     use lumen_core::serving::serving_trace_with;
-    use lumen_workload::{
-        KvLayout, PageTable, PrefillMode, ServingConfig, ServingModel, ServingSchedule,
-    };
+    use lumen_workload::{PageTable, PrefillMode, RequestMix, ServingModel, ServingScenario};
+
+    let page = scenario
+        .kv_page()
+        .expect("the paged study needs a paged scenario");
+    let shared = scenario.shared_prefix();
+    let bucket = scenario.kv_bucket();
 
     let photonic = EvalSession::new(AlbireoConfig::new(scaling).build_system());
     let model = ServingModel::gpt2_small();
     let options = NetworkOptions::baseline();
-    let config = ServingConfig::new(SLO_CAPACITY).with_prefill(PrefillMode::OnAdmission {
-        chunk: Some(SLO_PREFILL_CHUNK),
-    });
-    let mix = slo_mix();
-    let shared_mix = slo_mix().with_shared_prefix(shared);
-    let schedule = ServingSchedule::build(&mix, &config);
-    let shared_schedule = ServingSchedule::build(&shared_mix, &config);
+
+    // The bucketed baseline and the unshared paged row serve the same
+    // requests with no prefix; rebuild them from the scenario with only
+    // the residency knobs changed. The shared row is the scenario itself.
+    let sibling = |kv_page: Option<usize>| -> ServingScenario {
+        let base_mix =
+            RequestMix::custom(scenario.mix().name(), scenario.mix().requests().to_vec());
+        let mut builder = ServingScenario::builder(base_mix, scenario.capacity())
+            .kv_bucket(bucket)
+            .arrival(scenario.arrival().clone())
+            .policy(scenario.policy())
+            .prefill(scenario.prefill());
+        if let Some(p) = kv_page {
+            builder = builder.kv_page(p);
+        }
+        if let Some(max) = scenario.max_context() {
+            builder = builder.max_context(max);
+        }
+        builder
+            .build()
+            .expect("a validated scenario's residency siblings are valid")
+    };
+    let bucketed = sibling(None);
+    let paged = sibling(Some(page));
 
     // The bucketed baseline's residency is the same page-table walk at
     // page = bucket: allocation rounds to the bucket, which is exactly
     // what the padded lowering charges DRAM for.
-    let paged_table = PageTable::new(page);
-    let shared_table = PageTable::new(page).with_shared_prefix(shared);
-    let configs: [(String, KvLayout, &ServingSchedule, PageTable); 3] = [
+    let page_table = |s: &ServingScenario| {
+        s.layout()
+            .page_table()
+            .copied()
+            .expect("paged scenarios carry a page table")
+    };
+    let variants: [(String, &ServingScenario, PageTable); 3] = [
         (
-            format!("bucketed({SERVING_KV_BUCKET})"),
-            KvLayout::Bucketed {
-                bucket: SERVING_KV_BUCKET,
-            },
-            &schedule,
-            PageTable::new(SERVING_KV_BUCKET),
+            format!("bucketed({bucket})"),
+            &bucketed,
+            PageTable::new(bucket),
         ),
-        (
-            format!("paged({page})"),
-            KvLayout::Paged(paged_table),
-            &schedule,
-            paged_table,
-        ),
+        (format!("paged({page})"), &paged, page_table(&paged)),
         (
             format!("paged({page})+shared({shared})"),
-            KvLayout::Paged(shared_table),
-            &shared_schedule,
-            shared_table,
+            scenario,
+            page_table(scenario),
         ),
     ];
 
     let before = photonic.cache_stats();
     let mut rows = Vec::new();
-    for (label, layout, sched, table) in &configs {
-        let p = serving_trace_with(&photonic, &model, sched, layout, &options)?;
-        let residency = table.schedule_residency(sched);
+    for (label, variant, table) in &variants {
+        let schedule = variant.schedule();
+        let p = serving_trace_with(&photonic, &model, &schedule, variant.layout(), &options)?;
+        let residency = table.schedule_residency(&schedule);
         rows.push(PagedServingRow {
             label: label.clone(),
-            steps: sched.total_steps(),
+            steps: schedule.total_steps(),
             prefill_tokens: p.total_prefill_tokens(),
             tokens: p.total_tokens(),
             gmacs: p.total_macs() as f64 / 1e9,
@@ -1849,15 +1930,424 @@ pub fn paged_serving_study_with(
 
     Ok(PagedServingStudyResult {
         scaling,
-        kv_bucket: SERVING_KV_BUCKET,
+        kv_bucket: bucket,
         page,
         shared_prefix: shared,
-        capacity: SLO_CAPACITY,
-        prefill_chunk: SLO_PREFILL_CHUNK,
-        requests: mix.len(),
+        capacity: scenario.capacity(),
+        prefill_chunk: match scenario.prefill() {
+            PrefillMode::OnAdmission { chunk: Some(c) } => c,
+            _ => 0,
+        },
+        requests: scenario.mix().len(),
         rows,
         trace_layer_evals: (after.hits + after.misses) - (before.hits + before.misses),
         trace_mapping_searches: after.misses - before.misses,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Fleet study — capacity planning: N instances behind one router
+// ---------------------------------------------------------------------
+
+/// Instances the default `lumen fleet` run provisions — sized so the
+/// default stream's offered load sits right at the fleet's aggregate
+/// capacity (3 x [`SLO_CAPACITY`] decode slots).
+pub const FLEET_INSTANCES: usize = 3;
+
+/// The ceiling of the SLO search: [`fleet_slo_search`] sweeps instance
+/// counts `1..=` this before giving up.
+pub const FLEET_SEARCH_MAX_INSTANCES: usize = 6;
+
+/// The fleet stream's request population: the SLO study's bimodal chat
+/// shape, doubled to 24 requests so routing has something to balance.
+pub fn fleet_mix() -> lumen_workload::RequestMix {
+    lumen_workload::RequestMix::bimodal(0xF1EE_CAFE, 24, (64, 16), (512, 48), 25)
+}
+
+/// The default fleet arrival: an overloaded-for-one-instance Poisson
+/// stream (0.5 requests/step against ~0.17 requests/step of
+/// single-instance drain), so the capacity question has a non-trivial
+/// answer.
+pub fn fleet_arrival() -> lumen_workload::ArrivalProcess {
+    lumen_workload::ArrivalProcess::poisson(0.5, 0xF1EE_F00D)
+}
+
+/// The per-instance template (and global stream description) of the
+/// fleet studies: [`fleet_mix`] under `arrival`, each instance a
+/// [`SLO_CAPACITY`]-slot scheduler with the SLO-aware admission policy
+/// and chunked prefill — the same knobs as [`slo_scenario`], on the
+/// bigger stream.
+pub fn fleet_template(arrival: lumen_workload::ArrivalProcess) -> lumen_workload::ServingScenario {
+    lumen_workload::ServingScenario::builder(fleet_mix(), SLO_CAPACITY)
+        .kv_bucket(SERVING_KV_BUCKET)
+        .arrival(arrival)
+        .policy(slo_policy())
+        .prefill_chunk(SLO_PREFILL_CHUNK)
+        .build()
+        .expect("the fleet template's fixed parameters are valid under every arrival")
+}
+
+/// One instance's slice of the capacity plan.
+#[derive(Debug, Clone)]
+pub struct FleetInstanceRow {
+    /// Instance index, `0..N`.
+    pub instance: usize,
+    /// Requests the router assigned here.
+    pub requests: usize,
+    /// Busy scheduler steps until the instance's last request retired.
+    pub steps: usize,
+    /// Mean slot occupancy over the instance's trace (0.0 when idle).
+    pub occupancy: f64,
+    /// Tokens this instance generated.
+    pub tokens: u64,
+    /// Photonic energy this instance spent, in millijoules.
+    pub total_mj: f64,
+}
+
+/// The fleet capacity plan: one routed arrival stream across N photonic
+/// instances, with fleet-wide latency percentiles, throughput, energy
+/// per token and the router's occupancy-balance report card.
+#[derive(Debug, Clone)]
+pub struct CapacityPlanResult {
+    /// The photonic instances' scaling corner.
+    pub scaling: ScalingProfile,
+    /// The routing discipline.
+    pub router: lumen_workload::FleetRouter,
+    /// The arrival process's display name.
+    pub arrival: String,
+    /// The stream mix's display name.
+    pub mix: String,
+    /// Requests offered to the fleet.
+    pub requests: usize,
+    /// Decode slots per instance.
+    pub capacity_per_instance: usize,
+    /// Total decode slots across the fleet.
+    pub aggregate_capacity: usize,
+    /// One row per instance, by instance index.
+    pub rows: Vec<FleetInstanceRow>,
+    /// Fleet-wide time-to-first-token percentiles, seconds.
+    pub ttft: lumen_core::Percentiles,
+    /// Fleet-wide time-between-tokens percentiles, seconds.
+    pub tbt: lumen_core::Percentiles,
+    /// Fleet throughput: generated tokens per second of makespan.
+    pub tokens_per_s: f64,
+    /// Fleet energy per generated token, in millijoules.
+    pub mj_per_token: f64,
+    /// Max minus min per-instance mean occupancy.
+    pub occupancy_skew: f64,
+    /// Layer evaluations the fleet's traces requested (all instances
+    /// share one photonic session).
+    pub trace_layer_evals: u64,
+    /// Mapping searches those evaluations actually cost (cache misses).
+    pub trace_mapping_searches: u64,
+}
+
+impl CapacityPlanResult {
+    /// Number of instances.
+    pub fn instances(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Fleet-wide p99 time-to-first-token, in milliseconds — the number
+    /// the SLO search judges a fleet by.
+    pub fn p99_ttft_ms(&self) -> f64 {
+        1e3 * self.ttft.p99
+    }
+
+    /// Fraction of the fleet's layer evaluations answered from the
+    /// shared cache.
+    pub fn trace_hit_rate(&self) -> f64 {
+        if self.trace_layer_evals == 0 {
+            return 0.0;
+        }
+        1.0 - self.trace_mapping_searches as f64 / self.trace_layer_evals as f64
+    }
+
+    /// Renders the per-instance table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "instance".into(),
+            "requests".into(),
+            "steps".into(),
+            "occupancy".into(),
+            "tokens".into(),
+            "total mJ".into(),
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.instance.to_string(),
+                row.requests.to_string(),
+                row.steps.to_string(),
+                format!("{:.0}%", 100.0 * row.occupancy),
+                row.tokens.to_string(),
+                format!("{:.1}", row.total_mj),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for CapacityPlanResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fleet capacity plan — {} requests ({}) routed {} across {} photonic instance(s) \
+             ({}), {} slots/instance (aggregate {})",
+            self.requests,
+            self.arrival,
+            self.router,
+            self.instances(),
+            self.scaling,
+            self.capacity_per_instance,
+            self.aggregate_capacity,
+        )?;
+        write!(f, "{}", self.table().render())?;
+        let ms = |s: f64| 1e3 * s;
+        writeln!(
+            f,
+            "fleet: TTFT p50/p95/p99 {:.1}/{:.1}/{:.1} ms, TBT p50/p99 {:.2}/{:.2} ms, \
+             {:.0} tok/s, {:.2} mJ/token, occupancy skew {:.0}%",
+            ms(self.ttft.p50),
+            ms(self.ttft.p95),
+            ms(self.ttft.p99),
+            ms(self.tbt.p50),
+            ms(self.tbt.p99),
+            self.tokens_per_s,
+            self.mj_per_token,
+            100.0 * self.occupancy_skew,
+        )?;
+        if self.trace_layer_evals == 0 {
+            return writeln!(f, "eval cache: disabled (uncached A/B run)");
+        }
+        writeln!(
+            f,
+            "eval cache: {} mapping searches served {} layer evaluations across the fleet \
+             ({:.1}% hit rate — instances share one session, so identical shards dedupe)",
+            self.trace_mapping_searches,
+            self.trace_layer_evals,
+            100.0 * self.trace_hit_rate(),
+        )
+    }
+}
+
+/// Runs the fleet capacity plan: routes [`fleet_mix`] under `arrival`
+/// across `instances` copies of [`fleet_template`] with `router`, and
+/// evaluates every instance through *one* photonic [`EvalSession`] —
+/// identical steps on different instances dedupe by
+/// [`lumen_workload::LayerSignature`] in the shared cache, so fleet
+/// cost grows with distinct step shapes, not with N.
+///
+/// # Panics
+///
+/// If `instances` is zero — the CLI rejects that before calling in
+/// (and `lumen check`'s L0408 flags it at pre-flight).
+///
+/// # Errors
+///
+/// [`SystemError::NoMapping`] if any step has an unmappable layer.
+pub fn capacity_plan_study(
+    scaling: ScalingProfile,
+    instances: usize,
+    router: lumen_workload::FleetRouter,
+    arrival: lumen_workload::ArrivalProcess,
+) -> Result<CapacityPlanResult, SystemError> {
+    use lumen_core::{fleet_trace, FleetInstance};
+    use lumen_workload::{Fleet, ServingModel};
+
+    let template = fleet_template(arrival);
+    let fleet = Fleet::uniform(template, router, instances);
+    let assignments = fleet
+        .dispatch()
+        .expect("a uniform fleet serves any sub-stream of its own mix");
+
+    let photonic = EvalSession::new(AlbireoConfig::new(scaling).build_system());
+    let model = ServingModel::gpt2_small();
+    let options = NetworkOptions::baseline();
+    let members: Vec<FleetInstance<'_>> = assignments
+        .iter()
+        .map(|assignment| FleetInstance {
+            session: &photonic,
+            model: &model,
+            assignment,
+        })
+        .collect();
+
+    let before = photonic.cache_stats();
+    let evaluation = fleet_trace(&members, &options)?;
+    let after = photonic.cache_stats();
+
+    let occupancies = evaluation.occupancies();
+    let rows = evaluation
+        .instances
+        .iter()
+        .map(|trace| FleetInstanceRow {
+            instance: trace.instance,
+            requests: trace.requests.len(),
+            steps: trace.evaluation.as_ref().map_or(0, |e| e.points.len()),
+            occupancy: occupancies[trace.instance],
+            tokens: trace
+                .evaluation
+                .as_ref()
+                .map_or(0, lumen_core::ServingEvaluation::total_tokens),
+            total_mj: trace
+                .evaluation
+                .as_ref()
+                .map_or(0.0, |e| e.total_energy().picojoules() / 1e9),
+        })
+        .collect();
+
+    Ok(CapacityPlanResult {
+        scaling,
+        router,
+        arrival: fleet.stream().arrival().to_string(),
+        mix: fleet.stream().mix().name().to_string(),
+        requests: fleet.stream().mix().len(),
+        capacity_per_instance: SLO_CAPACITY,
+        aggregate_capacity: fleet.aggregate_capacity(),
+        rows,
+        ttft: evaluation.ttft_percentiles(),
+        tbt: evaluation.tbt_percentiles(),
+        tokens_per_s: evaluation.tokens_per_second(),
+        mj_per_token: evaluation.pj_per_token() / 1e9,
+        occupancy_skew: evaluation.occupancy_skew(),
+        trace_layer_evals: (after.hits + after.misses) - (before.hits + before.misses),
+        trace_mapping_searches: after.misses - before.misses,
+    })
+}
+
+/// One instance count probed by the SLO search.
+#[derive(Debug, Clone)]
+pub struct FleetSloRow {
+    /// Instances provisioned.
+    pub instances: usize,
+    /// Fleet-wide p50 time-to-first-token, milliseconds.
+    pub p50_ttft_ms: f64,
+    /// Fleet-wide p99 time-to-first-token, milliseconds.
+    pub p99_ttft_ms: f64,
+    /// Fleet throughput, generated tokens/s.
+    pub tokens_per_s: f64,
+    /// Fleet energy per generated token, millijoules.
+    pub mj_per_token: f64,
+    /// Max minus min per-instance mean occupancy.
+    pub occupancy_skew: f64,
+    /// Whether this fleet met the SLO.
+    pub met: bool,
+}
+
+/// The SLO search: the smallest fleet whose p99 TTFT meets the target.
+#[derive(Debug, Clone)]
+pub struct FleetSloSearchResult {
+    /// The photonic instances' scaling corner.
+    pub scaling: ScalingProfile,
+    /// The p99 TTFT target, in milliseconds.
+    pub slo_p99_ttft_ms: f64,
+    /// The routing discipline.
+    pub router: lumen_workload::FleetRouter,
+    /// The arrival process's display name.
+    pub arrival: String,
+    /// The largest fleet the search was willing to provision.
+    pub max_instances: usize,
+    /// One row per probed instance count, ascending; the sweep stops at
+    /// the first fleet that meets the SLO.
+    pub rows: Vec<FleetSloRow>,
+    /// The smallest instance count meeting the SLO, when one exists
+    /// within `max_instances`.
+    pub min_instances: Option<usize>,
+}
+
+impl FleetSloSearchResult {
+    /// Renders the probed fleet sizes as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "instances".into(),
+            "p50 ttft ms".into(),
+            "p99 ttft ms".into(),
+            "tok/s".into(),
+            "mJ/tok".into(),
+            "occ skew".into(),
+            "meets slo".into(),
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.instances.to_string(),
+                format!("{:.1}", row.p50_ttft_ms),
+                format!("{:.1}", row.p99_ttft_ms),
+                format!("{:.0}", row.tokens_per_s),
+                format!("{:.2}", row.mj_per_token),
+                format!("{:.0}%", 100.0 * row.occupancy_skew),
+                if row.met { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for FleetSloSearchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fleet SLO search — smallest photonic fleet ({}) with p99 TTFT <= {:.0} ms, \
+             router {}, arrival {}",
+            self.scaling, self.slo_p99_ttft_ms, self.router, self.arrival,
+        )?;
+        write!(f, "{}", self.table().render())?;
+        match self.min_instances {
+            Some(n) => writeln!(
+                f,
+                "verdict: {n} instance(s) meet the {:.0} ms p99 TTFT target",
+                self.slo_p99_ttft_ms
+            ),
+            None => writeln!(
+                f,
+                "verdict: no fleet up to {} instance(s) meets the {:.0} ms p99 TTFT target",
+                self.max_instances, self.slo_p99_ttft_ms
+            ),
+        }
+    }
+}
+
+/// Answers the capacity question: sweeps the instance count upward from
+/// one, running [`capacity_plan_study`] at each size, until the
+/// fleet-wide p99 TTFT meets `slo_p99_ttft_ms` (or the sweep hits
+/// [`FLEET_SEARCH_MAX_INSTANCES`]).
+///
+/// # Errors
+///
+/// [`SystemError::NoMapping`] if any step has an unmappable layer.
+pub fn fleet_slo_search(
+    scaling: ScalingProfile,
+    slo_p99_ttft_ms: f64,
+    router: lumen_workload::FleetRouter,
+    arrival: lumen_workload::ArrivalProcess,
+) -> Result<FleetSloSearchResult, SystemError> {
+    let mut rows = Vec::new();
+    let mut min_instances = None;
+    for instances in 1..=FLEET_SEARCH_MAX_INSTANCES {
+        let plan = capacity_plan_study(scaling, instances, router, arrival.clone())?;
+        let p99 = plan.p99_ttft_ms();
+        let met = p99 <= slo_p99_ttft_ms;
+        rows.push(FleetSloRow {
+            instances,
+            p50_ttft_ms: 1e3 * plan.ttft.p50,
+            p99_ttft_ms: p99,
+            tokens_per_s: plan.tokens_per_s,
+            mj_per_token: plan.mj_per_token,
+            occupancy_skew: plan.occupancy_skew,
+            met,
+        });
+        if met {
+            min_instances = Some(instances);
+            break;
+        }
+    }
+    Ok(FleetSloSearchResult {
+        scaling,
+        slo_p99_ttft_ms,
+        router,
+        arrival: fleet_template(arrival).arrival().to_string(),
+        max_instances: FLEET_SEARCH_MAX_INSTANCES,
+        rows,
+        min_instances,
     })
 }
 

@@ -51,6 +51,7 @@ pub mod check;
 mod config;
 mod dataflow;
 pub mod experiments;
+pub mod flags;
 pub mod reference;
 
 pub use baseline::{compare_with_digital, BaselineComparison, DigitalBaseline};

@@ -15,6 +15,7 @@
 //! lumen transformers         # photonic vs digital on attention workloads
 //! lumen decode               # autoregressive decode vs KV length
 //! lumen serving              # continuous batching of mixed-length traffic
+//! lumen fleet --instances 3  # fleet-scale capacity planning across instances
 //! lumen components           # component library report
 //! lumen check                # static pre-flight lint of the whole matrix
 //! ```
@@ -58,6 +59,7 @@ fn main() -> ExitCode {
         "transformers" => transformers_cmd(&args),
         "decode" => decode_cmd(&args),
         "serving" => serving_cmd(&args),
+        "fleet" => fleet_cmd(&args),
         "components" => components_cmd(),
         "cache" => cache_cmd(&args),
         "check" => check_cmd(&args),
@@ -151,6 +153,12 @@ fn print_help() {
     println!("              [--arrival closed-loop|poisson[:rate]|bursty|diurnal]");
     println!("              [--policy fifo|shortest-prompt|slo]   (open-loop SLO study)");
     println!("              [--kv-page N [--shared-prefix L]]     (paged KV residency study)");
+    println!("  fleet       fleet-scale capacity planning [--scaling <corner>]");
+    println!(
+        "              [--instances N] [--router round-robin|join-shortest-queue|least-loaded-kv]"
+    );
+    println!("              [--arrival closed-loop|poisson[:rate]|bursty|diurnal]");
+    println!("              [--slo p99-ttft:MS]  (search the smallest fleet meeting the SLO)");
     println!("  components  print the component library report");
     println!("  cache       inspect the persistent eval cache [--clear] (needs --cache-dir)");
     println!("  check       static pre-flight lint of architectures x workloads x strategies");
@@ -315,147 +323,102 @@ fn decode_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Shared lint pre-flight for the serving and fleet paths: print every
+/// diagnostic, abort only on errors (an overloaded arrival rate is a
+/// legitimate thing to study, so L0403/L0409 warn).
+fn preflight(
+    scenario: &lumen_workload::ServingScenario,
+    fleet: Option<(usize, lumen_workload::FleetRouter)>,
+) -> Result<(), String> {
+    use lumen_lint::{FleetSpec, LintRegistry, LintTarget, ServingSpec};
+    let mut spec = ServingSpec::from_scenario(scenario);
+    // Study scenarios leave the context window unset (it belongs to the
+    // served model, not the traffic); pin GPT-2 small's window here so
+    // L0404 still guards every CLI path.
+    if spec.max_context.is_none() {
+        spec.max_context = lumen_workload::ServingModel::gpt2_small().max_context();
+    }
+    let router_name = fleet.map(|(_, router)| router.to_string());
+    let fleet_spec = fleet.map(|(instances, _)| FleetSpec {
+        stream: spec.clone(),
+        instances,
+        aggregate_capacity: instances * scenario.capacity(),
+        router: router_name.as_deref().unwrap_or(""),
+    });
+    let mut target = LintTarget::new().with_serving(&spec);
+    if let Some(fleet_spec) = &fleet_spec {
+        target = target.with_fleet(fleet_spec);
+    }
+    let report = LintRegistry::with_default_lints().run(&target);
+    if !report.is_empty() {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "serving pre-flight found {} error(s)",
+            report.errors()
+        ))
+    }
+}
+
 fn serving_cmd(args: &[String]) -> Result<(), String> {
+    use lumen_albireo::flags::{parse_serving_flags, ServingPlan};
     let scaling = parse_scaling(args)?;
-    let arrival_flag = option_value(args, "--arrival");
-    let policy_flag = option_value(args, "--policy");
-    let page_flag = option_value(args, "--kv-page");
-    let shared_flag = option_value(args, "--shared-prefix");
-    if page_flag.is_none() && shared_flag.is_some() {
-        return Err("--shared-prefix needs --kv-page (prefix pages only exist when paged)".into());
-    }
-    if page_flag.is_some() && (arrival_flag.is_some() || policy_flag.is_some()) {
-        return Err("--kv-page runs the closed-loop paged study; drop --arrival/--policy".into());
-    }
-    if let Some(raw) = page_flag {
-        let page: usize = raw
-            .parse()
-            .map_err(|_| format!("--kv-page expects a token count, got `{raw}`"))?;
-        let shared: usize = match shared_flag {
-            None => 0,
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("--shared-prefix expects a token count, got `{raw}`"))?,
-        };
-        return paged_serving_cmd(scaling, page, shared);
-    }
-    if arrival_flag.is_none() && policy_flag.is_none() {
-        // Legacy closed-loop study: capacity sweep over the three mixes.
-        let result = experiments::serving_study(scaling).map_err(|e| e.to_string())?;
-        println!("{result}");
-        return Ok(());
-    }
-    let arrival = parse_arrival(arrival_flag.unwrap_or("closed-loop"))?;
-    let policy = parse_policy(policy_flag.unwrap_or("fifo"))?;
-
-    // Pre-flight lint of the serving spec before paying for the traces:
-    // print every diagnostic, abort only on errors (an overloaded
-    // arrival rate is a legitimate thing to study, so L0403 warns).
-    use lumen_lint::{LintRegistry, LintTarget, ServingSpec};
-    let mix = experiments::slo_mix();
-    let spec = ServingSpec {
-        mix: &mix,
-        capacity: experiments::SLO_CAPACITY,
-        kv_bucket: experiments::SERVING_KV_BUCKET,
-        kv_page: None,
-        arrival: Some(&arrival),
-        max_context: lumen_workload::ServingModel::gpt2_small().max_context(),
-    };
-    let report = LintRegistry::with_default_lints().run(&LintTarget::new().with_serving(&spec));
-    if !report.is_empty() {
-        print!("{}", report.render_text());
-    }
-    if !report.is_clean() {
-        return Err(format!(
-            "serving pre-flight found {} error(s)",
-            report.errors()
-        ));
-    }
-
-    let result = experiments::serving_scenario_study(scaling, &[(arrival, policy)])
-        .map_err(|e| e.to_string())?;
-    println!("{result}");
-    Ok(())
-}
-
-/// `lumen serving --kv-page N [--shared-prefix L]`: the paged KV study
-/// — bucket padding vs exact per-page residency vs prefix sharing —
-/// lint-gated the same way as the SLO path (L0406/L0407 inspect the
-/// page itself).
-fn paged_serving_cmd(scaling: ScalingProfile, page: usize, shared: usize) -> Result<(), String> {
-    use lumen_lint::{LintRegistry, LintTarget, ServingSpec};
-    let mix = experiments::slo_mix();
-    let spec = ServingSpec {
-        mix: &mix,
-        capacity: experiments::SLO_CAPACITY,
-        kv_bucket: experiments::SERVING_KV_BUCKET,
-        kv_page: Some(page),
-        arrival: None,
-        max_context: lumen_workload::ServingModel::gpt2_small().max_context(),
-    };
-    let report = LintRegistry::with_default_lints().run(&LintTarget::new().with_serving(&spec));
-    if !report.is_empty() {
-        print!("{}", report.render_text());
-    }
-    if !report.is_clean() {
-        return Err(format!(
-            "serving pre-flight found {} error(s)",
-            report.errors()
-        ));
-    }
-    // The typed constructor owns shared-prefix validation; surface its
-    // error instead of panicking through the study's infallible path.
-    mix.try_with_shared_prefix(shared)
-        .map_err(|e| e.to_string())?;
-
-    let result =
-        experiments::paged_serving_study_with(scaling, page, shared).map_err(|e| e.to_string())?;
-    println!("{result}");
-    Ok(())
-}
-
-/// Parses `--arrival`: a named process, with `poisson` taking an
-/// optional `:rate` suffix. Seeds match the `serving_slo_study`
-/// scenarios so CLI runs land on the study's golden-pinned traffic.
-fn parse_arrival(spec: &str) -> Result<lumen_workload::ArrivalProcess, String> {
-    use lumen_workload::ArrivalProcess;
-    match spec {
-        "closed-loop" => Ok(ArrivalProcess::ClosedLoop),
-        "bursty" => Ok(ArrivalProcess::bursty(0.02, 48, 6, 0xB125_7EED)),
-        "diurnal" => Ok(ArrivalProcess::diurnal(0.05, 0.5, 96, 0xFEED_F00D)),
-        _ => {
-            let rate = match spec.strip_prefix("poisson") {
-                Some("") => 0.5,
-                Some(rest) => {
-                    let raw = rest.strip_prefix(':').ok_or_else(|| {
-                        format!("unknown arrival process `{spec}` (try poisson:0.5)")
-                    })?;
-                    raw.parse::<f64>()
-                        .map_err(|_| format!("--arrival poisson expects a rate, got `{raw}`"))?
-                }
-                None => {
-                    return Err(format!(
-                        "unknown arrival process `{spec}` \
-                         (expected closed-loop, poisson[:rate], bursty or diurnal)"
-                    ));
-                }
-            };
-            ArrivalProcess::try_poisson(rate, 0xFEED_F00D).map_err(|e| e.to_string())
+    match parse_serving_flags(args).map_err(|e| e.to_string())? {
+        ServingPlan::ClosedLoopStudy => {
+            // Legacy closed-loop study: capacity sweep over the three mixes.
+            let result = experiments::serving_study(scaling).map_err(|e| e.to_string())?;
+            println!("{result}");
+        }
+        ServingPlan::Scenario(scenario) => {
+            preflight(&scenario, None)?;
+            let result = experiments::serving_scenario_study(
+                scaling,
+                &[(scenario.arrival().clone(), scenario.policy())],
+            )
+            .map_err(|e| e.to_string())?;
+            println!("{result}");
+        }
+        ServingPlan::Paged(scenario) => {
+            preflight(&scenario, None)?;
+            let result = experiments::paged_serving_scenario_study(scaling, &scenario)
+                .map_err(|e| e.to_string())?;
+            println!("{result}");
         }
     }
+    Ok(())
 }
 
-/// Parses `--policy`: which queued request a free decode slot admits.
-fn parse_policy(spec: &str) -> Result<lumen_workload::AdmissionPolicy, String> {
-    use lumen_workload::AdmissionPolicy;
-    match spec {
-        "fifo" => Ok(AdmissionPolicy::Fifo),
-        "shortest-prompt" => Ok(AdmissionPolicy::ShortestPrompt),
-        "slo" => Ok(experiments::slo_policy()),
-        other => Err(format!(
-            "unknown admission policy `{other}` (expected fifo, shortest-prompt or slo)"
-        )),
+/// `lumen fleet`: route one arrival stream across N serving instances
+/// and report fleet-wide percentiles — or, with `--slo p99-ttft:MS`,
+/// sweep the instance count upward to the smallest fleet meeting the
+/// target.
+fn fleet_cmd(args: &[String]) -> Result<(), String> {
+    use lumen_albireo::flags::parse_fleet_flags;
+    let scaling = parse_scaling(args)?;
+    let plan = parse_fleet_flags(args).map_err(|e| e.to_string())?;
+    let template = experiments::fleet_template(plan.arrival.clone());
+    preflight(&template, Some((plan.instances, plan.router)))?;
+    match plan.slo_p99_ttft_ms {
+        Some(slo) => {
+            let result = experiments::fleet_slo_search(scaling, slo, plan.router, plan.arrival)
+                .map_err(|e| e.to_string())?;
+            println!("{result}");
+        }
+        None => {
+            let result = experiments::capacity_plan_study(
+                scaling,
+                plan.instances,
+                plan.router,
+                plan.arrival,
+            )
+            .map_err(|e| e.to_string())?;
+            println!("{result}");
+        }
     }
+    Ok(())
 }
 
 fn components_cmd() -> Result<(), String> {

@@ -64,6 +64,7 @@ pub mod decode;
 pub mod dse;
 mod energy;
 mod evaluator;
+pub mod fleet;
 mod network;
 mod persist;
 pub mod report;
@@ -79,6 +80,7 @@ pub use energy::{CostCategory, EnergyBreakdown, EnergyItem};
 pub use evaluator::{
     strategy_facts, LayerEvaluation, MappingFn, MappingStrategy, System, SystemError,
 };
+pub use fleet::{fleet_trace, scenario_trace, FleetEvaluation, FleetInstance, FleetInstanceTrace};
 pub use network::{FusionConfig, NetworkEvaluation, NetworkOptions};
 pub use serving::{
     serving_sweep, serving_trace, serving_trace_with, Percentiles, RequestLatency,

@@ -45,4 +45,4 @@ pub use diagnostic::{Diagnostic, Severity};
 pub use registry::{Lint, LintRegistry};
 pub use report::Report;
 pub use rules::{arch_error_diagnostic, default_lints};
-pub use target::{LintTarget, ServingSpec, StrategyFacts};
+pub use target::{FleetSpec, LintTarget, ServingSpec, StrategyFacts};

@@ -44,6 +44,8 @@ pub fn default_lints() -> Vec<Box<dyn Lint>> {
         Box::new(mapper::SilentSearchFailure),
         Box::new(serving::PageTileMismatch),
         Box::new(serving::FragmentationHeavyPage),
+        Box::new(serving::RouterTargetsNoInstances),
+        Box::new(serving::FleetOverload),
     ]
 }
 

@@ -291,3 +291,89 @@ impl Lint for PromptExceedsContext {
         }
     }
 }
+
+/// `L0408`: a router with no instances to route to.
+///
+/// `Fleet::try_uniform` rejects a zero-instance fleet with a typed
+/// error; the lint reports the same contradiction at pre-flight, with
+/// the router and stream named, so a capacity sweep that computed its
+/// instance count (e.g. from a budget) fails loudly before dispatch.
+pub struct RouterTargetsNoInstances;
+
+impl Lint for RouterTargetsNoInstances {
+    fn code(&self) -> &'static str {
+        "L0408"
+    }
+
+    fn summary(&self) -> &'static str {
+        "a fleet router needs at least one instance"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(fleet) = target.fleet else {
+            return;
+        };
+        if fleet.instances == 0 {
+            out.push(Diagnostic::new(
+                self.code(),
+                Severity::Error,
+                format!("fleet/{}/{}", fleet.router, fleet.stream.mix.name()),
+                format!(
+                    "router {} targets zero instances; every request routes nowhere",
+                    fleet.router
+                ),
+                "provision at least one instance before routing a stream",
+            ));
+        }
+    }
+}
+
+/// `L0409`: the stream offers more decode work than the whole fleet can
+/// serve.
+///
+/// The fleet analogue of `L0403`: the offered decode load is `mean
+/// arrival rate × mean output length` slot-steps per step, and the
+/// serving capacity is now the *sum* of every instance's decode slots.
+/// When the offered load exceeds that aggregate no router can help —
+/// queues grow on every instance and fleet percentiles measure backlog.
+/// Adding instances is the fix the capacity planner automates.
+pub struct FleetOverload;
+
+impl Lint for FleetOverload {
+    fn code(&self) -> &'static str {
+        "L0409"
+    }
+
+    fn summary(&self) -> &'static str {
+        "the offered load should not exceed the fleet's aggregate capacity"
+    }
+
+    fn check(&self, target: &LintTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(fleet) = target.fleet else {
+            return;
+        };
+        let stream = &fleet.stream;
+        let Some(rate) = stream.arrival.and_then(ArrivalProcess::mean_rate) else {
+            return;
+        };
+        if stream.mix.is_empty() || fleet.aggregate_capacity == 0 {
+            return;
+        }
+        let mean_output = stream.mix.total_output_tokens() as f64 / stream.mix.len() as f64;
+        let offered = rate * mean_output;
+        if offered > fleet.aggregate_capacity as f64 {
+            out.push(Diagnostic::new(
+                self.code(),
+                Severity::Warn,
+                format!("fleet/{}/{}", fleet.router, fleet.stream.mix.name()),
+                format!(
+                    "offered load {offered:.2} slot-steps/step exceeds the fleet's \
+                     aggregate capacity {} across {} instance(s); queues grow on every \
+                     instance regardless of routing",
+                    fleet.aggregate_capacity, fleet.instances
+                ),
+                "add instances, lower the arrival rate, or shorten outputs",
+            ));
+        }
+    }
+}

@@ -7,7 +7,7 @@
 
 use lumen_arch::Architecture;
 use lumen_mapper::search::SearchConfig;
-use lumen_workload::{ArrivalProcess, Network, RequestMix};
+use lumen_workload::{ArrivalProcess, Network, RequestMix, ServingScenario};
 
 /// Facts about a mapping strategy that lints can inspect without the
 /// strategy type itself.
@@ -47,6 +47,37 @@ pub struct ServingSpec<'a> {
     pub max_context: Option<usize>,
 }
 
+impl<'a> ServingSpec<'a> {
+    /// The borrow-view of a validated [`ServingScenario`] — the one
+    /// construction path serving lints inspect. The scenario has already
+    /// rejected contradictions at `build()`, so the lints add judgment
+    /// calls (load vs capacity, page vs bucket fit), not re-validation.
+    pub fn from_scenario(scenario: &'a ServingScenario) -> ServingSpec<'a> {
+        ServingSpec {
+            mix: scenario.mix(),
+            capacity: scenario.capacity(),
+            kv_bucket: scenario.kv_bucket(),
+            kv_page: scenario.kv_page(),
+            arrival: Some(scenario.arrival()),
+            max_context: scenario.max_context(),
+        }
+    }
+}
+
+/// A fleet to lint: the per-instance serving view plus the fleet-level
+/// shape the routers operate on.
+#[derive(Debug, Clone)]
+pub struct FleetSpec<'a> {
+    /// The global stream the fleet serves, as a serving spec.
+    pub stream: ServingSpec<'a>,
+    /// Number of instances the router targets.
+    pub instances: usize,
+    /// Total decode slots across the fleet.
+    pub aggregate_capacity: usize,
+    /// The routing discipline's display name (for diagnostic paths).
+    pub router: &'a str,
+}
+
 /// The model facets one lint run inspects; all optional.
 #[derive(Debug, Clone, Default)]
 pub struct LintTarget<'a> {
@@ -58,6 +89,8 @@ pub struct LintTarget<'a> {
     pub strategy: Option<&'a StrategyFacts>,
     /// Serving schedule under check.
     pub serving: Option<&'a ServingSpec<'a>>,
+    /// Fleet under check.
+    pub fleet: Option<&'a FleetSpec<'a>>,
 }
 
 impl<'a> LintTarget<'a> {
@@ -91,6 +124,13 @@ impl<'a> LintTarget<'a> {
     #[must_use]
     pub fn with_serving(mut self, serving: &'a ServingSpec<'a>) -> LintTarget<'a> {
         self.serving = Some(serving);
+        self
+    }
+
+    /// Adds a fleet spec (builder style).
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: &'a FleetSpec<'a>) -> LintTarget<'a> {
+        self.fleet = Some(fleet);
         self
     }
 }

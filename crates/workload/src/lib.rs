@@ -58,9 +58,10 @@ pub use dims::{Dim, DimMap, DimSet, Shape};
 pub use layer::{Layer, LayerError, LayerKind};
 pub use network::{Network, NetworkStats};
 pub use serving::{
-    ActiveSlot, AdmissionPolicy, ArrivalProcess, BatchSchedule, KvLayout, PageTable,
-    PagedResidency, PrefillMode, PrefillSlot, Request, RequestMix, ScheduleStep, ServingConfig,
-    ServingError, ServingModel, ServingSchedule, ServingStep, StepResidency,
+    ActiveSlot, AdmissionPolicy, ArrivalProcess, BatchSchedule, Fleet, FleetRouter,
+    InstanceAssignment, KvLayout, PageTable, PagedResidency, PrefillMode, PrefillSlot, Request,
+    RequestMix, ScheduleStep, ServingConfig, ServingError, ServingModel, ServingScenario,
+    ServingScenarioBuilder, ServingSchedule, ServingStep, StepResidency,
 };
 pub use signature::{fnv1a, fnv1a_bytes, LayerSignature};
 pub use tensor::{TensorKind, TensorMap, TensorSet};

@@ -67,6 +67,15 @@ pub enum ArrivalProcess {
         /// SplitMix64 seed.
         seed: u64,
     },
+    /// A literal, pre-computed arrival trace: request `i` arrives at
+    /// `steps[i]`. This is how a fleet router replays the slice of a
+    /// global stream it assigned to one instance — the sub-schedule sees
+    /// exactly the steps the fleet-level draw produced, with no
+    /// re-rolling.
+    Explicit {
+        /// Arrival step of each request, non-decreasing.
+        steps: Vec<usize>,
+    },
 }
 
 impl ArrivalProcess {
@@ -182,11 +191,34 @@ impl ArrivalProcess {
             .expect("diurnal arrivals need trough <= peak probabilities and a period")
     }
 
+    /// A literal arrival trace: request `i` arrives at `steps[i]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::UnsortedArrivals`] if the steps ever decrease —
+    /// requests are indexed in arrival order, so the trace must be
+    /// non-decreasing.
+    pub fn try_explicit(steps: Vec<usize>) -> Result<ArrivalProcess, ServingError> {
+        if let Some(index) = steps.windows(2).position(|w| w[0] > w[1]) {
+            return Err(ServingError::UnsortedArrivals { index: index + 1 });
+        }
+        Ok(ArrivalProcess::Explicit { steps })
+    }
+
+    /// Panicking wrapper over [`ArrivalProcess::try_explicit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the steps are not non-decreasing.
+    pub fn explicit(steps: Vec<usize>) -> ArrivalProcess {
+        ArrivalProcess::try_explicit(steps).expect("explicit arrival steps must be non-decreasing")
+    }
+
     /// The Bernoulli rate at scheduler step `wall` (unused by
     /// [`ArrivalProcess::ClosedLoop`]).
     fn rate_at(&self, wall: usize) -> f64 {
         match *self {
-            ArrivalProcess::ClosedLoop => 0.0,
+            ArrivalProcess::ClosedLoop | ArrivalProcess::Explicit { .. } => 0.0,
             ArrivalProcess::Poisson { rate, .. } | ArrivalProcess::Bursty { rate, .. } => rate,
             ArrivalProcess::Diurnal {
                 trough,
@@ -210,8 +242,18 @@ impl ArrivalProcess {
         if matches!(self, ArrivalProcess::ClosedLoop) {
             return vec![0; count];
         }
+        if let ArrivalProcess::Explicit { steps } = self {
+            // A trace shorter than the mix extends at its final step —
+            // the stream "ended" there; fleet routing always hands a
+            // trace exactly as long as the sub-mix, so the pad is a
+            // robustness fallback, not a code path studies exercise.
+            let pad = steps.last().copied().unwrap_or(0);
+            let mut out: Vec<usize> = steps.iter().copied().take(count).collect();
+            out.resize(count, pad);
+            return out;
+        }
         let mut state = match *self {
-            ArrivalProcess::ClosedLoop => 0,
+            ArrivalProcess::ClosedLoop | ArrivalProcess::Explicit { .. } => 0,
             ArrivalProcess::Poisson { seed, .. }
             | ArrivalProcess::Bursty { seed, .. }
             | ArrivalProcess::Diurnal { seed, .. } => seed,
@@ -249,6 +291,16 @@ impl ArrivalProcess {
                 ..
             } => Some(rate + burst as f64 / period as f64),
             ArrivalProcess::Diurnal { trough, peak, .. } => Some((trough + peak) / 2.0),
+            ArrivalProcess::Explicit { ref steps } => {
+                // Empirical rate of the trace itself: arrivals over the
+                // steps they span (an all-at-zero trace is closed-loop
+                // in spirit and reports no finite rate).
+                let last = *steps.last()?;
+                if last == 0 {
+                    return None;
+                }
+                Some(steps.len() as f64 / (last + 1) as f64)
+            }
         }
     }
 }
@@ -275,6 +327,18 @@ impl fmt::Display for ArrivalProcess {
                 period,
                 seed,
             } => write!(f, "diurnal({trough}-{peak}per{period},s{seed:x})"),
+            ArrivalProcess::Explicit { ref steps } => {
+                // Pin the whole trace via a content hash so two
+                // different explicit streams never share a golden label.
+                let words: Vec<u64> = steps.iter().map(|&s| s as u64).collect();
+                let digest = crate::fnv1a(b"arrival/explicit", &words);
+                write!(
+                    f,
+                    "explicit({}req,h{:08x})",
+                    steps.len(),
+                    digest & 0xFFFF_FFFF
+                )
+            }
         }
     }
 }
@@ -385,6 +449,35 @@ mod tests {
             ArrivalProcess::try_diurnal(0.0, 0.0, 4, 0),
             Err(ServingError::ArrivalRateOutOfRange(0.0))
         );
+    }
+
+    #[test]
+    fn explicit_replays_the_given_trace() {
+        let p = ArrivalProcess::explicit(vec![0, 2, 2, 7]);
+        assert_eq!(p.arrival_steps(4), vec![0, 2, 2, 7]);
+        // Truncates or pads (at the last step) when counts differ.
+        assert_eq!(p.arrival_steps(2), vec![0, 2]);
+        assert_eq!(p.arrival_steps(6), vec![0, 2, 2, 7, 7, 7]);
+        let rate = p.mean_rate().unwrap();
+        assert!((rate - 0.5).abs() < 1e-12, "4 arrivals over 8 steps");
+        assert_eq!(
+            ArrivalProcess::explicit(vec![0, 0]).mean_rate(),
+            None,
+            "an all-at-zero trace is closed-loop in spirit"
+        );
+        assert_eq!(
+            ArrivalProcess::try_explicit(vec![3, 1]),
+            Err(ServingError::UnsortedArrivals { index: 1 })
+        );
+    }
+
+    #[test]
+    fn explicit_display_hashes_the_trace() {
+        let a = ArrivalProcess::explicit(vec![0, 2, 5]).to_string();
+        let b = ArrivalProcess::explicit(vec![0, 2, 6]).to_string();
+        assert!(a.starts_with("explicit(3req,h"), "{a}");
+        assert_ne!(a, b, "different traces, different labels");
+        assert_eq!(a, ArrivalProcess::explicit(vec![0, 2, 5]).to_string());
     }
 
     #[test]

@@ -58,6 +58,21 @@ pub enum ServingError {
         /// The model's context window.
         max_context: usize,
     },
+    /// A KV bucket of zero tokens cannot round an attend length.
+    ZeroKvBucket,
+    /// A shared prompt prefix only pays off under paged residency:
+    /// bucketed accounting has no pages to deduplicate, so declaring a
+    /// prefix without a KV page is a contradiction, not a no-op.
+    SharedPrefixRequiresPagedKv,
+    /// A fleet with zero instances routes every request nowhere.
+    EmptyFleet,
+    /// An explicit arrival trace must be sorted: requests are indexed in
+    /// arrival order, so a step sequence that goes backwards in time
+    /// reorders the stream it claims to replay.
+    UnsortedArrivals {
+        /// Index of the first out-of-order entry.
+        index: usize,
+    },
 }
 
 impl fmt::Display for ServingError {
@@ -106,6 +121,20 @@ impl fmt::Display for ServingError {
                 f,
                 "request {request} needs {needed} context tokens but the model caps at {max_context}"
             ),
+            ServingError::ZeroKvBucket => {
+                write!(f, "a KV bucket must cover at least one token")
+            }
+            ServingError::SharedPrefixRequiresPagedKv => write!(
+                f,
+                "a shared prefix needs a paged KV layout; bucketed residency has no pages to share"
+            ),
+            ServingError::EmptyFleet => {
+                write!(f, "a fleet needs at least one instance")
+            }
+            ServingError::UnsortedArrivals { index } => write!(
+                f,
+                "explicit arrival steps must be non-decreasing; entry {index} goes back in time"
+            ),
         }
     }
 }
@@ -141,6 +170,10 @@ mod tests {
                 needed: 1025,
                 max_context: 1024,
             },
+            ServingError::ZeroKvBucket,
+            ServingError::SharedPrefixRequiresPagedKv,
+            ServingError::EmptyFleet,
+            ServingError::UnsortedArrivals { index: 2 },
         ];
         for err in cases {
             let msg = err.to_string();

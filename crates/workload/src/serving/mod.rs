@@ -64,14 +64,18 @@
 mod arrival;
 mod error;
 mod event;
+mod fleet;
 mod paging;
 mod policy;
+mod scenario;
 
 pub use arrival::ArrivalProcess;
 pub use error::ServingError;
 pub use event::{PrefillMode, PrefillSlot, ServingConfig, ServingSchedule, ServingStep};
+pub use fleet::{Fleet, FleetRouter, InstanceAssignment};
 pub use paging::{KvLayout, PageTable, PagedResidency, StepResidency};
 pub use policy::AdmissionPolicy;
+pub use scenario::{ServingScenario, ServingScenarioBuilder};
 
 use crate::decode::decode_block_macs;
 use crate::{DecodePhase, Layer, Network};
@@ -329,6 +333,23 @@ impl RequestMix {
     /// The shared-prompt-prefix length, in tokens (0 = no sharing).
     pub fn shared_prefix(&self) -> usize {
         self.shared_prefix
+    }
+
+    /// The sub-mix at `indices` (in the given order) under `name`,
+    /// carrying the shared prefix over verbatim — no `+shared` name
+    /// re-suffixing, no re-validation. This is how a fleet router slices
+    /// one global mix into per-instance streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of bounds.
+    pub(crate) fn subset(&self, name: impl Into<String>, indices: &[usize]) -> RequestMix {
+        assert!(!indices.is_empty(), "a sub-mix cannot be empty");
+        RequestMix {
+            name: name.into(),
+            requests: indices.iter().map(|&i| self.requests[i]).collect(),
+            shared_prefix: self.shared_prefix,
+        }
     }
 }
 

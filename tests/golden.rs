@@ -196,6 +196,54 @@ fn paged_serving_study_matches_snapshot() {
 }
 
 #[test]
+fn capacity_plan_matches_snapshot() {
+    // Both corners of the fleet capacity plan: the default three-instance
+    // round-robin fleet — per-instance request/step/occupancy rows, the
+    // fleet-wide TTFT/TBT percentiles pooled at each instance's clock,
+    // tokens/s over the fleet makespan, energy/token, occupancy skew and
+    // the shared-session eval-cache accounting — all seeded, so exact.
+    let mut rendered = String::new();
+    for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
+        rendered.push_str(
+            &experiments::capacity_plan_study(
+                scaling,
+                experiments::FLEET_INSTANCES,
+                lumen::workload::FleetRouter::RoundRobin,
+                experiments::fleet_arrival(),
+            )
+            .expect("study evaluates")
+            .to_string(),
+        );
+        rendered.push('\n');
+    }
+    assert_golden("capacity_plan", &rendered);
+}
+
+#[test]
+fn fleet_slo_search_matches_snapshot() {
+    // Both corners of the SLO search: the per-fleet-size rows and the
+    // verdict — the smallest fleet whose p99 TTFT meets the target at
+    // each corner. The 20 ms target is chosen to be *met* within the
+    // sweep bound at both corners, so the snapshot pins a real minimum
+    // rather than an exhausted search.
+    let mut rendered = String::new();
+    for scaling in [ScalingProfile::Conservative, ScalingProfile::Aggressive] {
+        rendered.push_str(
+            &experiments::fleet_slo_search(
+                scaling,
+                20.0,
+                lumen::workload::FleetRouter::JoinShortestQueue,
+                experiments::fleet_arrival(),
+            )
+            .expect("search evaluates")
+            .to_string(),
+        );
+        rendered.push('\n');
+    }
+    assert_golden("fleet_slo_search", &rendered);
+}
+
+#[test]
 fn csv_rendering_matches_snapshot() {
     // The CSV path is the machine-readable export surface; lock one
     // figure's CSV too so escaping/format changes cannot slip through.
